@@ -1,0 +1,1 @@
+bench/main.ml: Array Cliffedge_report Experiments Format List Micro String Sys

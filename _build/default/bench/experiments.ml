@@ -1,0 +1,899 @@
+(* The experiment harness: regenerates every experiment of
+   EXPERIMENTS.md (the paper has no quantitative evaluation; X1-X3
+   execute its three figures, X4-X8 measure its claims).  Each function
+   prints one table. *)
+
+open Cliffedge_graph
+module Runner = Cliffedge.Runner
+module Checker = Cliffedge.Checker
+module Scenario = Cliffedge.Scenario
+module P = Cliffedge.Paper_scenarios
+module Fault_gen = Cliffedge_workload.Fault_gen
+module Global_runner = Cliffedge_baseline.Global_runner
+module Stats = Cliffedge_net.Stats
+module Latency = Cliffedge_net.Latency
+module Table = Cliffedge_report.Table
+module Summary = Cliffedge_report.Summary
+module Prng = Cliffedge_prng.Prng
+
+let cell = Table.cell
+
+let violations report = List.length report.Checker.violations
+
+(* ------------------------------------------------------------------ *)
+(* X1: Fig. 1(a) — disjoint regions, independent local agreements      *)
+
+let x1 () =
+  let t =
+    Table.create ~title:"X1 (Fig. 1a): disjoint regions F1/F2, independent agreements"
+      ~columns:
+        [
+          "seed";
+          "decisions";
+          "regions agreed";
+          "msgs";
+          "eu<->pacific msgs";
+          "violations";
+        ]
+  in
+  let madrid = P.city "madrid" and vancouver = P.city "vancouver" in
+  List.iter
+    (fun seed ->
+      let outcome, report = Scenario.execute (Scenario.with_seed P.fig1a seed) in
+      let cross =
+        Stats.pair_count outcome.stats ~src:madrid ~dst:vancouver
+        + Stats.pair_count outcome.stats ~src:vancouver ~dst:madrid
+      in
+      Table.add_row t
+        [
+          cell "%d" seed;
+          cell "%d" (List.length outcome.decisions);
+          cell "%d" (List.length (Runner.decided_views outcome));
+          cell "%d" (Stats.sent outcome.stats);
+          cell "%d" cross;
+          cell "%d" (violations report);
+        ])
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* X2: Fig. 1(b) — the cascade race F1 -> F3                           *)
+
+let x2 () =
+  let t =
+    Table.create
+      ~title:
+        "X2 (Fig. 1b): paris crashes at varying times; which view wins the race"
+      ~columns:
+        [
+          "paris crash t";
+          "F3 decided";
+          "F1 decided";
+          "berlin decides";
+          "restarts";
+          "violations";
+        ]
+  in
+  List.iter
+    (fun at ->
+      let decided_f3 = ref 0
+      and decided_f1 = ref 0
+      and berlin = ref 0
+      and restarts = ref []
+      and bad = ref 0 in
+      let seeds = List.init 10 Fun.id in
+      List.iter
+        (fun seed ->
+          let scenario = Scenario.with_seed (P.fig1b ~paris_crash_time:at ()) seed in
+          let outcome, report = Scenario.execute scenario in
+          let views = Runner.decided_views outcome in
+          if List.exists (Node_set.equal P.f3) views then incr decided_f3;
+          if List.exists (Node_set.equal P.f1) views then incr decided_f1;
+          if Node_set.mem (P.city "berlin") (Runner.deciders outcome) then incr berlin;
+          restarts := float_of_int (Runner.restart_count outcome) :: !restarts;
+          bad := !bad + violations report)
+        seeds;
+      Table.add_row t
+        [
+          cell "%.0f" at;
+          cell "%d/10" !decided_f3;
+          cell "%d/10" !decided_f1;
+          cell "%d/10" !berlin;
+          cell "%a" Summary.pp_terse (Summary.of_list !restarts);
+          cell "%d" !bad;
+        ])
+    [ 12.0; 15.0; 20.0; 30.0; 60.0; 500.0 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* X3: Fig. 2 — clusters of adjacent faulty domains and weak progress  *)
+
+let x3 () =
+  let t =
+    Table.create
+      ~title:
+        "X3 (Fig. 2): chains of adjacent faulty domains (one cluster); CD7 progress"
+      ~columns:
+        [
+          "domains";
+          "cluster size ok";
+          "runs";
+          "mean deciders";
+          "mean domains decided";
+          "violations";
+        ]
+  in
+  let graph = Topology.torus 10 10 in
+  List.iter
+    (fun domains ->
+      let runs = ref 0
+      and deciders = ref []
+      and decided_domains = ref []
+      and bad = ref 0
+      and cluster_ok = ref true in
+      List.iter
+        (fun seed ->
+          let rng = Prng.create (1000 + seed) in
+          match Fault_gen.adjacent_chain rng graph ~domains ~size:2 with
+          | None -> ()
+          | Some regions ->
+              let faulty = List.fold_left Node_set.union Node_set.empty regions in
+              let geom = Fault_geometry.compute graph ~faulty in
+              if List.length (Fault_geometry.clusters geom) <> 1 then
+                cluster_ok := false;
+              let crashes = Fault_gen.crash_at 10.0 faulty in
+              let outcome =
+                Runner.run
+                  ~options:{ Runner.default_options with seed }
+                  ~graph ~crashes ~propose_value:Scenario.default_propose ()
+              in
+              let report = Checker.check ~value_equal:String.equal outcome in
+              incr runs;
+              deciders :=
+                float_of_int (Node_set.cardinal (Runner.deciders outcome)) :: !deciders;
+              decided_domains :=
+                float_of_int (List.length (Runner.decided_views outcome))
+                :: !decided_domains;
+              bad := !bad + violations report)
+        (List.init 15 Fun.id);
+      if !runs > 0 then
+        Table.add_row t
+          [
+            cell "%d" domains;
+            cell "%b" !cluster_ok;
+            cell "%d" !runs;
+            cell "%a" Summary.pp_terse (Summary.of_list !deciders);
+            cell "%a" Summary.pp_terse (Summary.of_list !decided_domains);
+            cell "%d" !bad;
+          ])
+    [ 2; 3; 4; 5 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* X4: the locality headline — cost vs system size N                   *)
+
+let ring_region n =
+  (* Eight consecutive nodes in the middle of the ring. *)
+  Node_set.of_ints (List.init 8 (fun i -> (n / 2) + i))
+
+let x4 () =
+  let t =
+    Table.create
+      ~title:
+        "X4 (locality claim): fixed 8-node crashed region, growing ring; cliff-edge \
+         vs whole-system flooding baseline"
+      ~columns:
+        [
+          "N";
+          "CE msgs";
+          "CE units";
+          "CE nodes involved";
+          "CE t";
+          "BL msgs";
+          "BL units";
+          "BL nodes involved";
+          "BL t";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let graph = Topology.ring n in
+      let crashes = Fault_gen.crash_at 10.0 (ring_region n) in
+      let ce = Runner.run ~graph ~crashes ~propose_value:Scenario.default_propose () in
+      assert (Checker.ok (Checker.check ce));
+      let ce_row =
+        [
+          cell "%d" (Stats.sent ce.stats);
+          cell "%d" (Stats.units_sent ce.stats);
+          cell "%d" (Node_set.cardinal (Stats.communicating_nodes ce.stats));
+          cell "%.0f" ce.duration;
+        ]
+      in
+      let bl_row =
+        if n <= 512 then begin
+          let bl = Global_runner.run ~graph ~crashes () in
+          [
+            cell "%d" (Stats.sent bl.stats);
+            cell "%d" (Stats.units_sent bl.stats);
+            cell "%d" (Node_set.cardinal (Stats.communicating_nodes bl.stats));
+            cell "%.0f" bl.duration;
+          ]
+        end
+        else [ "-"; "-"; "-"; "-" ]
+      in
+      Table.add_row t ((cell "%d" n :: ce_row) @ bl_row))
+    [ 64; 128; 256; 512; 1024; 2048 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* X5: cost vs crashed-region size at fixed N                          *)
+
+let x5 () =
+  let t =
+    Table.create
+      ~title:"X5: cost vs region size k on a 16x16 torus (N = 256 fixed)"
+      ~columns:
+        [ "k"; "border"; "rounds"; "msgs"; "units"; "restarts"; "virtual t"; "violations" ]
+  in
+  let graph = Topology.torus 16 16 in
+  List.iter
+    (fun k ->
+      let rng = Prng.create (31 * k) in
+      let region =
+        Fault_gen.connected_region_from rng graph ~seed_node:(Node_id.of_int 120) ~size:k
+      in
+      let crashes = Fault_gen.crash_at 10.0 region in
+      let outcome =
+        Runner.run ~graph ~crashes ~propose_value:Scenario.default_propose ()
+      in
+      let report = Checker.check ~value_equal:String.equal outcome in
+      Table.add_row t
+        [
+          cell "%d" k;
+          cell "%d" (Node_set.cardinal (Graph.border graph region));
+          cell "%d" (Runner.max_round outcome);
+          cell "%d" (Stats.sent outcome.stats);
+          cell "%d" (Stats.units_sent outcome.stats);
+          cell "%d" (Runner.restart_count outcome);
+          cell "%.0f" outcome.duration;
+          cell "%d" (violations report);
+        ])
+    [ 1; 2; 4; 8; 16; 32; 64 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* X6: ongoing failures — cascade depth vs restarts and convergence    *)
+
+let x6 () =
+  let t =
+    Table.create
+      ~title:
+        "X6 (Fig. 1b generalized): cascades of depth c on a 64-ring; re-proposals \
+         and convergence"
+      ~columns:
+        [
+          "depth";
+          "mean restarts";
+          "mean decisions";
+          "mean msgs";
+          "mean convergence t";
+          "violations";
+        ]
+  in
+  let graph = Topology.ring 64 in
+  List.iter
+    (fun depth ->
+      let restarts = ref []
+      and decisions = ref []
+      and msgs = ref []
+      and durations = ref []
+      and bad = ref 0 in
+      List.iter
+        (fun seed ->
+          let rng = Prng.create (seed + (depth * 1000)) in
+          let seed_region =
+            Fault_gen.connected_region_from rng graph ~seed_node:(Node_id.of_int 30)
+              ~size:2
+          in
+          let crashes, _ =
+            Fault_gen.cascade rng graph ~seed_region ~depth ~start:10.0 ~interval:30.0
+          in
+          let outcome =
+            Runner.run
+              ~options:{ Runner.default_options with seed }
+              ~graph ~crashes ~propose_value:Scenario.default_propose ()
+          in
+          let report = Checker.check ~value_equal:String.equal outcome in
+          restarts := float_of_int (Runner.restart_count outcome) :: !restarts;
+          decisions := float_of_int (List.length outcome.decisions) :: !decisions;
+          msgs := float_of_int (Stats.sent outcome.stats) :: !msgs;
+          durations := outcome.duration :: !durations;
+          bad := !bad + violations report)
+        (List.init 10 Fun.id);
+      Table.add_row t
+        [
+          cell "%d" depth;
+          cell "%a" Summary.pp_terse (Summary.of_list !restarts);
+          cell "%a" Summary.pp_terse (Summary.of_list !decisions);
+          cell "%a" Summary.pp_terse (Summary.of_list !msgs);
+          cell "%a" Summary.pp_terse (Summary.of_list !durations);
+          cell "%d" !bad;
+        ])
+    [ 0; 1; 2; 3; 4; 6 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* X7: the validation matrix — CD1-CD7 across the board                *)
+
+let x7 () =
+  let t =
+    Table.create
+      ~title:"X7: randomized validation matrix (seeds x fault shapes per topology)"
+      ~columns:[ "topology"; "runs"; "decisions"; "restarts"; "violations" ]
+  in
+  let shapes = [ `Simultaneous; `Staggered; `Cascade; `Isolated ] in
+  let topo_specs =
+    [
+      ("ring:48", Topology.Ring 48);
+      ("torus:7x7", Topology.Torus (7, 7));
+      ("grid:6x8", Topology.Grid (6, 8));
+      ("er:40:0.1", Topology.Erdos_renyi (40, 0.1));
+      ("ws:40:4:0.2", Topology.Watts_strogatz (40, 4, 0.2));
+      ("ba:40:2", Topology.Barabasi_albert (40, 2));
+    ]
+  in
+  List.iter
+    (fun (label, spec) ->
+      let runs = ref 0 and decisions = ref 0 and restarts = ref 0 and bad = ref 0 in
+      List.iter
+        (fun seed ->
+          List.iteri
+            (fun si shape ->
+              let rng = Prng.create ((seed * 17) + si) in
+              let graph = Topology.build rng spec in
+              let n = Graph.node_count graph in
+              let crashes =
+                match shape with
+                | `Simultaneous ->
+                    let size = 1 + Prng.int rng (n / 5) in
+                    Fault_gen.crash_at 10.0
+                      (Fault_gen.connected_region rng graph ~size)
+                | `Staggered ->
+                    let size = 1 + Prng.int rng (n / 5) in
+                    Fault_gen.staggered rng ~start:10.0 ~spread:80.0
+                      (Fault_gen.connected_region rng graph ~size)
+                | `Cascade ->
+                    let seed_region = Fault_gen.connected_region rng graph ~size:2 in
+                    fst
+                      (Fault_gen.cascade rng graph ~seed_region
+                         ~depth:(1 + Prng.int rng 4)
+                         ~start:10.0 ~interval:25.0)
+                | `Isolated -> (
+                    match Fault_gen.isolated_regions rng graph ~count:2 ~size:2 with
+                    | Some rs -> List.concat_map (Fault_gen.crash_at 10.0) rs
+                    | None ->
+                        Fault_gen.crash_at 10.0
+                          (Fault_gen.connected_region rng graph ~size:2))
+              in
+              let outcome =
+                Runner.run
+                  ~options:{ Runner.default_options with seed }
+                  ~graph ~crashes ~propose_value:Scenario.default_propose ()
+              in
+              let report = Checker.check ~value_equal:String.equal outcome in
+              incr runs;
+              decisions := !decisions + List.length outcome.decisions;
+              restarts := !restarts + Runner.restart_count outcome;
+              bad := !bad + violations report)
+            shapes)
+        (List.init 25 Fun.id);
+      Table.add_row t
+        [
+          label;
+          cell "%d" !runs;
+          cell "%d" !decisions;
+          cell "%d" !restarts;
+          cell "%d" !bad;
+        ])
+    topo_specs;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* X8: footnote-6 ablation — early termination on/off                  *)
+
+let x8 () =
+  let t =
+    Table.create
+      ~title:
+        "X8 (footnote 6): early termination ablation; star-center regions give \
+         border |B| and |B|-1 base rounds"
+      ~columns:
+        [ "border |B|"; "mode"; "rounds"; "msgs"; "units"; "virtual t"; "violations" ]
+  in
+  List.iter
+    (fun b ->
+      (* A star with b leaves: crash the hub; the border is the b leaves. *)
+      let graph = Topology.star (b + 1) in
+      let crashes = [ (10.0, Node_id.of_int 0) ] in
+      List.iter
+        (fun early ->
+          let options = { Runner.default_options with early_stopping = early } in
+          let outcome =
+            Runner.run ~options ~graph ~crashes
+              ~propose_value:Scenario.default_propose ()
+          in
+          let report = Checker.check ~value_equal:String.equal outcome in
+          Table.add_row t
+            [
+              cell "%d" b;
+              (if early then "early" else "base");
+              cell "%d" (Runner.max_round outcome);
+              cell "%d" (Stats.sent outcome.stats);
+              cell "%d" (Stats.units_sent outcome.stats);
+              cell "%.0f" outcome.duration;
+              cell "%d" (violations report);
+            ])
+        [ false; true ])
+    [ 3; 4; 6; 8; 12; 16 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* X9: the uniformity anomaly — raw vs channel-consistent failure      *)
+(* detector (DESIGN.md §7)                                             *)
+
+let x9 () =
+  let t =
+    Table.create
+      ~title:
+        "X9 (finding): CD5 uniformity under raw vs channel-consistent perfect FD \
+         (cascades on a 64-ring, adversarial latencies, 60 seeds per row)"
+      ~columns:
+        [
+          "fd semantics";
+          "runs";
+          "runs w/ violations";
+          "CD5 violations";
+          "other violations";
+        ]
+  in
+  let graph = Topology.ring 64 in
+  let run_family ~channel_consistent_fd =
+    let runs = ref 0 and bad_runs = ref 0 and cd5 = ref 0 and other = ref 0 in
+    List.iter
+      (fun seed ->
+        let rng = Prng.create (77 + seed) in
+        let seed_region =
+          Fault_gen.connected_region_from rng graph ~seed_node:(Node_id.of_int 30)
+            ~size:2
+        in
+        let crashes, _ =
+          Fault_gen.cascade rng graph ~seed_region ~depth:3 ~start:10.0 ~interval:25.0
+        in
+        let options =
+          {
+            Runner.default_options with
+            seed;
+            channel_consistent_fd;
+            (* Long-tailed message latency + fast detection maximizes the
+               window in which a notification overtakes an accept. *)
+            message_latency = Latency.Exponential { min = 0.5; mean = 10.0 };
+            detection_latency = Latency.Constant 1.0;
+          }
+        in
+        let outcome =
+          Runner.run ~options ~graph ~crashes ~propose_value:Scenario.default_propose ()
+        in
+        let report = Checker.check ~value_equal:String.equal outcome in
+        incr runs;
+        if not (Checker.ok report) then incr bad_runs;
+        List.iter
+          (fun v ->
+            match v.Checker.property with
+            | Checker.CD5_uniform_border_agreement -> incr cd5
+            | _ -> incr other)
+          report.Checker.violations)
+      (List.init 60 Fun.id);
+    [ cell "%d" !runs; cell "%d" !bad_runs; cell "%d" !cd5; cell "%d" !other ]
+  in
+  Table.add_row t ("raw (paper model)" :: run_family ~channel_consistent_fd:false);
+  Table.add_row t
+    ("channel-consistent (our default)" :: run_family ~channel_consistent_fd:true);
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* X10: exhaustive small-scope model checking                          *)
+
+let x10 () =
+  let t =
+    Table.create
+      ~title:
+        "X10: exhaustive model checking (every schedule) of small configurations, \
+         per FD semantics"
+      ~columns:
+        [ "configuration"; "fd"; "states"; "leaves"; "violations"; "verdict" ]
+  in
+  let module E = Cliffedge_mcheck.Explorer in
+  let n = Node_id.of_int in
+  let configs =
+    [
+      ("path5, region {2}", Topology.path 5, [ n 2 ]);
+      ("path5, region {2,3}", Topology.path 5, [ n 2; n 3 ]);
+      ("star4, hub crash (|B|=3)", Topology.star 4, [ n 0 ]);
+      ("ring5, domains {1},{3}", Topology.ring 5, [ n 1; n 3 ]);
+      ("path5, cascade {2,3}+1", Topology.path 5, [ n 2; n 3; n 1 ]);
+      ("ring6, cascade {2,3}+4", Topology.ring 6, [ n 2; n 3; n 4 ]);
+    ]
+  in
+  List.iter
+    (fun (label, graph, crashes) ->
+      List.iter
+        (fun (fd_label, fd) ->
+          let stats = E.explore ~fd ~max_states:3_000_000 ~graph ~crashes () in
+          let verdict =
+            if E.ok stats then "all schedules safe"
+            else if stats.truncated then "TRUNCATED"
+            else
+              let sample = List.hd stats.violations in
+              Cliffedge.Checker.property_name sample.E.property ^ " violated"
+          in
+          Table.add_row t
+            [
+              label;
+              fd_label;
+              cell "%d" stats.states_explored;
+              cell "%d" stats.leaves;
+              cell "%d" (List.length stats.violations);
+              verdict;
+            ])
+        [ ("consistent", `Channel_consistent); ("raw", `Raw) ])
+    configs;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* X11: decide-once vs group-membership churn (paper §4)               *)
+
+let x11 () =
+  let t =
+    Table.create
+      ~title:
+        "X11 (paper §4): cliff-edge (one decision per border node) vs group \
+         membership (eventually-convergent installed views), 64-ring, cascades \
+         of depth c, mean of 10 seeds"
+      ~columns:
+        [
+          "depth";
+          "CE decisions";
+          "CE msgs";
+          "CE nodes involved";
+          "GM view installs";
+          "GM msgs";
+          "GM nodes involved";
+        ]
+  in
+  let graph = Topology.ring 64 in
+  List.iter
+    (fun depth ->
+      let ce_decisions = ref []
+      and ce_msgs = ref []
+      and ce_nodes = ref []
+      and gm_installs = ref []
+      and gm_msgs = ref []
+      and gm_nodes = ref [] in
+      List.iter
+        (fun seed ->
+          let rng = Prng.create (seed + (depth * 333)) in
+          let seed_region =
+            Fault_gen.connected_region_from rng graph ~seed_node:(Node_id.of_int 30)
+              ~size:2
+          in
+          let crashes, _ =
+            Fault_gen.cascade rng graph ~seed_region ~depth ~start:10.0 ~interval:30.0
+          in
+          let ce =
+            Runner.run
+              ~options:{ Runner.default_options with seed }
+              ~graph ~crashes ~propose_value:Scenario.default_propose ()
+          in
+          assert (Checker.ok (Checker.check ce));
+          ce_decisions := float_of_int (List.length ce.decisions) :: !ce_decisions;
+          ce_msgs := float_of_int (Stats.sent ce.stats) :: !ce_msgs;
+          ce_nodes :=
+            float_of_int (Node_set.cardinal (Stats.communicating_nodes ce.stats))
+            :: !ce_nodes;
+          let gm =
+            Cliffedge_baseline.Membership_runner.run
+              ~options:{ Cliffedge_baseline.Global_runner.default_options with seed }
+              ~graph ~crashes ()
+          in
+          assert (Cliffedge_baseline.Membership_runner.converged gm);
+          gm_installs :=
+            float_of_int (Cliffedge_baseline.Membership_runner.total_installs gm)
+            :: !gm_installs;
+          gm_msgs := float_of_int (Stats.sent gm.stats) :: !gm_msgs;
+          gm_nodes :=
+            float_of_int (Node_set.cardinal (Stats.communicating_nodes gm.stats))
+            :: !gm_nodes)
+        (List.init 10 Fun.id);
+      let mean r = cell "%a" Summary.pp_terse (Summary.of_list !r) in
+      Table.add_row t
+        [
+          cell "%d" depth;
+          mean ce_decisions;
+          mean ce_msgs;
+          mean ce_nodes;
+          mean gm_installs;
+          mean gm_msgs;
+          mean gm_nodes;
+        ])
+    [ 0; 1; 2; 4 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* X12: repair-strategy ablation (the motivating application)          *)
+
+let x12 () =
+  let t =
+    Table.create
+      ~title:
+        "X12: overlay repair strategies on random fault patterns (ring:64 and \
+         torus:8x8, 20 seeds each)"
+      ~columns:
+        [ "topology"; "strategy"; "runs"; "healed"; "mean plan edges"; "violations" ]
+  in
+  let module Repair = Cliffedge_repair.Session in
+  let module Plan = Cliffedge_repair.Plan in
+  let module Planner = Cliffedge_repair.Planner in
+  List.iter
+    (fun (label, graph) ->
+      List.iter
+        (fun strategy ->
+          let runs = ref 0 and healed = ref 0 and edges = ref [] and bad = ref 0 in
+          List.iter
+            (fun seed ->
+              let rng = Prng.create (911 + seed) in
+              let size = 2 + Prng.int rng 4 in
+              let region = Fault_gen.connected_region rng graph ~size in
+              let crashes = Fault_gen.crash_at 10.0 region in
+              let outcome =
+                Repair.repair
+                  ~options:{ Runner.default_options with seed }
+                  ~strategy ~graph ~crashes ()
+              in
+              incr runs;
+              if outcome.healed then incr healed;
+              edges :=
+                float_of_int
+                  (List.fold_left
+                     (fun acc (_, p) -> acc + Plan.edge_count p)
+                     0 outcome.plans)
+                :: !edges;
+              if not (Checker.ok outcome.report) then incr bad)
+            (List.init 20 Fun.id);
+          Table.add_row t
+            [
+              label;
+              cell "%a" Planner.pp_strategy strategy;
+              cell "%d" !runs;
+              cell "%d" !healed;
+              cell "%a" Summary.pp_terse (Summary.of_list !edges);
+              cell "%d" !bad;
+            ])
+        [ Planner.Chain_border; Planner.Ring_splice; Planner.Star_rewire ])
+    [ ("ring:64", Topology.ring 64); ("torus:8x8", Topology.torus 8 8) ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* X13: assumption necessity — breaking strong accuracy                *)
+
+let x13 () =
+  let t =
+    Table.create
+      ~title:
+        "X13 (assumption ablation): injecting k false suspicions into the perfect \
+         detector (ring:32, one real 2-node region, 30 seeds per row)"
+      ~columns:
+        [
+          "false suspicions";
+          "runs";
+          "clean runs";
+          "CD2 violations";
+          "CD3 violations";
+          "other";
+        ]
+  in
+  let graph = Topology.ring 32 in
+  let nodes = Node_set.elements (Graph.nodes graph) in
+  List.iter
+    (fun k ->
+      let runs = ref 0 and clean = ref 0 and cd2 = ref 0 and cd3 = ref 0 and other = ref 0 in
+      List.iter
+        (fun seed ->
+          let rng = Prng.create (13_000 + seed) in
+          let region = Node_set.of_ints [ 10; 11 ] in
+          let crashes = Fault_gen.crash_at 10.0 region in
+          let correct =
+            List.filter (fun p -> not (Node_set.mem p region)) nodes
+          in
+          let false_suspicions =
+            List.init k (fun _ ->
+                (* A correct node wrongly suspects a correct neighbour. *)
+                let observer = Prng.choose rng correct in
+                let neighbours =
+                  Node_set.elements
+                    (Node_set.diff (Graph.neighbours graph observer) region)
+                in
+                let target =
+                  match neighbours with
+                  | [] -> observer (* degenerate; detector ignores self *)
+                  | _ -> Prng.choose rng neighbours
+                in
+                (5.0 +. Prng.float rng 80.0, observer, target))
+          in
+          let options = { Runner.default_options with seed; false_suspicions } in
+          let outcome =
+            Runner.run ~options ~graph ~crashes ~propose_value:Scenario.default_propose
+              ()
+          in
+          let report = Checker.check ~value_equal:String.equal outcome in
+          incr runs;
+          if Checker.ok report then incr clean;
+          List.iter
+            (fun v ->
+              match v.Checker.property with
+              | Checker.CD2_view_accuracy -> incr cd2
+              | Checker.CD3_locality -> incr cd3
+              | _ -> incr other)
+            report.Checker.violations)
+        (List.init 30 Fun.id);
+      Table.add_row t
+        [
+          cell "%d" k;
+          cell "%d" !runs;
+          cell "%d" !clean;
+          cell "%d" !cd2;
+          cell "%d" !cd3;
+          cell "%d" !other;
+        ])
+    [ 0; 1; 2; 4; 8 ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* X14: lifecycle churn — waves of faults over a self-healing overlay  *)
+
+let x14 () =
+  let t =
+    Table.create
+      ~title:
+        "X14 (lifecycle): repeated size-3 fault waves over a self-healing overlay \
+         (fresh protocol instances each epoch)"
+      ~columns:
+        [
+          "topology";
+          "epochs run";
+          "all epochs ok";
+          "nodes start";
+          "nodes end";
+          "still connected";
+          "plans applied";
+        ]
+  in
+  let module Churn = Cliffedge_repair.Churn in
+  List.iter
+    (fun (label, graph) ->
+      let rng = Prng.create 2024 in
+      let outcome =
+        Churn.run ~graph ~next_wave:(Churn.random_wave rng ~size:3) ~epochs:20 ()
+      in
+      let plans =
+        List.fold_left
+          (fun acc (e : Churn.epoch) ->
+            acc + List.length e.session.Cliffedge_repair.Session.plans)
+          0 outcome.epochs
+      in
+      Table.add_row t
+        [
+          label;
+          cell "%d" (List.length outcome.epochs);
+          cell "%b" outcome.all_ok;
+          cell "%d" (Graph.node_count graph);
+          cell "%d" (Graph.node_count outcome.final_overlay);
+          cell "%b" (Graph.is_connected outcome.final_overlay);
+          cell "%d" plans;
+        ])
+    [
+      ("ring:64", Topology.ring 64);
+      ("torus:10x10", Topology.torus 10 10);
+      ("ws:80:4:0.2", Topology.watts_strogatz (Prng.create 8) 80 ~k:4 ~beta:0.2);
+    ];
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* X15: detection-latency sensitivity — the model knob the paper       *)
+(* leaves free                                                         *)
+
+let x15 () =
+  let t =
+    Table.create
+      ~title:
+        "X15: reaction time vs failure-detection latency (16x16 torus, 6-node \
+         region, 15 seeds per row; detection ~ uniform[1, D])"
+      ~columns:
+        [
+          "D (max detect lat)";
+          "mean decision latency";
+          "p90";
+          "mean restarts";
+          "mean msgs";
+          "violations";
+        ]
+  in
+  let graph = Topology.torus 16 16 in
+  List.iter
+    (fun d ->
+      let latencies = ref [] and restarts = ref [] and msgs = ref [] and bad = ref 0 in
+      List.iter
+        (fun seed ->
+          let rng = Prng.create (15_000 + seed) in
+          let region =
+            Fault_gen.connected_region_from rng graph ~seed_node:(Node_id.of_int 120)
+              ~size:6
+          in
+          let crashes = Fault_gen.crash_at 10.0 region in
+          let options =
+            {
+              Runner.default_options with
+              seed;
+              detection_latency = Latency.Uniform { min = 1.0; max = d };
+            }
+          in
+          let outcome =
+            Runner.run ~options ~graph ~crashes ~propose_value:Scenario.default_propose
+              ()
+          in
+          let report = Checker.check ~value_equal:String.equal outcome in
+          bad := !bad + violations report;
+          List.iter
+            (fun (_, latency) -> latencies := latency :: !latencies)
+            (Cliffedge.Timeline.decision_latency outcome);
+          restarts := float_of_int (Runner.restart_count outcome) :: !restarts;
+          msgs := float_of_int (Stats.sent outcome.stats) :: !msgs)
+        (List.init 15 Fun.id);
+      let summary = Summary.of_list !latencies in
+      Table.add_row t
+        [
+          cell "%.0f" d;
+          cell "%.1f" summary.Summary.mean;
+          cell "%.1f" summary.Summary.p90;
+          cell "%a" Summary.pp_terse (Summary.of_list !restarts);
+          cell "%a" Summary.pp_terse (Summary.of_list !msgs);
+          cell "%d" !bad;
+        ])
+    [ 2.0; 10.0; 20.0; 50.0; 100.0 ];
+  Table.print t
+
+let all =
+  [
+    ("x1", x1);
+    ("x2", x2);
+    ("x3", x3);
+    ("x4", x4);
+    ("x5", x5);
+    ("x6", x6);
+    ("x7", x7);
+    ("x8", x8);
+    ("x9", x9);
+    ("x10", x10);
+    ("x11", x11);
+    ("x12", x12);
+    ("x13", x13);
+    ("x14", x14);
+    ("x15", x15);
+  ]
+
+let run_all () =
+  List.iter
+    (fun (name, f) ->
+      Format.printf "@.";
+      ignore name;
+      f ())
+    all

@@ -1,0 +1,57 @@
+(* Benchmark and experiment entry point.
+
+   Usage:
+     dune exec bench/main.exe            # everything: X1-X8 + micro
+     dune exec bench/main.exe -- x4 x5   # selected experiments
+     dune exec bench/main.exe -- micro   # bechamel micro-benchmarks only
+
+   Each experiment regenerates one table of EXPERIMENTS.md. *)
+
+let usage () =
+  print_endline "usage: main.exe [x1 .. x8 | micro | all]";
+  print_endline "  x1  Fig. 1(a): disjoint regions, independent agreements";
+  print_endline "  x2  Fig. 1(b): cascade race F1 -> F3";
+  print_endline "  x3  Fig. 2: adjacent faulty domains, progress";
+  print_endline "  x4  locality: cost vs system size (vs global baseline)";
+  print_endline "  x5  cost vs region size";
+  print_endline "  x6  cascade depth vs restarts/convergence";
+  print_endline "  x7  randomized CD1-CD7 validation matrix";
+  print_endline "  x8  early-termination ablation (footnote 6)";
+  print_endline "  x9  CD5 anomaly: raw vs channel-consistent failure detector";
+  print_endline "  x10 exhaustive model checking of small configurations";
+  print_endline "  x11 decide-once vs group-membership view churn";
+  print_endline "  x12 overlay repair strategy ablation";
+  print_endline "  x13 assumption ablation: false suspicions break CD2";
+  print_endline "  x14 lifecycle churn: repeated waves over a self-healing overlay";
+  print_endline "  x15 reaction time vs detection latency";
+  print_endline "  micro  bechamel micro-benchmarks";
+  print_endline "options:";
+  print_endline "  --csv DIR   also write every table to DIR/<slug>.csv"
+
+let run_experiment name =
+  match List.assoc_opt name Experiments.all with
+  | Some f ->
+      Format.printf "@.";
+      f ()
+  | None when String.equal name "micro" -> Micro.run ()
+  | None when String.equal name "all" ->
+      Experiments.run_all ();
+      Micro.run ()
+  | None ->
+      usage ();
+      exit 1
+
+(* Strips a leading [--csv DIR] option, configuring table CSV export. *)
+let rec parse_options = function
+  | "--csv" :: dir :: rest ->
+      Cliffedge_report.Table.set_csv_dir (Some dir);
+      parse_options rest
+  | args -> args
+
+let () =
+  match parse_options (List.tl (Array.to_list Sys.argv)) with
+  | [ arg ] when List.mem arg [ "-h"; "--help"; "help" ] -> usage ()
+  | [] ->
+      Experiments.run_all ();
+      Micro.run ()
+  | args -> List.iter run_experiment args

@@ -1,0 +1,178 @@
+(* Bechamel micro-benchmarks: cost of the primitives the experiments are
+   built from, and one end-to-end agreement per protocol. *)
+
+open Bechamel
+open Cliffedge_graph
+module Runner = Cliffedge.Runner
+module Scenario = Cliffedge.Scenario
+module Protocol = Cliffedge.Protocol
+module Message = Cliffedge.Message
+module Opinion = Cliffedge.Opinion
+module Fault_gen = Cliffedge_workload.Fault_gen
+module Prng = Cliffedge_prng.Prng
+module Heap = Cliffedge_sim.Heap
+module Engine = Cliffedge_sim.Engine
+module Table = Cliffedge_report.Table
+
+let torus = Topology.torus 16 16
+
+let region = Node_set.of_ints [ 119; 120; 121; 135; 136 ]
+
+let bench_prng =
+  let rng = Prng.create 1 in
+  Test.make ~name:"prng: next_int64" (Staged.stage (fun () -> Prng.next_int64 rng))
+
+let bench_border =
+  Test.make ~name:"graph: border (5-node region, 16x16 torus)"
+    (Staged.stage (fun () -> Graph.border torus region))
+
+let bench_components =
+  Test.make ~name:"graph: connected_components"
+    (Staged.stage (fun () -> Graph.connected_components torus region))
+
+let bench_ranking =
+  let other = Node_set.of_ints [ 1; 2; 3; 17 ] in
+  Test.make ~name:"ranking: compare"
+    (Staged.stage (fun () -> Ranking.compare torus region other))
+
+let bench_heap =
+  Test.make ~name:"heap: 256 push + drain"
+    (Staged.stage (fun () ->
+         let h = Heap.create ~compare:Int.compare in
+         for i = 0 to 255 do
+           Heap.push h ((i * 7919) mod 509)
+         done;
+         let rec drain () = match Heap.pop h with None -> () | Some _ -> drain () in
+         drain ()))
+
+let bench_engine =
+  Test.make ~name:"engine: schedule + run 256 events"
+    (Staged.stage (fun () ->
+         let e = Engine.create () in
+         for i = 0 to 255 do
+           ignore (Engine.schedule e ~delay:(float_of_int (i mod 17)) ignore)
+         done;
+         Engine.run e))
+
+let bench_protocol_step =
+  (* One Deliver transition on a node participating in a 4-border
+     instance. *)
+  let graph = Topology.grid 5 5 in
+  let cfg = Protocol.config ~graph ~propose_value:(fun _ _ -> "d") () in
+  let st = Protocol.init ~self:(Node_id.of_int 7) in
+  let st, _ = Protocol.handle cfg st Protocol.Init in
+  let st, _ = Protocol.handle cfg st (Protocol.Crash (Node_id.of_int 12)) in
+  let msg =
+    Message.Round
+      {
+        round = 1;
+        view = Node_set.of_ints [ 12 ];
+        border = Node_set.of_ints [ 7; 11; 13; 17 ];
+        opinions =
+          Opinion.Vector.singleton (Node_id.of_int 11) (Opinion.Accept "d");
+      }
+  in
+  Test.make ~name:"protocol: one Deliver transition"
+    (Staged.stage (fun () ->
+         Protocol.handle cfg st (Protocol.Deliver { src = Node_id.of_int 11; msg })))
+
+let bench_cliffedge_e2e =
+  let graph = Topology.ring 32 in
+  let crashes = Fault_gen.crash_at 10.0 (Node_set.of_ints [ 10; 11 ]) in
+  Test.make ~name:"e2e: cliff-edge agreement on 32-ring (2-node region)"
+    (Staged.stage (fun () ->
+         Runner.run ~graph ~crashes ~propose_value:Scenario.default_propose ()))
+
+let bench_baseline_e2e =
+  let graph = Topology.ring 32 in
+  let crashes = Fault_gen.crash_at 10.0 (Node_set.of_ints [ 10; 11 ]) in
+  Test.make ~name:"e2e: flooding baseline on 32-ring (same fault)"
+    (Staged.stage (fun () -> Cliffedge_baseline.Global_runner.run ~graph ~crashes ()))
+
+(* Ablation for the view-construction design note (DESIGN.md): absorbing
+   a 64-node cascade one crash at a time, recomputing components by BFS
+   per crash (the paper-literal approach) vs maintaining them
+   incrementally with a DSU. *)
+let cascade_order =
+  let rng = Prng.create 5 in
+  let big_torus = Topology.torus 24 24 in
+  let region =
+    Fault_gen.connected_region_from rng big_torus ~seed_node:(Node_id.of_int 300)
+      ~size:64
+  in
+  (big_torus, Node_set.elements region)
+
+let bench_components_bfs =
+  let graph, order = cascade_order in
+  Test.make ~name:"view construction: BFS recompute per crash (64-node cascade)"
+    (Staged.stage (fun () ->
+         ignore
+           (List.fold_left
+              (fun acc p ->
+                let acc = Node_set.add p acc in
+                ignore (Graph.connected_components graph acc);
+                acc)
+              Node_set.empty order)))
+
+let bench_components_dsu =
+  let graph, order = cascade_order in
+  Test.make ~name:"view construction: DSU incremental (64-node cascade)"
+    (Staged.stage (fun () ->
+         let inc = Dsu.Components.create graph in
+         List.iter
+           (fun p ->
+             Dsu.Components.add inc p;
+             ignore (Dsu.Components.components inc))
+           order))
+
+let tests =
+  [
+    bench_prng;
+    bench_border;
+    bench_components;
+    bench_ranking;
+    bench_heap;
+    bench_engine;
+    bench_protocol_step;
+    bench_cliffedge_e2e;
+    bench_baseline_e2e;
+    bench_components_bfs;
+    bench_components_dsu;
+  ]
+
+let pp_ns ppf ns =
+  if ns < 1_000.0 then Format.fprintf ppf "%.1f ns" ns
+  else if ns < 1_000_000.0 then Format.fprintf ppf "%.2f us" (ns /. 1_000.0)
+  else Format.fprintf ppf "%.2f ms" (ns /. 1_000_000.0)
+
+let run () =
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let table = Table.create ~title:"micro-benchmarks (bechamel, OLS time/run)"
+      ~columns:[ "benchmark"; "time/run"; "r^2" ]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg [ instance ] test in
+      let ols =
+        Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+      in
+      let results = Analyze.all ols instance raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let time =
+            match Analyze.OLS.estimates ols_result with
+            | Some [ t ] -> Table.cell "%a" pp_ns t
+            | _ -> "?"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> Table.cell "%.4f" r
+            | None -> "-"
+          in
+          Table.add_row table [ name; time; r2 ])
+        results)
+    tests;
+  Table.print table

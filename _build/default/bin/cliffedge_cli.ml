@@ -1,0 +1,298 @@
+(* Command-line front end.
+
+   Subcommands:
+     run    — run one cliff-edge agreement on a generated topology
+     paper  — run one of the paper's figure scenarios (fig1a, fig1b, fig2)
+     sweep  — region-size sweep on one topology, one table row per size
+     dot    — emit Graphviz source for a topology and fault pattern
+
+   Examples:
+     cliffedge_cli run --topology torus:16x16 --region-size 6 --seed 3
+     cliffedge_cli run --topology ring:64 --cascade 3 --raw-fd
+     cliffedge_cli paper fig1b
+     cliffedge_cli sweep --topology torus:16x16 --sizes 1,2,4,8,16
+     cliffedge_cli dot --topology grid:8x8 --region-size 5 > g.dot *)
+
+open Cmdliner
+open Cliffedge_graph
+module Runner = Cliffedge.Runner
+module Checker = Cliffedge.Checker
+module Scenario = Cliffedge.Scenario
+module Fault_gen = Cliffedge_workload.Fault_gen
+module Latency = Cliffedge_net.Latency
+module Prng = Cliffedge_prng.Prng
+module Table = Cliffedge_report.Table
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument parsing                                             *)
+
+let msg_result r = Result.map_error (fun e -> `Msg e) r
+
+let topology_conv =
+  let parse s = msg_result (Topology.spec_of_string s) in
+  Arg.conv (parse, Topology.pp_spec)
+
+let latency_conv =
+  let parse s = msg_result (Latency.of_string s) in
+  Arg.conv (parse, Latency.pp)
+
+let topology_arg =
+  Arg.(
+    value
+    & opt topology_conv (Topology.Ring 32)
+    & info [ "t"; "topology" ] ~docv:"SPEC"
+        ~doc:
+          "Topology: ring:N, path:N, grid:WxH, torus:WxH, complete:N, star:N, \
+           tree:N, er:N:P, ws:N:K:BETA, ba:N:M, geo:N:R.")
+
+let seed_arg =
+  Arg.(value & opt int 0 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let region_size_arg =
+  Arg.(
+    value
+    & opt int 3
+    & info [ "k"; "region-size" ] ~docv:"K" ~doc:"Crashed region size in nodes.")
+
+let cascade_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "cascade" ] ~docv:"DEPTH"
+        ~doc:"Extend the region by DEPTH additional staggered crashes.")
+
+let early_arg =
+  Arg.(
+    value & flag
+    & info [ "early-stopping" ] ~doc:"Enable the footnote-6 early-termination mode.")
+
+let raw_fd_arg =
+  Arg.(
+    value & flag
+    & info [ "raw-fd" ]
+        ~doc:
+          "Use the raw perfect failure detector (notifications may overtake \
+           in-flight messages), reproducing the CD5 anomaly of DESIGN.md.")
+
+let msg_latency_arg =
+  Arg.(
+    value
+    & opt latency_conv (Latency.Uniform { min = 1.0; max = 10.0 })
+    & info [ "latency" ] ~docv:"MODEL" ~doc:"Message latency: const:D, uniform:A:B, exp:MIN:MEAN.")
+
+let fd_latency_arg =
+  Arg.(
+    value
+    & opt latency_conv (Latency.Uniform { min = 1.0; max = 20.0 })
+    & info [ "detection-latency" ] ~docv:"MODEL" ~doc:"Failure-detection latency model.")
+
+let options ~seed ~early ~raw_fd ~msg_latency ~fd_latency =
+  {
+    Runner.default_options with
+    seed;
+    early_stopping = early;
+    channel_consistent_fd = not raw_fd;
+    message_latency = msg_latency;
+    detection_latency = fd_latency;
+  }
+
+let build_workload ~spec ~seed ~region_size ~cascade =
+  let rng = Prng.create seed in
+  let graph = Topology.build rng spec in
+  let region = Fault_gen.connected_region rng graph ~size:region_size in
+  let crashes, final_region =
+    if cascade > 0 then
+      Fault_gen.cascade rng graph ~seed_region:region ~depth:cascade ~start:10.0
+        ~interval:30.0
+    else (Fault_gen.crash_at 10.0 region, region)
+  in
+  (graph, crashes, final_region)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                 *)
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ]
+        ~doc:"Log every protocol step (proposals, rejections, rounds) to stderr.")
+
+let setup_logs verbose =
+  if verbose then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.Src.set_level Runner.log_src (Some Logs.Debug)
+  end
+
+let run_cmd =
+  let action spec seed region_size cascade early raw_fd msg_latency fd_latency
+      timeline verbose =
+    setup_logs verbose;
+    let graph, crashes, _ = build_workload ~spec ~seed ~region_size ~cascade in
+    let scenario =
+      Scenario.make
+        ~options:(options ~seed ~early ~raw_fd ~msg_latency ~fd_latency)
+        ~name:(Format.asprintf "%a seed=%d" Topology.pp_spec spec seed)
+        ~graph ~crashes ()
+    in
+    let outcome, report = Scenario.execute scenario in
+    Format.printf "%a@." Scenario.pp_result (scenario, outcome, report);
+    if timeline then
+      Format.printf "@.%a"
+        (Cliffedge.Timeline.pp ~names:scenario.Scenario.names)
+        (Cliffedge.Timeline.of_outcome ~value_to_string:Fun.id outcome);
+    if Checker.ok report then 0 else 1
+  in
+  let timeline_arg =
+    Arg.(
+      value & flag
+      & info [ "timeline" ] ~doc:"Print the full chronological event narrative.")
+  in
+  let term =
+    Term.(
+      const action $ topology_arg $ seed_arg $ region_size_arg $ cascade_arg
+      $ early_arg $ raw_fd_arg $ msg_latency_arg $ fd_latency_arg $ timeline_arg
+      $ verbose_arg)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one cliff-edge agreement and verify CD1-CD7.")
+    term
+
+(* ------------------------------------------------------------------ *)
+(* paper                                                               *)
+
+let paper_cmd =
+  let action name seed =
+    let scenario =
+      match name with
+      | "fig1a" -> Cliffedge.Paper_scenarios.fig1a
+      | "fig1b" -> Cliffedge.Paper_scenarios.fig1b ()
+      | "fig2" -> Cliffedge.Paper_scenarios.fig2
+      | other ->
+          Format.eprintf "unknown scenario %S (fig1a | fig1b | fig2)@." other;
+          exit 2
+    in
+    let scenario = Scenario.with_seed scenario seed in
+    let outcome, report = Scenario.execute scenario in
+    Format.printf "%a@." Scenario.pp_result (scenario, outcome, report);
+    if Checker.ok report then 0 else 1
+  in
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SCENARIO" ~doc:"fig1a, fig1b or fig2.")
+  in
+  Cmd.v
+    (Cmd.info "paper" ~doc:"Run one of the paper's figure scenarios.")
+    Term.(const action $ name_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+
+let sweep_cmd =
+  let action spec seed sizes =
+    let table =
+      Table.create
+        ~title:(Format.asprintf "region-size sweep on %a" Topology.pp_spec spec)
+        ~columns:[ "k"; "border"; "rounds"; "msgs"; "units"; "t"; "ok" ]
+    in
+    List.iter
+      (fun k ->
+        let graph, crashes, region =
+          build_workload ~spec ~seed ~region_size:k ~cascade:0
+        in
+        let outcome =
+          Runner.run ~graph ~crashes ~propose_value:Scenario.default_propose ()
+        in
+        let report = Checker.check ~value_equal:String.equal outcome in
+        Table.add_row table
+          [
+            Table.cell "%d" k;
+            Table.cell "%d" (Node_set.cardinal (Graph.border graph region));
+            Table.cell "%d" (Runner.max_round outcome);
+            Table.cell "%d" (Cliffedge_net.Stats.sent outcome.stats);
+            Table.cell "%d" (Cliffedge_net.Stats.units_sent outcome.stats);
+            Table.cell "%.0f" outcome.duration;
+            Table.cell "%b" (Checker.ok report);
+          ])
+      sizes;
+    Table.print table;
+    0
+  in
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list int) [ 1; 2; 4; 8 ]
+      & info [ "sizes" ] ~docv:"K1,K2,..." ~doc:"Region sizes to sweep.")
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Sweep the crashed-region size and tabulate costs.")
+    Term.(const action $ topology_arg $ seed_arg $ sizes_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                 *)
+
+let dot_cmd =
+  let action spec seed region_size =
+    let graph, _, region = build_workload ~spec ~seed ~region_size ~cascade:0 in
+    let style =
+      { Dot.default_style with crashed = region; border = Graph.border graph region }
+    in
+    print_string (Dot.to_string ~style graph);
+    0
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz source with the fault pattern highlighted.")
+    Term.(const action $ topology_arg $ seed_arg $ region_size_arg)
+
+(* ------------------------------------------------------------------ *)
+(* mcheck                                                              *)
+
+let mcheck_cmd =
+  let action spec crash_ids raw_fd early max_states =
+    let rng = Prng.create 0 in
+    let graph = Topology.build rng spec in
+    let crashes = List.map Node_id.of_int crash_ids in
+    List.iter
+      (fun p ->
+        if not (Graph.mem_node p graph) then begin
+          Format.eprintf "node %a is not in the topology@." Node_id.pp p;
+          exit 2
+        end)
+      crashes;
+    let fd = if raw_fd then `Raw else `Channel_consistent in
+    let stats =
+      Cliffedge_mcheck.Explorer.explore ~fd ~max_states ~early_stopping:early ~graph
+        ~crashes ()
+    in
+    Format.printf "%a@." Cliffedge_mcheck.Explorer.pp_stats stats;
+    if Cliffedge_mcheck.Explorer.ok stats then 0 else 1
+  in
+  let crashes_arg =
+    Arg.(
+      required
+      & opt (some (list int)) None
+      & info [ "crash" ] ~docv:"N1,N2,..."
+          ~doc:"Nodes to crash, injected in this order.")
+  in
+  let max_states_arg =
+    Arg.(
+      value
+      & opt int 1_000_000
+      & info [ "max-states" ] ~docv:"N" ~doc:"State-space exploration bound.")
+  in
+  Cmd.v
+    (Cmd.info "mcheck"
+       ~doc:
+         "Exhaustively model-check CD1-CD7 over every schedule of a small \
+          configuration.")
+    Term.(
+      const action $ topology_arg $ crashes_arg $ raw_fd_arg $ early_arg
+      $ max_states_arg)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "cliff-edge consensus: convergent detection of crashed regions" in
+  let info = Cmd.info "cliffedge_cli" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ run_cmd; paper_cmd; sweep_cmd; dot_cmd; mcheck_cmd ]))

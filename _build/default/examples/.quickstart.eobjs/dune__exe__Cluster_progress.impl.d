@@ -1,0 +1,1 @@
+examples/cluster_progress.ml: Cliffedge Cliffedge_graph Format List Node_id Node_set

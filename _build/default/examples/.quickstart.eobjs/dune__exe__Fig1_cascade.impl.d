@@ -1,0 +1,1 @@
+examples/fig1_cascade.ml: Cliffedge Cliffedge_graph Cliffedge_net Format List Node_set

@@ -1,0 +1,1 @@
+examples/overlay_repair.ml: Cliffedge Cliffedge_graph Cliffedge_repair Format Graph List Node_set Topology

@@ -1,0 +1,1 @@
+examples/predicate_regions.ml: Cliffedge Cliffedge_graph Format List Node_id Node_set Topology

@@ -1,0 +1,1 @@
+examples/process_pair.ml: Bytes Cliffedge Cliffedge_codec Cliffedge_graph Format List Node_id Node_set Option String Topology Unix

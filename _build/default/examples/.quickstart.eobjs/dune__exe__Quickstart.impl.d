@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cliffedge Cliffedge_graph Format List Node_set Topology

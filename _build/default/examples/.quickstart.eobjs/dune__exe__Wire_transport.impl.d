@@ -1,0 +1,1 @@
+examples/wire_transport.ml: Cliffedge Cliffedge_codec Cliffedge_graph Format Graph Hashtbl List Node_id Node_set Queue String Topology

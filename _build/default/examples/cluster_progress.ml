@@ -1,0 +1,36 @@
+(* The paper's Fig. 2: a faulty *cluster* of four adjacent faulty
+   domains.  This example shows why the progress property CD7 is
+   deliberately weak: a border node shared by two adjacent domains only
+   ever proposes the highest-ranked one, and its rejection of the
+   lower-ranked neighbour can leave that domain's other border nodes
+   undecided — yet at least one correct node of the cluster always
+   decides.
+
+   Run with: dune exec examples/cluster_progress.exe *)
+
+open Cliffedge_graph
+module P = Cliffedge.Paper_scenarios
+
+let () =
+  let scenario = P.fig2 in
+  let outcome, report = Cliffedge.Scenario.execute scenario in
+  Format.printf "%a@.@." Cliffedge.Scenario.pp_result (scenario, outcome, report);
+  if not (Cliffedge.Checker.ok report) then exit 1;
+  let deciders = Cliffedge.Runner.deciders outcome in
+  Format.printf "deciders: %a@." Node_set.pp deciders;
+  (* CD7: somebody in the cluster decided... *)
+  assert (not (Node_set.is_empty deciders));
+  (* ...and with this chain the ranking makes the *highest-ranked*
+     domain win: its border nodes decide, while border nodes stuck
+     between two domains may reject their lower-ranked side and block
+     forever (the spec permits this). *)
+  let highest = List.nth P.fig2_domains 3 in
+  List.iter
+    (fun (d : string Cliffedge.Runner.decision) ->
+      Format.printf "  decision on %a by %a@." Node_set.pp d.view Node_id.pp d.node)
+    outcome.decisions;
+  assert (
+    List.exists
+      (fun (d : string Cliffedge.Runner.decision) -> Node_set.equal d.view highest)
+      outcome.decisions);
+  Format.printf "cluster_progress: OK@."

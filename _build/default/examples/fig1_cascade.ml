@@ -1,0 +1,48 @@
+(* The paper's Fig. 1 scenarios, executable.
+
+   (a) Two disjoint regions F1 (Europe) and F2 (Pacific) crash: their
+       borders reach two independent agreements and — locality, CD3 —
+       no message ever crosses hemispheres even though the graph is
+       connected.
+
+   (b) F1 crashes, and paris crashes while its border is still agreeing
+       on F1.  The region grows into F3 = F1 ∪ {paris}; berlin joins the
+       border; ranking arbitration rejects the stale F1 views and the
+       survivors converge on F3 (CD6).
+
+   Run with: dune exec examples/fig1_cascade.exe *)
+
+open Cliffedge_graph
+module P = Cliffedge.Paper_scenarios
+
+let run_and_print scenario =
+  let outcome, report = Cliffedge.Scenario.execute scenario in
+  Format.printf "%a@.@." Cliffedge.Scenario.pp_result (scenario, outcome, report);
+  if not (Cliffedge.Checker.ok report) then exit 1;
+  outcome
+
+let () =
+  Format.printf "--- Fig. 1(a): disjoint regions ---@.";
+  let outcome = run_and_print P.fig1a in
+  (* Decided views are exactly F1 and F2. *)
+  let views = Cliffedge.Runner.decided_views outcome in
+  assert (List.exists (Node_set.equal P.f1) views);
+  assert (List.exists (Node_set.equal P.f2) views);
+  (* Locality, concretely: madrid and vancouver never exchanged a
+     message. *)
+  let madrid = P.city "madrid" and vancouver = P.city "vancouver" in
+  let stats = outcome.stats in
+  assert (Cliffedge_net.Stats.pair_count stats ~src:madrid ~dst:vancouver = 0);
+  assert (Cliffedge_net.Stats.pair_count stats ~src:vancouver ~dst:madrid = 0);
+
+  Format.printf "--- Fig. 1(b): cascade F1 -> F3 ---@.";
+  let outcome = run_and_print (P.fig1b ()) in
+  (* With paris crashing mid-agreement, every European decision converges
+     on the grown region F3 (CD6 forbids mixed F1/F3 outcomes). *)
+  let views = Cliffedge.Runner.decided_views outcome in
+  List.iter
+    (fun v ->
+      if not (Node_set.is_empty (Node_set.inter v P.f1)) then
+        assert (Node_set.equal v P.f3 || Node_set.equal v P.f1))
+    views;
+  Format.printf "fig1: OK@."

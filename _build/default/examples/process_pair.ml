@@ -1,0 +1,93 @@
+(* Two REAL processes agreeing across a kernel socket.
+
+   The smallest deployment imaginable: a path 0-1-2 where node 1 is a
+   phantom (it "crashed" before the story starts), and the two border
+   nodes run as separate OS processes — node 0 in the parent, node 2 in
+   a fork()ed child — exchanging framed, binary-encoded protocol
+   messages over a Unix socketpair.  Both decide the same value on the
+   same region, across a process boundary, through actual kernel
+   buffers.
+
+   Run with: dune exec examples/process_pair.exe *)
+
+open Cliffedge_graph
+module Protocol = Cliffedge.Protocol
+module Codec = Cliffedge_codec.Codec
+module Framing = Cliffedge_codec.Framing
+
+let graph = Topology.path 3
+
+let cfg =
+  Protocol.config ~graph
+    ~propose_value:(fun p v ->
+      Format.asprintf "plan-%a-%d" Node_id.pp p (Node_set.cardinal v))
+    ()
+
+let crashed = Node_id.of_int 1
+
+(* Runs one border node to completion over the given socket: feeds the
+   crash notification, flushes outgoing messages, then reads frames
+   until the machine decides. *)
+let run_node ~self fd =
+  let st = Protocol.init ~self in
+  let st, _ = Protocol.handle cfg st Protocol.Init in
+  let decided = ref None in
+  let send_all actions =
+    List.iter
+      (function
+        | Protocol.Send { msg; _ } ->
+            (* The peer is the only other live node: the destination is
+               implicit in the socket. *)
+            let bytes = Framing.frame (Codec.encode Codec.string_value msg) in
+            let written = Unix.write_substring fd bytes 0 (String.length bytes) in
+            assert (written = String.length bytes)
+        | Protocol.Decide { view; value } -> decided := Some (view, value)
+        | Protocol.Monitor _ | Protocol.Note _ -> ())
+      actions
+  in
+  let st, actions = Protocol.handle cfg st (Protocol.Crash crashed) in
+  send_all actions;
+  let state = ref st in
+  let frames = Framing.decoder () in
+  let buffer = Bytes.create 4096 in
+  let peer =
+    if Node_id.equal self (Node_id.of_int 0) then Node_id.of_int 2
+    else Node_id.of_int 0
+  in
+  while Option.is_none !decided do
+    let n = Unix.read fd buffer 0 (Bytes.length buffer) in
+    if n = 0 then failwith "peer closed the socket before agreement";
+    List.iter
+      (fun payload ->
+        let msg = Codec.decode Codec.string_value payload in
+        let st, actions =
+          Protocol.handle cfg !state (Protocol.Deliver { src = peer; msg })
+        in
+        state := st;
+        send_all actions)
+      (Framing.feed frames (Bytes.sub_string buffer 0 n))
+  done;
+  Option.get !decided
+
+let () =
+  let parent_fd, child_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.fork () with
+  | 0 ->
+      (* Child: node 2. *)
+      Unix.close parent_fd;
+      let view, value = run_node ~self:(Node_id.of_int 2) child_fd in
+      Format.printf "child  (n2, pid %d) decides %S on %a@." (Unix.getpid ()) value
+        Node_set.pp view;
+      Unix.close child_fd;
+      exit (if String.equal value "plan-n0-1" then 0 else 1)
+  | child_pid ->
+      Unix.close child_fd;
+      let view, value = run_node ~self:(Node_id.of_int 0) parent_fd in
+      Format.printf "parent (n0, pid %d) decides %S on %a@." (Unix.getpid ()) value
+        Node_set.pp view;
+      Unix.close parent_fd;
+      let _, status = Unix.waitpid [] child_pid in
+      assert (Node_set.equal view (Node_set.singleton crashed));
+      assert (String.equal value "plan-n0-1");
+      assert (status = Unix.WEXITED 0);
+      Format.printf "process_pair: OK (uniform agreement across processes)@."

@@ -1,0 +1,27 @@
+(* Quickstart: crash a region of a small ring and watch its border agree.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Cliffedge_graph
+
+let () =
+  (* A 12-node ring overlay. *)
+  let graph = Topology.ring 12 in
+  (* Nodes 3, 4 and 5 crash together at t=10: one crashed region whose
+     border is {2, 6}. *)
+  let region = Node_set.of_ints [ 3; 4; 5 ] in
+  let crashes = List.map (fun p -> (10.0, p)) (Node_set.elements region) in
+  let scenario =
+    Cliffedge.Scenario.make ~name:"quickstart: ring with one crashed region" ~graph
+      ~crashes ()
+  in
+  let outcome, report = Cliffedge.Scenario.execute scenario in
+  Format.printf "%a@." Cliffedge.Scenario.pp_result (scenario, outcome, report);
+  (* The two survivors bordering the region agree on its exact extent and
+     on a common decision value. *)
+  List.iter
+    (fun (d : string Cliffedge.Runner.decision) ->
+      assert (Node_set.equal d.view region))
+    outcome.decisions;
+  if Cliffedge.Checker.ok report then print_endline "quickstart: OK"
+  else exit 1

@@ -1,0 +1,1 @@
+lib/baseline/flooding.ml: Cliffedge_graph Graph Int List Map Node_id Node_map Node_set Option

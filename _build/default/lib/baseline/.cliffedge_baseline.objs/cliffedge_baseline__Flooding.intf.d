@@ -1,0 +1,1 @@
+lib/baseline/flooding.mli: Cliffedge_graph Graph Node_id Node_map Node_set

@@ -1,0 +1,1 @@
+lib/baseline/global_runner.ml: Cliffedge_detector Cliffedge_graph Cliffedge_net Cliffedge_prng Cliffedge_sim Float Flooding Graph Hashtbl List Node_id Node_set

@@ -1,0 +1,1 @@
+lib/baseline/global_runner.mli: Cliffedge_graph Cliffedge_net Graph Node_id Node_set

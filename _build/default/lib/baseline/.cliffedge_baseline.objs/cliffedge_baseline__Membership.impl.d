@@ -1,0 +1,1 @@
+lib/baseline/membership.ml: Cliffedge_graph Graph List Node_id Node_set

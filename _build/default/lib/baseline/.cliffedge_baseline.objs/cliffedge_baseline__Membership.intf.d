@@ -1,0 +1,1 @@
+lib/baseline/membership.mli: Cliffedge_graph Graph Node_id Node_set

@@ -1,0 +1,1 @@
+lib/baseline/membership_runner.mli: Cliffedge_graph Cliffedge_net Global_runner Graph Node_id Node_set

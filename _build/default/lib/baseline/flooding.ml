@@ -1,0 +1,160 @@
+open Cliffedge_graph
+module Int_map = Map.Make (Int)
+
+type msg =
+  | Flood of { round : int; vector : Node_set.t Node_map.t }
+  | Decision of Node_set.t
+
+type state = {
+  self : Node_id.t;
+  participants : Node_set.t;
+  joined : bool;
+  round : int;
+  (* Cumulative knowledge: each participant's proposal once known. *)
+  vector : Node_set.t Node_map.t;
+  (* Snapshot at the start of the current round, for the stability
+     (early-stopping) test. *)
+  round_start_vector : Node_set.t Node_map.t;
+  (* Per-round senders heard from. *)
+  heard : Node_set.t Int_map.t;
+  known_crashed : Node_set.t;
+  decided : Node_set.t option;
+}
+
+type event =
+  | Init
+  | Crash of Node_id.t
+  | Deliver of { src : Node_id.t; msg : msg }
+
+type action =
+  | Monitor of Node_set.t
+  | Send of { dst : Node_id.t; msg : msg }
+  | Decide of Node_set.t
+
+let init ~graph ~self =
+  {
+    self;
+    participants = Graph.nodes graph;
+    joined = false;
+    round = 0;
+    vector = Node_map.empty;
+    round_start_vector = Node_map.empty;
+    heard = Int_map.empty;
+    known_crashed = Node_set.empty;
+    decided = None;
+  }
+
+let decided st = st.decided
+
+let joined st = st.joined
+
+let round st = st.round
+
+let msg_units = function
+  | Flood { vector; _ } ->
+      Node_map.fold (fun _ s acc -> acc + 1 + Node_set.cardinal s) vector 4
+  | Decision s -> 4 + Node_set.cardinal s
+
+let heard_in st r =
+  Option.value ~default:Node_set.empty (Int_map.find_opt r st.heard)
+
+let broadcast st msg =
+  Node_set.fold
+    (fun dst acc ->
+      if Node_id.equal dst st.self then acc else Send { dst; msg } :: acc)
+    st.participants []
+  |> List.rev
+
+let vectors_equal a b = Node_map.equal Node_set.equal a b
+
+let union_of vector =
+  Node_map.fold (fun _ s acc -> Node_set.union s acc) vector Node_set.empty
+
+(* Starts round 1: record own proposal (current crash knowledge) and
+   flood the singleton vector. *)
+let join st =
+  let st =
+    {
+      st with
+      joined = true;
+      round = 1;
+      vector = Node_map.add st.self st.known_crashed st.vector;
+      round_start_vector = Node_map.empty;
+      heard = Int_map.add 1 (Node_set.singleton st.self) (st.heard : Node_set.t Int_map.t);
+    }
+  in
+  (st, broadcast st (Flood { round = 1; vector = st.vector }))
+
+let decide st =
+  let union = union_of st.vector in
+  let st = { st with decided = Some union } in
+  (st, broadcast st (Decision union) @ [ Decide union ])
+
+(* A round completes when every participant either sent this round's
+   message or is known crashed. *)
+let rec try_complete_round st =
+  if (not st.joined) || Option.is_some st.decided then (st, [])
+  else
+    let awaited =
+      Node_set.diff
+        (Node_set.diff st.participants (heard_in st st.round))
+        st.known_crashed
+    in
+    if not (Node_set.is_empty awaited) then (st, [])
+    else
+      let stable = st.round >= 2 && vectors_equal st.round_start_vector st.vector in
+      let last_round = st.round >= Node_set.cardinal st.participants - 1 in
+      if stable || last_round then decide st
+      else begin
+        let next = st.round + 1 in
+        let st =
+          {
+            st with
+            round = next;
+            round_start_vector = st.vector;
+            heard = Int_map.add next (Node_set.add st.self (heard_in st next)) st.heard;
+          }
+        in
+        let sends = broadcast st (Flood { round = next; vector = st.vector }) in
+        (* All peers may already be crashed; re-check completion. *)
+        let st, more = try_complete_round st in
+        (st, sends @ more)
+      end
+
+let handle st event =
+  match event with
+  | Init ->
+      (* Global monitoring: the baseline needs to know about every crash
+         in the system — exactly the global knowledge the paper's
+         protocol avoids. *)
+      (st, [ Monitor (Node_set.remove st.self st.participants) ])
+  | Crash q ->
+      let st = { st with known_crashed = Node_set.add q st.known_crashed } in
+      if Option.is_some st.decided then (st, [])
+      else if st.joined then try_complete_round st
+      else
+        let st, sends = join st in
+        let st, more = try_complete_round st in
+        (st, sends @ more)
+  | Deliver { src = _; msg = Decision value } ->
+      if Option.is_some st.decided then (st, [])
+      else ({ st with decided = Some value }, [ Decide value ])
+  | Deliver { src; msg = Flood { round; vector } } ->
+      if Option.is_some st.decided then (st, [])
+      else begin
+        let st, join_sends = if st.joined then (st, []) else join st in
+        let merged =
+          Node_map.union
+            (fun _ mine theirs -> Some (Node_set.union mine theirs))
+            st.vector vector
+        in
+        let st =
+          {
+            st with
+            vector = merged;
+            heard = Int_map.add round (Node_set.add src (heard_in st round)) st.heard;
+          }
+        in
+        let st, more = try_complete_round st in
+        (st, join_sends @ more)
+      end

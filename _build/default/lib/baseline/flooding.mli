@@ -1,0 +1,54 @@
+(** Whole-system flooding uniform consensus — the non-local baseline.
+
+    §2.1 of the paper dismisses "traditional consensus approaches that
+    would involve the entire network in a protocol run"; this module
+    implements that traditional approach so the locality claim can be
+    measured instead of assumed.  It is the classic flooding uniform
+    consensus with a perfect failure detector (Chandra & Toueg;
+    Guerraoui & Rodrigues, both cited by the paper): {e every} node of
+    the system participates, monitors {e every} other node, and floods
+    its cumulative knowledge vector each round.  A node decides once its
+    vector is stable across a completed round (early stopping — the
+    cheapest correct variant, still Θ(N²) messages per round) and then
+    broadcasts a closing decision so laggards terminate too; the round
+    count is capped at [N - 1] as in the textbook algorithm.
+
+    Proposals are the proposers' locally-detected crashed sets; the
+    decision is the union over the final vector, from which the crashed
+    regions can be read off as connected components.  The machine is
+    pure, like {!Cliffedge.Protocol}. *)
+
+open Cliffedge_graph
+
+type msg =
+  | Flood of { round : int; vector : Node_set.t Node_map.t }
+  | Decision of Node_set.t
+
+type state
+
+type event =
+  | Init
+  | Crash of Node_id.t
+  | Deliver of { src : Node_id.t; msg : msg }
+
+type action =
+  | Monitor of Node_set.t
+  | Send of { dst : Node_id.t; msg : msg }
+  | Decide of Node_set.t  (** agreed global crashed set *)
+
+val init : graph:Graph.t -> self:Node_id.t -> state
+(** All of [graph]'s nodes are participants. *)
+
+val handle : state -> event -> state * action list
+
+val decided : state -> Node_set.t option
+
+val joined : state -> bool
+(** Whether the node has started participating (first crash heard or
+    first message received). *)
+
+val round : state -> int
+
+val msg_units : msg -> int
+(** Abstract wire size, comparable with {!Cliffedge.Message.units}: a
+    header plus one unit per vector entry node. *)

@@ -1,0 +1,41 @@
+(** Runs the flooding baseline over the simulated substrates.
+
+    Mirrors {!Cliffedge.Runner} so that the two protocols are measured
+    under identical conditions: same engine, same latency models, same
+    fault schedules, same message accounting. *)
+
+open Cliffedge_graph
+
+type decision = { node : Node_id.t; value : Node_set.t; time : float }
+
+type options = {
+  seed : int;
+  message_latency : Cliffedge_net.Latency.t;
+  detection_latency : Cliffedge_net.Latency.t;
+  max_events : int;
+}
+
+val default_options : options
+
+type outcome = {
+  graph : Graph.t;
+  decisions : decision list;
+  stats : Cliffedge_net.Stats.t;
+  crashed : Node_set.t;
+  duration : float;
+  engine_events : int;
+  quiescent : bool;
+}
+
+val run :
+  ?options:options ->
+  graph:Graph.t ->
+  crashes:(float * Node_id.t) list ->
+  unit ->
+  outcome
+
+val agreement_ok : outcome -> bool
+(** All decisions carry the same value (the baseline's uniform
+    agreement). *)
+
+val deciders : outcome -> Node_set.t

@@ -1,0 +1,57 @@
+open Cliffedge_graph
+
+type state = {
+  self : Node_id.t;
+  view : Node_set.t;
+  installs : int;
+  known_crashed : Node_set.t;
+}
+
+type event =
+  | Init
+  | Crash of Node_id.t
+  | Deliver of { src : Node_id.t; view : Node_set.t }
+
+type action =
+  | Monitor of Node_set.t
+  | Send of { dst : Node_id.t; view : Node_set.t }
+  | Install of Node_set.t
+
+let init ~graph ~self =
+  { self; view = Graph.nodes graph; installs = 1; known_crashed = Node_set.empty }
+
+let current_view st = st.view
+
+let installs st = st.installs
+
+let gossip st =
+  Node_set.fold
+    (fun dst acc ->
+      if Node_id.equal dst st.self then acc else Send { dst; view = st.view } :: acc)
+    st.view []
+  |> List.rev
+
+(* Installs [view] if it differs from the current one, gossiping the
+   change to the new view's members. *)
+let install st view =
+  if Node_set.equal view st.view then (st, [])
+  else
+    let st = { st with view; installs = st.installs + 1 } in
+    (st, Install view :: gossip st)
+
+let handle st event =
+  match event with
+  | Init ->
+      (* Like the flooding baseline, membership monitors everybody:
+         global knowledge again. *)
+      (st, [ Monitor (Node_set.remove st.self st.view) ])
+  | Crash q ->
+      let st = { st with known_crashed = Node_set.add q st.known_crashed } in
+      install st (Node_set.remove q st.view)
+  | Deliver { src = _; view } ->
+      (* Crash-only setting: views only ever shrink, so convergence is
+         by intersection (minus everything locally known crashed). *)
+      let merged =
+        Node_set.diff (Node_set.inter st.view view) st.known_crashed
+      in
+      install st merged

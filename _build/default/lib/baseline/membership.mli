@@ -1,0 +1,42 @@
+(** Group-membership comparison service (paper §4, related work).
+
+    The paper positions cliff-edge consensus against partitionable group
+    membership (PGM): where PGM services let installed views {e
+    eventually} converge — installing any number of transient views
+    along the way — cliff-edge consensus decides {e once} per region and
+    must detect convergence itself (CD1 vs eventual convergence).
+
+    This module implements the membership side of that comparison, in a
+    deliberately minimal crash-only form: every node maintains an
+    installed view (the set of members it believes alive), removes
+    members on crash notification, gossips its view to surviving
+    members, intersects incoming views, and installs a new view on every
+    change.  With a perfect failure detector all views converge to the
+    correct membership; the interesting output is {e how many} views a
+    node installs before stabilizing — the transient-view churn the
+    paper's CD1 rules out — and what the gossip costs.
+
+    The machine is pure, like the others. *)
+
+open Cliffedge_graph
+
+type state
+
+type event =
+  | Init
+  | Crash of Node_id.t
+  | Deliver of { src : Node_id.t; view : Node_set.t }
+
+type action =
+  | Monitor of Node_set.t
+  | Send of { dst : Node_id.t; view : Node_set.t }
+  | Install of Node_set.t  (** a new view became current *)
+
+val init : graph:Graph.t -> self:Node_id.t -> state
+
+val handle : state -> event -> state * action list
+
+val current_view : state -> Node_set.t
+
+val installs : state -> int
+(** Number of views installed so far (the initial view counts as 1). *)

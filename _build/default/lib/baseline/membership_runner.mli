@@ -1,0 +1,31 @@
+(** Runs the membership comparison service over the simulated
+    substrates, mirroring {!Global_runner}. *)
+
+open Cliffedge_graph
+
+type options = Global_runner.options
+
+type outcome = {
+  graph : Graph.t;
+  stats : Cliffedge_net.Stats.t;
+  crashed : Node_set.t;
+  duration : float;
+  quiescent : bool;
+  installs : (Node_id.t * int) list;  (** views installed per surviving node *)
+  final_views : (Node_id.t * Node_set.t) list;
+}
+
+val run :
+  ?options:options ->
+  graph:Graph.t ->
+  crashes:(float * Node_id.t) list ->
+  unit ->
+  outcome
+
+val converged : outcome -> bool
+(** All surviving nodes ended with the same (correct) view. *)
+
+val total_installs : outcome -> int
+(** Sum of installations beyond the initial view, over survivors — the
+    transient-view churn compared against cliff-edge's one decision per
+    border node in experiment X11. *)

@@ -1,0 +1,1 @@
+lib/codec/codec.ml: Cliffedge Cliffedge_graph List Node_id Node_map Node_set Printf Wire

@@ -1,0 +1,1 @@
+lib/codec/framing.ml: Char List Printf String Wire

@@ -1,0 +1,1 @@
+lib/codec/wire.ml: Buffer Char List Printf String

@@ -1,0 +1,1 @@
+lib/core/checker.ml: Cliffedge_graph Cliffedge_net Fault_geometry Format Graph List Node_id Node_map Node_set Runner View

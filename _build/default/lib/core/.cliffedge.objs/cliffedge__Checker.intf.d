@@ -1,0 +1,1 @@
+lib/core/checker.mli: Cliffedge_graph Fault_geometry Format Node_set Runner

@@ -1,0 +1,1 @@
+lib/core/message.ml: Cliffedge_graph Format Node_set Opinion View

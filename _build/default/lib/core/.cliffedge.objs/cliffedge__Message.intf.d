@@ -1,0 +1,1 @@
+lib/core/message.mli: Cliffedge_graph Format Node_set Opinion View

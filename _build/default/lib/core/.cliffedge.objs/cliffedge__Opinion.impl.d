@@ -1,0 +1,1 @@
+lib/core/opinion.ml: Cliffedge_graph Format List Node_map Node_set Option

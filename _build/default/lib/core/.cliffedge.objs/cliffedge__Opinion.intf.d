@@ -1,0 +1,1 @@
+lib/core/opinion.mli: Cliffedge_graph Format Node_id Node_map Node_set

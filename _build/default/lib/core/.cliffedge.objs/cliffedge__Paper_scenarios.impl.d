@@ -1,0 +1,1 @@
+lib/core/paper_scenarios.ml: Cliffedge_graph Graph List Node_id Node_set Scenario String Topology

@@ -1,0 +1,1 @@
+lib/core/paper_scenarios.mli: Cliffedge_graph Graph Node_id Node_set Scenario

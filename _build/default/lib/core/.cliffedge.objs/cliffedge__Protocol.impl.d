@@ -1,0 +1,1 @@
+lib/core/protocol.ml: Buffer Cliffedge_graph Format Graph Int List Map Message Node_id Node_map Node_set Opinion Option Printf Ranking String View

@@ -1,0 +1,1 @@
+lib/core/protocol.mli: Cliffedge_graph Format Graph Message Node_id Node_set View

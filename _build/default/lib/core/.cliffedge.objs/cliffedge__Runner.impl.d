@@ -1,0 +1,1 @@
+lib/core/runner.ml: Cliffedge_detector Cliffedge_graph Cliffedge_net Cliffedge_prng Cliffedge_sim Float Format Graph Hashtbl List Logs Message Node_id Node_set Protocol View

@@ -1,0 +1,1 @@
+lib/core/runner.mli: Cliffedge_graph Cliffedge_net Format Graph Logs Node_id Node_set Protocol View

@@ -1,0 +1,1 @@
+lib/core/scenario.ml: Checker Cliffedge_graph Cliffedge_net Format Graph List Node_id Node_set Runner String

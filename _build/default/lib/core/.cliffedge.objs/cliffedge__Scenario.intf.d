@@ -1,0 +1,1 @@
+lib/core/scenario.mli: Checker Cliffedge_graph Format Graph Node_id Runner View

@@ -1,0 +1,1 @@
+lib/core/stable_predicate.ml: Checker Cliffedge_graph Format List Node_id Node_set Runner String

@@ -1,0 +1,1 @@
+lib/core/stable_predicate.mli: Checker Cliffedge_graph Format Graph Node_id Node_set Runner View

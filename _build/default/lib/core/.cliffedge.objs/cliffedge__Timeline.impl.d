@@ -1,0 +1,1 @@
+lib/core/timeline.ml: Cliffedge_graph Float Format List Node_id Node_set Protocol Runner View

@@ -1,0 +1,1 @@
+lib/core/timeline.mli: Cliffedge_graph Format Node_id Runner View

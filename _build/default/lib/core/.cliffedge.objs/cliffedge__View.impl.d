@@ -1,0 +1,1 @@
+lib/core/view.ml: Cliffedge_graph Map Node_set Set

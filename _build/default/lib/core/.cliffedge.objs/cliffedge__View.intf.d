@@ -1,0 +1,1 @@
+lib/core/view.mli: Cliffedge_graph Format Map Node_set Set

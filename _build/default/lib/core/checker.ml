@@ -1,0 +1,238 @@
+open Cliffedge_graph
+
+type property =
+  | CD1_integrity
+  | CD2_view_accuracy
+  | CD3_locality
+  | CD4_border_termination
+  | CD5_uniform_border_agreement
+  | CD6_view_convergence
+  | CD7_progress
+
+let property_name = function
+  | CD1_integrity -> "CD1 (integrity)"
+  | CD2_view_accuracy -> "CD2 (view accuracy)"
+  | CD3_locality -> "CD3 (locality)"
+  | CD4_border_termination -> "CD4 (border termination)"
+  | CD5_uniform_border_agreement -> "CD5 (uniform border agreement)"
+  | CD6_view_convergence -> "CD6 (view convergence)"
+  | CD7_progress -> "CD7 (progress)"
+
+type violation = { property : property; description : string }
+
+type report = {
+  violations : violation list;
+  geometry : Fault_geometry.t;
+  correct : Node_set.t;
+  decisions_checked : int;
+  pairs_checked : int;
+}
+
+let ok report = report.violations = []
+
+let violate property fmt =
+  Format.kasprintf (fun description -> { property; description }) fmt
+
+(* Earliest injected crash time per node. *)
+let crash_times crashes =
+  List.fold_left
+    (fun acc (time, p) ->
+      match Node_map.find_opt p acc with
+      | Some earlier when earlier <= time -> acc
+      | _ -> Node_map.add p time acc)
+    Node_map.empty crashes
+
+let check_cd1 (decisions : 'v Runner.decision list) =
+  (* The state machine decides at most once; defend against regressions
+     by checking the trace anyway. *)
+  let rec scan acc seen = function
+    | [] -> acc
+    | (d : 'v Runner.decision) :: rest ->
+        let key = d.node in
+        let acc =
+          if Node_set.mem key seen then
+            violate CD1_integrity "node %a decided more than once" Node_id.pp d.node
+            :: acc
+          else acc
+        in
+        scan acc (Node_set.add key seen) rest
+  in
+  scan [] Node_set.empty decisions
+
+let check_cd2 graph crash_time (decisions : 'v Runner.decision list) =
+  List.concat_map
+    (fun (d : 'v Runner.decision) ->
+      let connected =
+        if Graph.is_region graph d.view then []
+        else
+          [
+            violate CD2_view_accuracy "decided view %a is not a region" View.pp d.view;
+          ]
+      in
+      let all_crashed =
+        Node_set.fold
+          (fun p acc ->
+            match Node_map.find_opt p crash_time with
+            | Some t when t <= d.time -> acc
+            | _ ->
+                violate CD2_view_accuracy
+                  "node %a in view decided by %a at t=%.1f had not crashed" Node_id.pp
+                  p Node_id.pp d.node d.time
+                :: acc)
+          d.view []
+      in
+      let borders =
+        if Node_set.mem d.node (Graph.border graph d.view) then []
+        else
+          [
+            violate CD2_view_accuracy "decider %a is not on border of %a" Node_id.pp
+              d.node View.pp d.view;
+          ]
+      in
+      connected @ all_crashed @ borders)
+    decisions
+
+let check_cd3 geometry stats =
+  let envelopes = Fault_geometry.communication_envelope geometry in
+  let pairs = Cliffedge_net.Stats.pairs stats in
+  let violations =
+    List.filter_map
+      (fun (src, dst) ->
+        let covered =
+          List.exists
+            (fun env -> Node_set.mem src env && Node_set.mem dst env)
+            envelopes
+        in
+        if covered then None
+        else
+          Some
+            (violate CD3_locality
+               "message %a -> %a outside every faulty domain's envelope" Node_id.pp
+               src Node_id.pp dst))
+      pairs
+  in
+  (violations, List.length pairs)
+
+let decisions_by_node decisions =
+  List.fold_left
+    (fun acc (d : 'v Runner.decision) -> Node_map.add d.node d acc)
+    Node_map.empty decisions
+
+let check_cd4 graph correct ~quiescent by_node (decisions : 'v Runner.decision list) =
+  if not quiescent then
+    [
+      violate CD4_border_termination
+        "run not quiescent (event cap hit): border termination unverifiable";
+    ]
+  else
+    List.concat_map
+      (fun (d : 'v Runner.decision) ->
+        Node_set.fold
+          (fun q acc ->
+            if Node_set.mem q correct && not (Node_map.mem q by_node) then
+              violate CD4_border_termination
+                "correct node %a on border of decided view %a never decided"
+                Node_id.pp q View.pp d.view
+              :: acc
+            else acc)
+          (Graph.border graph d.view)
+          [])
+      decisions
+
+let check_cd5 graph value_equal by_node (decisions : 'v Runner.decision list) =
+  List.concat_map
+    (fun (d : 'v Runner.decision) ->
+      Node_set.fold
+        (fun q acc ->
+          match Node_map.find_opt q by_node with
+          | None -> acc
+          | Some (dq : 'v Runner.decision) ->
+              if Node_set.equal dq.view d.view && value_equal dq.value d.value then
+                acc
+              else
+                violate CD5_uniform_border_agreement
+                  "%a decided %a but %a on its border decided %a" Node_id.pp d.node
+                  View.pp d.view Node_id.pp q View.pp dq.view
+                :: acc)
+        (Graph.border graph d.view)
+        [])
+    decisions
+
+let check_cd6 correct (decisions : 'v Runner.decision list) =
+  let correct_decisions =
+    List.filter (fun (d : 'v Runner.decision) -> Node_set.mem d.node correct) decisions
+  in
+  let rec pairs acc = function
+    | [] -> acc
+    | (d : 'v Runner.decision) :: rest ->
+        let acc =
+          List.fold_left
+            (fun acc (e : 'v Runner.decision) ->
+              let overlap = not (Node_set.is_empty (Node_set.inter d.view e.view)) in
+              if overlap && not (Node_set.equal d.view e.view) then
+                violate CD6_view_convergence
+                  "overlapping distinct views decided: %a by %a vs %a by %a" View.pp
+                  d.view Node_id.pp d.node View.pp e.view Node_id.pp e.node
+                :: acc
+              else acc)
+            acc rest
+        in
+        pairs acc rest
+  in
+  pairs [] correct_decisions
+
+let check_cd7 geometry correct ~quiescent by_node =
+  let clusters = Fault_geometry.cluster_borders geometry in
+  if clusters = [] then []
+  else if not (quiescent : bool) then
+    [ violate CD7_progress "run not quiescent (event cap hit): progress unverifiable" ]
+  else
+    List.filter_map
+      (fun border ->
+        let has_decider =
+          Node_set.exists
+            (fun p -> Node_set.mem p correct && Node_map.mem p by_node)
+            border
+        in
+        if has_decider then None
+        else
+          Some
+            (violate CD7_progress
+               "no correct node decided in cluster bordered by %a" Node_set.pp border))
+      clusters
+
+let check ?(value_equal = ( = )) (outcome : 'v Runner.outcome) =
+  let graph = outcome.graph in
+  let geometry = Fault_geometry.compute graph ~faulty:outcome.crashed in
+  let correct = Node_set.diff (Graph.nodes graph) outcome.crashed in
+  let crash_time = crash_times outcome.crashes in
+  let by_node = decisions_by_node outcome.decisions in
+  let cd3, pairs_checked = check_cd3 geometry outcome.stats in
+  let violations =
+    check_cd1 outcome.decisions
+    @ check_cd2 graph crash_time outcome.decisions
+    @ cd3
+    @ check_cd4 graph correct ~quiescent:outcome.quiescent by_node outcome.decisions
+    @ check_cd5 graph value_equal by_node outcome.decisions
+    @ check_cd6 correct outcome.decisions
+    @ check_cd7 geometry correct ~quiescent:outcome.quiescent by_node
+  in
+  {
+    violations;
+    geometry;
+    correct;
+    decisions_checked = List.length outcome.decisions;
+    pairs_checked;
+  }
+
+let pp_report ppf report =
+  if ok report then
+    Format.fprintf ppf "all properties hold (%d decision(s), %d pair(s) checked)"
+      report.decisions_checked report.pairs_checked
+  else begin
+    Format.fprintf ppf "%d violation(s):" (List.length report.violations);
+    List.iter
+      (fun v ->
+        Format.fprintf ppf "@.  %s: %s" (property_name v.property) v.description)
+      report.violations
+  end

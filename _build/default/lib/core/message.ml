@@ -1,0 +1,33 @@
+open Cliffedge_graph
+
+type 'v t =
+  | Round of {
+      round : int;
+      view : View.t;
+      border : Node_set.t;
+      opinions : 'v Opinion.Vector.t;
+    }
+  | Outcome of {
+      view : View.t;
+      border : Node_set.t;
+      opinions : 'v Opinion.Vector.t;
+    }
+
+let view = function Round { view; _ } | Outcome { view; _ } -> view
+
+let header_units = 4
+
+let units = function
+  | Round { opinions; _ } | Outcome { opinions; _ } ->
+      header_units + Opinion.Vector.known opinions
+
+let pp pp_value ppf = function
+  | Round { round; view; border; opinions } ->
+      Format.fprintf ppf "round %d for %a (border %a): %a" round View.pp view
+        Node_set.pp border
+        (Opinion.Vector.pp pp_value)
+        opinions
+  | Outcome { view; opinions; _ } ->
+      Format.fprintf ppf "outcome for %a: %a" View.pp view
+        (Opinion.Vector.pp pp_value)
+        opinions

@@ -1,0 +1,31 @@
+(** Protocol messages.
+
+    The paper's Algorithm 1 exchanges a single message shape,
+    [\[r, V, B, op\]] — a round number, the proposed view, its border and
+    an opinion vector ({!Round}).  The optional early-termination mode
+    (footnote 6 of the paper, made crash-safe — see DESIGN.md §5) adds a
+    closing {!Outcome} message carrying a final full vector. *)
+
+open Cliffedge_graph
+
+type 'v t =
+  | Round of {
+      round : int;  (** 1-based round number [r] *)
+      view : View.t;  (** proposed view [V] *)
+      border : Node_set.t;  (** participant set [B = border(V)] *)
+      opinions : 'v Opinion.Vector.t;  (** opinion vector [op] *)
+    }
+  | Outcome of {
+      view : View.t;
+      border : Node_set.t;
+      opinions : 'v Opinion.Vector.t;  (** full final vector *)
+    }
+
+val view : 'v t -> View.t
+(** The view a message pertains to. *)
+
+val units : 'v t -> int
+(** Abstract wire size: header plus one unit per known opinion.  Drives
+    the cost accounting of the locality experiments. *)
+
+val pp : (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v t -> unit

@@ -1,0 +1,46 @@
+open Cliffedge_graph
+
+type 'v t =
+  | Accept of 'v
+  | Reject
+
+let equal eq_value a b =
+  match (a, b) with
+  | Accept va, Accept vb -> eq_value va vb
+  | Reject, Reject -> true
+  | Accept _, Reject | Reject, Accept _ -> false
+
+let pp pp_value ppf = function
+  | Accept v -> Format.fprintf ppf "accept(%a)" pp_value v
+  | Reject -> Format.fprintf ppf "reject"
+
+module Vector = struct
+  type nonrec 'v t = 'v t Node_map.t
+
+  let empty = Node_map.empty
+
+  let singleton = Node_map.singleton
+
+  let get t p = Node_map.find_opt p t
+
+  let merge t ~incoming = Node_map.union (fun _ existing _ -> Some existing) t incoming
+
+  let rejectors t =
+    Node_map.fold
+      (fun p op acc -> match op with Reject -> Node_set.add p acc | Accept _ -> acc)
+      t Node_set.empty
+
+  let is_full ~border t = Node_set.for_all (fun p -> Node_map.mem p t) border
+
+  let accepts ~border t =
+    let collect p acc =
+      match (acc, Node_map.find_opt p t) with
+      | None, _ | _, (None | Some Reject) -> None
+      | Some assocs, Some (Accept v) -> Some ((p, v) :: assocs)
+    in
+    Option.map List.rev (Node_set.fold collect border (Some []))
+
+  let known t = Node_map.cardinal t
+
+  let pp pp_value ppf t = Node_map.pp (pp pp_value) ppf t
+end

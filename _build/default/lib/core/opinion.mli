@@ -1,0 +1,54 @@
+(** Opinions and opinion vectors (Algorithm 1).
+
+    Each border node of a proposed view holds an opinion: it {e accepts}
+    the view with a proposal value, or {e rejects} it in favour of a
+    higher-ranked view.  The paper's [⊥] ("no opinion known yet") is
+    represented sparsely: a vector is a map from node to opinion and an
+    absent binding is [⊥].  Merging (line 24 of Algorithm 1) only fills
+    [⊥] slots — an opinion, once known, is immutable, which Lemma 1 and
+    Lemma 3 of the paper rely on. *)
+
+open Cliffedge_graph
+
+type 'v t =
+  | Accept of 'v  (** the paper's [(accept, v)] *)
+  | Reject
+
+val equal : ('v -> 'v -> bool) -> 'v t -> 'v t -> bool
+
+val pp : (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v t -> unit
+
+(** Sparse opinion vectors: absent = [⊥]. *)
+module Vector : sig
+  type 'v opinion := 'v t
+
+  type 'v t = 'v opinion Node_map.t
+
+  val empty : 'v t
+
+  val singleton : Node_id.t -> 'v opinion -> 'v t
+
+  val get : 'v t -> Node_id.t -> 'v opinion option
+  (** [None] is the paper's [⊥]. *)
+
+  val merge : 'v t -> incoming:'v t -> 'v t
+  (** Fills [⊥] slots of the first vector from [incoming]; existing
+      bindings win (line 24 only updates [⊥] values). *)
+
+  val rejectors : 'v t -> Node_set.t
+  (** Nodes whose entry is [Reject]. *)
+
+  val is_full : border:Node_set.t -> 'v t -> bool
+  (** No [⊥] left: every border node has a known opinion. *)
+
+  val accepts : border:Node_set.t -> 'v t -> (Node_id.t * 'v) list option
+  (** [Some assocs] when the vector is full and unanimous accepts, with
+      the accepted values in increasing node order; [None] otherwise
+      (line 34). *)
+
+  val known : 'v t -> int
+  (** Number of non-[⊥] entries, the wire-size proxy for accounting. *)
+
+  val pp :
+    (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v t -> unit
+end

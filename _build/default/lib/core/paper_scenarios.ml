@@ -1,0 +1,112 @@
+open Cliffedge_graph
+
+(* The world-cities graph of Fig. 1.  F1 = {relay_eu_1, relay_eu_2} sits
+   between the European cities; F2 = {relay_pa_1..3} between the Pacific
+   ones.  Edges between correct cities connect the hemispheres without
+   touching any crashed region, so locality is observable: madrid and
+   vancouver share no faulty neighbourhood and must never exchange a
+   message. *)
+
+let cities =
+  [
+    (0, "paris");
+    (1, "london");
+    (2, "madrid");
+    (3, "roma");
+    (4, "berlin");
+    (5, "relay_eu_1");
+    (6, "relay_eu_2");
+    (7, "tokyo");
+    (8, "vancouver");
+    (9, "portland");
+    (10, "sydney");
+    (11, "beijing");
+    (12, "relay_pa_1");
+    (13, "relay_pa_2");
+    (14, "relay_pa_3");
+  ]
+
+let edges =
+  [
+    (* F1 and its border: border(F1) = {paris, london, madrid, roma} *)
+    (5, 6);
+    (0, 5);
+    (1, 5);
+    (2, 6);
+    (3, 6);
+    (* berlin joins the border only once paris crashes (Fig. 1(b)) *)
+    (0, 4);
+    (1, 4);
+    (0, 1);
+    (2, 3);
+    (* F2 and its border: border(F2) = {tokyo, vancouver, portland,
+       sydney, beijing} *)
+    (12, 13);
+    (13, 14);
+    (7, 12);
+    (8, 12);
+    (9, 13);
+    (10, 14);
+    (11, 14);
+    (* correct-only long-haul links keeping the graph connected *)
+    (4, 7);
+    (3, 10);
+    (8, 9);
+    (7, 11);
+  ]
+
+let fig1_world =
+  let graph = Graph.of_edges edges in
+  let names =
+    Node_id.Names.of_list
+      (List.map (fun (i, name) -> (Node_id.of_int i, name)) cities)
+  in
+  (graph, names)
+
+let city name =
+  match List.find_opt (fun (_, n) -> String.equal n name) cities with
+  | Some (i, _) -> Node_id.of_int i
+  | None -> raise Not_found
+
+let f1 = Node_set.of_ints [ 5; 6 ]
+
+let f2 = Node_set.of_ints [ 12; 13; 14 ]
+
+let f3 = Node_set.add (city "paris") f1
+
+let crash_all ~at region =
+  List.map (fun p -> (at, p)) (Node_set.elements region)
+
+let fig1a =
+  let graph, names = fig1_world in
+  Scenario.make ~names ~name:"fig1a: disjoint regions F1 and F2" ~graph
+    ~crashes:(crash_all ~at:10.0 f1 @ crash_all ~at:12.0 f2)
+    ()
+
+let fig1b ?(paris_crash_time = 15.0) () =
+  let graph, names = fig1_world in
+  Scenario.make ~names ~name:"fig1b: cascade F1 -> F3 (paris crashes mid-agreement)"
+    ~graph
+    ~crashes:(crash_all ~at:10.0 f1 @ [ (paris_crash_time, city "paris") ])
+    ()
+
+(* Fig. 2-style chain: four 2-node faulty domains along a path graph,
+   consecutive domains sharing a correct border node, hence one faulty
+   cluster.  Node ids: 0 |1 2| 3 |4 5| 6 |7 8| 9 |10 11| 12. *)
+
+let fig2_domains =
+  [
+    Node_set.of_ints [ 1; 2 ];
+    Node_set.of_ints [ 4; 5 ];
+    Node_set.of_ints [ 7; 8 ];
+    Node_set.of_ints [ 10; 11 ];
+  ]
+
+let fig2 =
+  let graph = Topology.path 13 in
+  Scenario.make ~name:"fig2: cluster of four adjacent faulty domains" ~graph
+    ~crashes:
+      (List.concat_map (fun d -> crash_all ~at:10.0 d) fig2_domains)
+    ()
+
+let all () = [ fig1a; fig1b (); fig2 ]

@@ -1,0 +1,55 @@
+(** Executable versions of the paper's illustrative figures.
+
+    The paper contains no quantitative evaluation; its three figures are
+    worked examples.  This module encodes each as a concrete scenario so
+    that tests, examples and the experiment harness share one source of
+    truth.
+
+    - {!fig1_world}: the world-cities graph of Fig. 1 with two crashed
+      regions F1 (bordered by paris, london, madrid, roma) and F2
+      (bordered by tokyo, vancouver, portland, sydney, beijing);
+    - {!fig1a}: both regions crash — two independent local agreements;
+    - {!fig1b}: F1 crashes, then paris crashes mid-agreement, growing F1
+      into F3 = F1 ∪ {paris} with berlin joining the border — the
+      conflicting-views cascade;
+    - {!fig2}: a chain of four adjacent faulty domains forming a single
+      faulty cluster, illustrating the (deliberately weak) progress
+      guarantee CD7: ranking arbitration may leave all but the
+      highest-ranked domain undecided. *)
+
+open Cliffedge_graph
+
+val fig1_world : Graph.t * Node_id.Names.t
+(** The two-hemisphere cities graph. *)
+
+val city : string -> Node_id.t
+(** Node of a named city in {!fig1_world}.
+    @raise Not_found for unknown names. *)
+
+val f1 : Node_set.t
+(** The crashed region F1 (two relay nodes between the European cities). *)
+
+val f2 : Node_set.t
+(** The crashed region F2 (three relay nodes between the Pacific
+    cities). *)
+
+val f3 : Node_set.t
+(** F3 = F1 ∪ {paris}, the grown region of Fig. 1(b). *)
+
+val fig1a : Scenario.t
+(** Fig. 1(a): F1 and F2 crash; expect one agreement per region and no
+    cross-hemisphere traffic. *)
+
+val fig1b : ?paris_crash_time:float -> unit -> Scenario.t
+(** Fig. 1(b): F1 crashes at t=10, paris at [paris_crash_time]
+    (default 15., i.e. mid-agreement). *)
+
+val fig2 : Scenario.t
+(** Fig. 2-style cluster: four two-node faulty domains along a path,
+    pairwise linked by shared border nodes. *)
+
+val fig2_domains : Node_set.t list
+(** The four injected faulty domains of {!fig2}, in rank order. *)
+
+val all : unit -> Scenario.t list
+(** Every scenario above with default parameters. *)

@@ -1,0 +1,466 @@
+open Cliffedge_graph
+module Int_map = Map.Make (Int)
+
+type 'v config = {
+  graph : Graph.t;
+  propose_value : Node_id.t -> View.t -> 'v;
+  pick : (Node_id.t * 'v) list -> 'v;
+  rank : View.t -> View.t -> int;
+  early_stopping : bool;
+}
+
+let lower cfg a b = cfg.rank a b < 0
+
+let default_pick = function
+  | [] -> invalid_arg "Protocol.default_pick: empty accept list"
+  | (_, v) :: _ -> v
+
+let config ?(early_stopping = false) ?(pick = default_pick) ?rank ~graph
+    ~propose_value () =
+  let rank = match rank with Some r -> r | None -> Ranking.compare graph in
+  { graph; propose_value; pick; rank; early_stopping }
+
+type 'v event =
+  | Init
+  | Crash of Node_id.t
+  | Deliver of { src : Node_id.t; msg : 'v Message.t }
+
+type note =
+  | Proposed of View.t
+  | Rejected_view of View.t
+  | Attempt_failed of View.t
+  | Advanced_round of { view : View.t; round : int }
+  | Early_outcome of { view : View.t; success : bool }
+
+type 'v action =
+  | Monitor of Node_set.t
+  | Send of { dst : Node_id.t; msg : 'v Message.t }
+  | Decide of { view : View.t; value : 'v }
+  | Note of note
+
+(* Bookkeeping of one superposed consensus instance (the [received],
+   [opinions] and [waiting] variables of Algorithm 1, grouped by the view
+   that indexes them). *)
+type 'v instance = {
+  border : Node_set.t;
+  total_rounds : int;
+  opinions : 'v Opinion.Vector.t Int_map.t;  (* round -> vector; absent = all ⊥ *)
+  waiting : Node_set.t Int_map.t;  (* round -> participants not yet heard from *)
+}
+
+type 'v state = {
+  self : Node_id.t;
+  decided : (View.t * 'v) option;
+  proposed : 'v option;
+  locally_crashed : Node_set.t;
+  max_view : View.t;
+  candidate_view : View.t option;
+  current_view : View.t;  (* [Vp]; persists after failed attempts (line 26) *)
+  round : int;
+  instances : 'v instance View.Map.t;  (* [received] *)
+  rejected : View.Set.t;
+}
+
+let init ~self =
+  {
+    self;
+    decided = None;
+    proposed = None;
+    locally_crashed = Node_set.empty;
+    max_view = Node_set.empty;
+    candidate_view = None;
+    current_view = Node_set.empty;
+    round = 0;
+    instances = View.Map.empty;
+    rejected = View.Set.empty;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Introspection                                                       *)
+
+let self st = st.self
+
+let decided st = st.decided
+
+let has_live_proposal st = Option.is_some st.proposed
+
+let current_view st =
+  if Node_set.is_empty st.current_view then None else Some st.current_view
+
+let current_round st = st.round
+
+let locally_crashed st = st.locally_crashed
+
+let max_view st = st.max_view
+
+let candidate_view st = st.candidate_view
+
+let known_views st = List.map fst (View.Map.bindings st.instances)
+
+let rejected_views st = View.Set.elements st.rejected
+
+let waiting_on st =
+  if Option.is_none st.proposed then None
+  else
+    match View.Map.find_opt st.current_view st.instances with
+    | None -> None
+    | Some inst ->
+        Option.map
+          (fun w -> Node_set.diff w st.locally_crashed)
+          (Int_map.find_opt st.round inst.waiting)
+
+let pp_state pp_value ppf st =
+  Format.fprintf ppf
+    "@[<v>node %a: decided=%s proposed=%s round=%d@ crashed=%a maxView=%a Vp=%a@ \
+     received=%d view(s), rejected=%d view(s)@]"
+    Node_id.pp st.self
+    (match st.decided with
+    | Some (v, d) -> Format.asprintf "(%a, %a)" View.pp v pp_value d
+    | None -> "no")
+    (match st.proposed with Some _ -> "yes" | None -> "no")
+    st.round Node_set.pp st.locally_crashed View.pp st.max_view View.pp
+    st.current_view
+    (View.Map.cardinal st.instances)
+    (View.Set.cardinal st.rejected)
+
+let fingerprint value_to_string st =
+  let buffer = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buffer) fmt in
+  let add_set s = add "{%s}" (String.concat "," (List.map string_of_int (Node_set.to_ints s))) in
+  let add_opinion = function
+    | Opinion.Accept v -> add "A(%s)" (value_to_string v)
+    | Opinion.Reject -> add "R"
+  in
+  let add_vector vec =
+    (* Map bindings are emitted in key order: canonical. *)
+    Node_map.iter
+      (fun p op ->
+        add "%d=" (Node_id.to_int p);
+        add_opinion op;
+        add ";")
+      vec
+  in
+  add "self=%d|" (Node_id.to_int st.self);
+  (match st.decided with
+  | None -> add "decided=-|"
+  | Some (v, d) ->
+      add "decided=";
+      add_set v;
+      add ":%s|" (value_to_string d));
+  (match st.proposed with
+  | None -> add "proposed=-|"
+  | Some v -> add "proposed=%s|" (value_to_string v));
+  add "crashed=";
+  add_set st.locally_crashed;
+  add "|max=";
+  add_set st.max_view;
+  add "|cand=";
+  (match st.candidate_view with None -> add "-" | Some v -> add_set v);
+  add "|vp=";
+  add_set st.current_view;
+  add "|r=%d|inst=" st.round;
+  View.Map.iter
+    (fun view inst ->
+      add "[";
+      add_set view;
+      add "~%d~" inst.total_rounds;
+      Int_map.iter
+        (fun r vec ->
+          add "o%d:" r;
+          add_vector vec)
+        inst.opinions;
+      Int_map.iter
+        (fun r waiting ->
+          add "w%d:" r;
+          add_set waiting)
+        inst.waiting;
+      add "]")
+    st.instances;
+  add "|rej=";
+  View.Set.iter (fun v -> add_set v) st.rejected;
+  Buffer.contents buffer
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+
+let fresh_instance ~border =
+  let total_rounds = max 1 (Node_set.cardinal border - 1) in
+  let waiting =
+    List.fold_left
+      (fun acc r -> Int_map.add r border acc)
+      Int_map.empty
+      (List.init total_rounds (fun i -> i + 1))
+  in
+  { border; total_rounds; opinions = Int_map.empty; waiting }
+
+let round_vector inst r =
+  Option.value ~default:Opinion.Vector.empty (Int_map.find_opt r inst.opinions)
+
+let round_waiting inst r =
+  Option.value ~default:Node_set.empty (Int_map.find_opt r inst.waiting)
+
+(* Sends to every border node except the sender; self-delivery is applied
+   synchronously by the callers. *)
+let multicast_actions ~self ~border msg =
+  Node_set.fold
+    (fun dst acc -> if Node_id.equal dst self then acc else Send { dst; msg } :: acc)
+    border []
+  |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Message delivery (lines 18-25, plus early-termination outcomes)     *)
+
+let deliver_round cfg st ~src ~round ~view ~opinions =
+  let inst =
+    match View.Map.find_opt view st.instances with
+    | Some inst -> inst
+    | None ->
+        (* Line 20-22: first message for this view.  The border is
+           recomputed from the shared knowledge graph (it always equals
+           the [B] field carried by well-formed messages). *)
+        fresh_instance ~border:(Graph.border cfg.graph view)
+  in
+  if round < 1 || round > inst.total_rounds then (st, [])
+  else begin
+    let merged =
+      Opinion.Vector.merge (round_vector inst round) ~incoming:opinions
+    in
+    let excused = Node_set.add src (Opinion.Vector.rejectors opinions) in
+    let waiting = Node_set.diff (round_waiting inst round) excused in
+    let inst =
+      {
+        inst with
+        opinions = Int_map.add round merged inst.opinions;
+        waiting = Int_map.add round waiting inst.waiting;
+      }
+    in
+    ({ st with instances = View.Map.add view inst st.instances }, [])
+  end
+
+let deliver_outcome cfg st ~view ~border ~opinions =
+  (* Close the instance: no further message for this view matters. *)
+  let st =
+    {
+      st with
+      instances = View.Map.remove view st.instances;
+      rejected = View.Set.add view st.rejected;
+    }
+  in
+  match Opinion.Vector.accepts ~border opinions with
+  | Some accepts ->
+      if Option.is_some st.decided then (st, [])
+      else
+        let value = cfg.pick accepts in
+        ({ st with decided = Some (view, value) }, [ Decide { view; value } ])
+  | None ->
+      (* A failed instance: abort the local attempt if it was this one. *)
+      if
+        Option.is_some st.proposed
+        && Option.is_none st.decided
+        && Node_set.equal st.current_view view
+      then ({ st with proposed = None }, [ Note (Attempt_failed view) ])
+      else (st, [])
+
+let deliver cfg st ~src msg =
+  let view = Message.view msg in
+  if View.Set.mem view st.rejected then (st, [])
+  else
+    match msg with
+    | Message.Round { round; view; border = _; opinions } ->
+        deliver_round cfg st ~src ~round ~view ~opinions
+    | Message.Outcome { view; border; opinions } ->
+        deliver_outcome cfg st ~view ~border ~opinions
+
+(* ------------------------------------------------------------------ *)
+(* Guard of lines 12-17: start a new consensus instance                *)
+
+let guard_new_instance cfg st =
+  match (st.proposed, st.candidate_view, st.decided) with
+  | None, Some view, None when View.Set.mem view st.rejected ->
+      (* The candidate was already closed by a failed Outcome broadcast
+         (early-stopping mode) before this node got to propose it.  In
+         the base protocol the same proposal would complete instantly
+         from the lingering stale messages and fail (the final vector
+         contains the original rejection); short-circuit to that result.
+         Rejection-closed views can never collide with the candidate:
+         they are strictly lower-ranked than the proposal that rejected
+         them, hence than any later candidate. *)
+      Some ({ st with candidate_view = None }, [ Note (Attempt_failed view) ])
+  | None, Some view, None when not (Node_set.is_empty view) ->
+      let border = Graph.border cfg.graph view in
+      (* Invariant (proof of CD2): the proposer borders its view. *)
+      assert (Node_set.mem st.self border);
+      let value = cfg.propose_value st.self view in
+      let msg =
+        Message.Round
+          {
+            round = 1;
+            view;
+            border;
+            opinions = Opinion.Vector.singleton st.self (Opinion.Accept value);
+          }
+      in
+      let st =
+        {
+          st with
+          current_view = view;
+          candidate_view = None;
+          proposed = Some value;
+          round = 1;
+        }
+      in
+      let sends = multicast_actions ~self:st.self ~border msg in
+      let st, more = deliver cfg st ~src:st.self msg in
+      Some (st, (Note (Proposed view) :: sends) @ more)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Guard of lines 26-31: reject a lower-ranked view                    *)
+
+let guard_reject cfg st =
+  if Node_set.is_empty st.current_view then None
+  else
+    let lower_views =
+      View.Map.fold
+        (fun view _ acc ->
+          if lower cfg view st.current_view then view :: acc else acc)
+        st.instances []
+    in
+    match lower_views with
+    | [] -> None
+    | _ ->
+        (* Deterministic order: reject the lowest-ranked first. *)
+        let view =
+          List.fold_left
+            (fun best v -> if lower cfg v best then v else best)
+            (List.hd lower_views) (List.tl lower_views)
+        in
+        let inst = View.Map.find view st.instances in
+        let msg =
+          Message.Round
+            {
+              round = 1;
+              view;
+              border = inst.border;
+              opinions = Opinion.Vector.singleton st.self Opinion.Reject;
+            }
+        in
+        let st =
+          {
+            st with
+            instances = View.Map.remove view st.instances;
+            rejected = View.Set.add view st.rejected;
+          }
+        in
+        (* No self-delivery: the view is now in [rejected] and line 18
+           would drop the message anyway. *)
+        Some (st, Note (Rejected_view view) :: multicast_actions ~self:st.self ~border:inst.border msg)
+
+(* ------------------------------------------------------------------ *)
+(* Guard of lines 32-40: round completion                              *)
+
+let finish_instance cfg st ~border ~vector ~early =
+  let view = st.current_view in
+  let outcome_actions success =
+    if early then
+      let msg = Message.Outcome { view; border; opinions = vector } in
+      Note (Early_outcome { view; success })
+      :: multicast_actions ~self:st.self ~border msg
+    else []
+  in
+  match Opinion.Vector.accepts ~border vector with
+  | Some accepts ->
+      (* Line 34-36: unanimous accepts — decide. *)
+      let value = cfg.pick accepts in
+      let st = { st with decided = Some (view, value) } in
+      Some (st, outcome_actions true @ [ Decide { view; value } ])
+  | None ->
+      (* Line 37: failed attempt — reset and wait for view construction
+         to produce a higher-ranked candidate. *)
+      let st = { st with proposed = None } in
+      Some (st, Note (Attempt_failed view) :: outcome_actions false)
+
+let guard_round_completion cfg st =
+  if Option.is_none st.proposed || Option.is_some st.decided then None
+  else
+    match View.Map.find_opt st.current_view st.instances with
+    | None -> None
+    | Some inst ->
+        let waiting =
+          Node_set.diff (round_waiting inst st.round) st.locally_crashed
+        in
+        if not (Node_set.is_empty waiting) then None
+        else begin
+          let vector = round_vector inst st.round in
+          let border = inst.border in
+          let full = Opinion.Vector.is_full ~border vector in
+          if st.round = inst.total_rounds then
+            finish_instance cfg st ~border ~vector ~early:false
+          else if cfg.early_stopping && full then
+            finish_instance cfg st ~border ~vector ~early:true
+          else begin
+            (* Lines 38-40: next round, relaying the merged vector. *)
+            let round = st.round + 1 in
+            let msg =
+              Message.Round { round; view = st.current_view; border; opinions = vector }
+            in
+            let st = { st with round } in
+            let sends = multicast_actions ~self:st.self ~border msg in
+            let st, more = deliver cfg st ~src:st.self msg in
+            Some
+              ( st,
+                (Note (Advanced_round { view = st.current_view; round }) :: sends)
+                @ more )
+          end
+        end
+
+(* ------------------------------------------------------------------ *)
+(* Event dispatch                                                      *)
+
+let on_init cfg st = (st, [ Monitor (Graph.neighbours cfg.graph st.self) ])
+
+(* Lines 5-11: view construction. *)
+let on_crash cfg st q =
+  if Node_set.mem q st.locally_crashed then (st, [])
+  else begin
+    let locally_crashed = Node_set.add q st.locally_crashed in
+    let to_monitor = Node_set.diff (Graph.neighbours cfg.graph q) locally_crashed in
+    let components = Graph.connected_components cfg.graph locally_crashed in
+    let best =
+      match components with
+      | [] -> invalid_arg "Protocol: no crashed component"
+      | first :: rest ->
+          List.fold_left (fun acc c -> if lower cfg acc c then c else acc) first rest
+    in
+    let st = { st with locally_crashed } in
+    let st =
+      if lower cfg st.max_view best then
+        { st with max_view = best; candidate_view = Some best }
+      else st
+    in
+    (st, [ Monitor to_monitor ])
+  end
+
+(* Re-evaluates the [upon] guards (in the paper's line order) until none
+   fires.  Termination: each firing either consumes the candidate view,
+   removes an instance from [received], advances the bounded round
+   counter, or finishes the instance. *)
+let rec stabilize cfg st acc =
+  match guard_new_instance cfg st with
+  | Some (st, acts) -> stabilize cfg st (acc @ acts)
+  | None -> (
+      match guard_reject cfg st with
+      | Some (st, acts) -> stabilize cfg st (acc @ acts)
+      | None -> (
+          match guard_round_completion cfg st with
+          | Some (st, acts) -> stabilize cfg st (acc @ acts)
+          | None -> (st, acc)))
+
+let handle cfg st event =
+  let st, acts =
+    match event with
+    | Init -> on_init cfg st
+    | Crash q -> on_crash cfg st q
+    | Deliver { src; msg } -> deliver cfg st ~src msg
+  in
+  stabilize cfg st acts

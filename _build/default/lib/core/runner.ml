@@ -1,0 +1,178 @@
+open Cliffedge_graph
+module Engine = Cliffedge_sim.Engine
+module Prng = Cliffedge_prng.Prng
+module Latency = Cliffedge_net.Latency
+module Network = Cliffedge_net.Network
+module Stats = Cliffedge_net.Stats
+module Failure_detector = Cliffedge_detector.Failure_detector
+module Substrate = Cliffedge_detector.Substrate
+
+let log_src = Logs.Src.create "cliffedge.runner" ~doc:"Cliff-edge protocol runs"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type 'v decision = {
+  node : Node_id.t;
+  view : View.t;
+  value : 'v;
+  time : float;
+}
+
+type options = {
+  seed : int;
+  message_latency : Latency.t;
+  detection_latency : Latency.t;
+  early_stopping : bool;
+  channel_consistent_fd : bool;
+  max_events : int;
+  false_suspicions : (float * Node_id.t * Node_id.t) list;
+}
+
+let default_options =
+  {
+    seed = 0;
+    message_latency = Latency.Uniform { min = 1.0; max = 10.0 };
+    detection_latency = Latency.Uniform { min = 1.0; max = 20.0 };
+    early_stopping = false;
+    channel_consistent_fd = true;
+    max_events = 50_000_000;
+    false_suspicions = [];
+  }
+
+type 'v outcome = {
+  graph : Graph.t;
+  crashes : (float * Node_id.t) list;
+  decisions : 'v decision list;
+  notes : (float * Node_id.t * Protocol.note) list;
+  stats : Stats.t;
+  crashed : Node_set.t;
+  duration : float;
+  engine_events : int;
+  quiescent : bool;
+  states : (Node_id.t * 'v Protocol.state) list;
+}
+
+let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
+  List.iter
+    (fun (_, p) ->
+      if not (Graph.mem_node p graph) then
+        invalid_arg "Runner.run: crash schedule names a node outside the graph")
+    crashes;
+  let substrate =
+    Substrate.create ~seed:options.seed ~message_latency:options.message_latency
+      ~detection_latency:options.detection_latency
+      ~channel_consistent_fd:options.channel_consistent_fd ()
+  in
+  let { Substrate.engine; network; detector } = substrate in
+  let cfg =
+    Protocol.config ~early_stopping:options.early_stopping ?rank ~graph
+      ~propose_value ()
+  in
+  let states : (int, 'v Protocol.state ref) Hashtbl.t = Hashtbl.create 64 in
+  let decisions = ref [] in
+  let notes = ref [] in
+  let state_of p = Hashtbl.find states (Node_id.to_int p) in
+  let rec execute p action =
+    match action with
+    | Protocol.Monitor targets ->
+        Failure_detector.monitor detector ~observer:p ~targets
+    | Protocol.Send { dst; msg } ->
+        Network.send network ~units:(Message.units msg) ~src:p ~dst msg
+    | Protocol.Decide { view; value } ->
+        Log.debug (fun m ->
+            m "t=%.2f %a decides on %a" (Engine.now engine) Node_id.pp p View.pp view);
+        decisions :=
+          { node = p; view; value; time = Engine.now engine } :: !decisions
+    | Protocol.Note note ->
+        Log.debug (fun m ->
+            m "t=%.2f %a %s" (Engine.now engine) Node_id.pp p
+              (match note with
+              | Protocol.Proposed v -> Format.asprintf "proposes %a" View.pp v
+              | Protocol.Rejected_view v -> Format.asprintf "rejects %a" View.pp v
+              | Protocol.Attempt_failed v ->
+                  Format.asprintf "abandons attempt on %a" View.pp v
+              | Protocol.Advanced_round { view; round } ->
+                  Format.asprintf "enters round %d of %a" round View.pp view
+              | Protocol.Early_outcome { view; success } ->
+                  Format.asprintf "broadcasts %s outcome for %a"
+                    (if success then "successful" else "failed")
+                    View.pp view));
+        notes := (Engine.now engine, p, note) :: !notes
+  and dispatch p event =
+    if not (Failure_detector.is_crashed detector p) then begin
+      let cell = state_of p in
+      let st, actions = Protocol.handle cfg !cell event in
+      cell := st;
+      List.iter (execute p) actions
+    end
+  in
+  Network.on_deliver network (fun ~src ~dst msg ->
+      dispatch dst (Protocol.Deliver { src; msg }));
+  Failure_detector.on_crash_notification detector (fun ~observer ~crashed ->
+      dispatch observer (Protocol.Crash crashed));
+  (* Bring every node up at time 0. *)
+  Node_set.iter
+    (fun p ->
+      Hashtbl.replace states (Node_id.to_int p) (ref (Protocol.init ~self:p)))
+    (Graph.nodes graph);
+  Node_set.iter (fun p -> dispatch p Protocol.Init) (Graph.nodes graph);
+  (* Inject the fault schedule and run to quiescence. *)
+  Substrate.schedule_crashes substrate crashes;
+  Substrate.run ~false_suspicions:options.false_suspicions
+    ~max_events:options.max_events substrate;
+  let states =
+    Hashtbl.fold (fun p cell acc -> (Node_id.of_int p, !cell) :: acc) states []
+    |> List.sort (fun (a, _) (b, _) -> Node_id.compare a b)
+  in
+  {
+    graph;
+    crashes;
+    decisions = List.sort (fun a b -> Float.compare a.time b.time) !decisions;
+    notes = List.rev !notes;
+    stats = Network.stats network;
+    crashed = Failure_detector.crashed_nodes detector;
+    duration = Engine.now engine;
+    engine_events = Engine.events_processed engine;
+    quiescent = Engine.pending engine = 0;
+    states;
+  }
+
+let deciders outcome =
+  List.fold_left
+    (fun acc d -> Node_set.add d.node acc)
+    Node_set.empty outcome.decisions
+
+let decided_views outcome =
+  List.fold_left
+    (fun acc d -> if List.exists (Node_set.equal d.view) acc then acc else d.view :: acc)
+    [] outcome.decisions
+  |> List.rev
+
+let restart_count outcome =
+  List.length
+    (List.filter
+       (fun (_, _, note) ->
+         match note with Protocol.Attempt_failed _ -> true | _ -> false)
+       outcome.notes)
+
+let max_round outcome =
+  List.fold_left
+    (fun acc (_, _, note) ->
+      match note with
+      | Protocol.Advanced_round { round; _ } -> max acc round
+      | Protocol.Proposed _ -> max acc 1
+      | _ -> acc)
+    0 outcome.notes
+
+let pp_outcome pp_value ppf outcome =
+  Format.fprintf ppf "@[<v>run: %d crash(es), %d decision(s), %a, t=%.1f%s@,"
+    (Node_set.cardinal outcome.crashed)
+    (List.length outcome.decisions)
+    Stats.pp outcome.stats outcome.duration
+    (if outcome.quiescent then "" else " (EVENT CAP HIT)");
+  List.iter
+    (fun d ->
+      Format.fprintf ppf "  t=%8.1f  %a decides %a on %a@," d.time Node_id.pp d.node
+        pp_value d.value View.pp d.view)
+    outcome.decisions;
+  Format.fprintf ppf "@]"

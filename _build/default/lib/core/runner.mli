@@ -1,0 +1,91 @@
+(** Executes the protocol over the simulated substrates.
+
+    The runner instantiates one protocol state machine per node of the
+    knowledge graph, wires it to the deterministic event engine, the FIFO
+    network and the perfect failure detector, injects a crash schedule,
+    and runs the system to quiescence (no pending events).  Because every
+    latency draw comes from the seeded PRNG, an outcome is a pure
+    function of [(graph, crashes, seed, options)]. *)
+
+open Cliffedge_graph
+
+val log_src : Logs.src
+(** [Logs] source ("cliffedge.runner") emitting one debug line per
+    protocol note and decision; silent unless the application installs a
+    reporter and raises the level (the CLI's [--verbose] does). *)
+
+type 'v decision = {
+  node : Node_id.t;
+  view : View.t;
+  value : 'v;
+  time : float;  (** virtual decision time *)
+}
+
+type options = {
+  seed : int;
+  message_latency : Cliffedge_net.Latency.t;
+  detection_latency : Cliffedge_net.Latency.t;
+  early_stopping : bool;
+  channel_consistent_fd : bool;
+      (** [true] (default): crash notifications never overtake the
+          crashed node's in-flight messages, the failure-detector
+          semantics the paper's Lemma 3 implicitly needs.  [false]: raw
+          detector, which can excuse a node whose accept is still in
+          flight and reproduces the CD5 anomaly of experiment X9 /
+          DESIGN.md §7. *)
+  max_events : int;  (** safety valve against runaway runs *)
+  false_suspicions : (float * Node_id.t * Node_id.t) list;
+      (** assumption ablation (X13): at each (time, observer, target),
+          deliver a false crash suspicion, breaking the detector's
+          strong accuracy.  Empty (the default) keeps the detector
+          perfect, as the paper requires. *)
+}
+
+val default_options : options
+(** seed 0, uniform 1–10 message latency, uniform 1–20 detection latency,
+    no early stopping, channel-consistent FD, 50M-event cap. *)
+
+type 'v outcome = {
+  graph : Graph.t;
+  crashes : (float * Node_id.t) list;  (** the injected schedule *)
+  decisions : 'v decision list;  (** in decision-time order *)
+  notes : (float * Node_id.t * Protocol.note) list;
+      (** instrumentation breadcrumbs, chronological *)
+  stats : Cliffedge_net.Stats.t;  (** message accounting *)
+  crashed : Node_set.t;  (** ground truth: nodes that crashed *)
+  duration : float;  (** virtual time when the run went quiescent *)
+  engine_events : int;
+  quiescent : bool;  (** [false] when the event cap interrupted the run *)
+  states : (Node_id.t * 'v Protocol.state) list;
+      (** final state of every node, crashed ones included *)
+}
+
+val run :
+  ?options:options ->
+  ?rank:(View.t -> View.t -> int) ->
+  graph:Graph.t ->
+  crashes:(float * Node_id.t) list ->
+  propose_value:(Node_id.t -> View.t -> 'v) ->
+  unit ->
+  'v outcome
+(** Runs one scenario.  [crashes] pairs a virtual crash time with the
+    node to kill; killing the same node twice is ignored.  [rank]
+    overrides the region ranking's free tiebreak (see
+    {!Protocol.config}); all nodes share it.
+    @raise Invalid_argument if a crash names a node outside the graph. *)
+
+val deciders : 'v outcome -> Node_set.t
+
+val decided_views : 'v outcome -> View.t list
+(** Distinct decided views. *)
+
+val restart_count : 'v outcome -> int
+(** Number of failed consensus attempts across all nodes
+    ({!Protocol.Attempt_failed} notes), the re-proposal metric of
+    experiment X6. *)
+
+val max_round : 'v outcome -> int
+(** Highest round reached by any instance during the run. *)
+
+val pp_outcome :
+  (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v outcome -> unit

@@ -1,0 +1,43 @@
+open Cliffedge_graph
+
+type t = {
+  name : string;
+  graph : Graph.t;
+  names : Node_id.Names.t;
+  crashes : (float * Node_id.t) list;
+  options : Runner.options;
+}
+
+let make ?(names = Node_id.Names.empty) ?(options = Runner.default_options) ~name
+    ~graph ~crashes () =
+  { name; graph; names; crashes; options }
+
+let with_seed t seed = { t with options = { t.options with seed } }
+
+let default_propose p view =
+  Format.asprintf "plan(%a,%d)" Node_id.pp p (Node_set.cardinal view)
+
+let execute_with ~propose_value ?value_equal t =
+  let outcome =
+    Runner.run ~options:t.options ~graph:t.graph ~crashes:t.crashes ~propose_value ()
+  in
+  (outcome, Checker.check ?value_equal outcome)
+
+let execute t =
+  execute_with ~propose_value:default_propose ~value_equal:String.equal t
+
+let pp_result ppf (t, (outcome : string Runner.outcome), report) =
+  let pp_node = Node_id.Names.pp t.names in
+  Format.fprintf ppf "@[<v>scenario %S (seed %d)@," t.name t.options.seed;
+  List.iter
+    (fun (time, p) -> Format.fprintf ppf "  t=%8.1f  crash %a@," time pp_node p)
+    t.crashes;
+  List.iter
+    (fun (d : string Runner.decision) ->
+      Format.fprintf ppf "  t=%8.1f  %a decides %S on %a@," d.time pp_node d.node
+        d.value
+        (Node_set.pp_named t.names)
+        d.view)
+    outcome.decisions;
+  Format.fprintf ppf "  %a@," Cliffedge_net.Stats.pp outcome.stats;
+  Format.fprintf ppf "  %a@]" Checker.pp_report report

@@ -1,0 +1,48 @@
+(** End-to-end scenario driver.
+
+    A scenario bundles a knowledge graph, optional display names, a crash
+    schedule and runner options.  Executing it runs the protocol with
+    string-valued decisions (each border node proposes a recognisable
+    repair-plan label) and verifies CD1–CD7, returning both the raw
+    outcome and the checker report. *)
+
+open Cliffedge_graph
+
+type t = {
+  name : string;
+  graph : Graph.t;
+  names : Node_id.Names.t;
+  crashes : (float * Node_id.t) list;
+  options : Runner.options;
+}
+
+val make :
+  ?names:Node_id.Names.t ->
+  ?options:Runner.options ->
+  name:string ->
+  graph:Graph.t ->
+  crashes:(float * Node_id.t) list ->
+  unit ->
+  t
+
+val with_seed : t -> int -> t
+(** Same scenario, different PRNG seed. *)
+
+val default_propose : Node_id.t -> View.t -> string
+(** ["plan(<node>,<view size>)"] — distinct per proposer, so value
+    agreement is observable. *)
+
+val execute : t -> string Runner.outcome * Checker.report
+(** Runs and checks the scenario. *)
+
+val execute_with :
+  propose_value:(Node_id.t -> View.t -> 'v) ->
+  ?value_equal:('v -> 'v -> bool) ->
+  t ->
+  'v Runner.outcome * Checker.report
+(** Generalized execution with custom decision values (e.g. repair
+    plans). *)
+
+val pp_result :
+  Format.formatter -> t * string Runner.outcome * Checker.report -> unit
+(** Human-readable narrative of a run: schedule, decisions, verdict. *)

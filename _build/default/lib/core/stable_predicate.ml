@@ -1,0 +1,55 @@
+open Cliffedge_graph
+
+type flagged_region = {
+  region : Node_set.t;
+  deciders : Node_set.t;
+  value : string;
+}
+
+type outcome = {
+  runner : string Runner.outcome;
+  report : Checker.report;
+  regions : flagged_region list;
+}
+
+let default_mitigation p view =
+  Format.asprintf "mitigate(%a,%d)" Node_id.pp p (Node_set.cardinal view)
+
+let detect ?options ?(propose_mitigation = default_mitigation) ~graph ~flags () =
+  let runner =
+    Runner.run ?options ~graph ~crashes:flags ~propose_value:propose_mitigation ()
+  in
+  let report = Checker.check ~value_equal:String.equal runner in
+  let regions =
+    List.map
+      (fun view ->
+        let decisions =
+          List.filter
+            (fun (d : string Runner.decision) -> Node_set.equal d.view view)
+            runner.decisions
+        in
+        let deciders =
+          List.fold_left
+            (fun acc (d : string Runner.decision) -> Node_set.add d.node acc)
+            Node_set.empty decisions
+        in
+        let value =
+          match decisions with
+          | d :: _ -> d.value
+          | [] -> assert false (* views come from decisions *)
+        in
+        { region = view; deciders; value })
+      (Runner.decided_views runner)
+  in
+  { runner; report; regions }
+
+let ok outcome = Checker.ok outcome.report
+
+let pp ppf outcome =
+  Format.fprintf ppf "@[<v>%d flagged region(s) agreed:@," (List.length outcome.regions);
+  List.iter
+    (fun { region; deciders; value } ->
+      Format.fprintf ppf "  region %a agreed by %a: %S@," Node_set.pp region
+        Node_set.pp deciders value)
+    outcome.regions;
+  Format.fprintf ppf "%a@]" Checker.pp_report outcome.report

@@ -1,0 +1,55 @@
+(** Stable-predicate region detection (paper §5, future work).
+
+    The paper's conclusion observes that "being crashed can also be seen
+    as a particular case of stable property" and asks how the protocol
+    could detect connected regions of nodes sharing any stable predicate
+    (a state that, once reached, never reverts — overloaded beyond a
+    hysteresis threshold, entered a quarantine mode, completed an epoch
+    migration, ...).
+
+    This module implements that generalization under the withdrawal
+    model: a node that starts satisfying the predicate {e withdraws}
+    from the agreement layer (it stops emitting or answering protocol
+    messages, exactly as a crashed node would, even though its
+    application remains up), and a {e predicate detector} with the same
+    subscription interface and strong accuracy/completeness as the
+    perfect failure detector notifies the neighbours.  Under this model,
+    Algorithm 1 and its proof apply verbatim with "crashed" read as
+    "flagged": the machinery below runs the unchanged {!Protocol} and
+    {!Checker} and re-labels the outcome.
+
+    The withdrawal model is the honest boundary of the generalization:
+    a flagged node that kept participating could shrink the apparent
+    border and break the self-constituency argument, which is exactly
+    the open problem the paper leaves for unstable properties. *)
+
+open Cliffedge_graph
+
+type flagged_region = {
+  region : Node_set.t;  (** agreed maximal flagged region *)
+  deciders : Node_set.t;  (** border nodes that decided it *)
+  value : string;  (** agreed mitigation plan *)
+}
+
+type outcome = {
+  runner : string Runner.outcome;  (** the underlying protocol run *)
+  report : Checker.report;  (** CD1–CD7, i.e. PD1–PD7 *)
+  regions : flagged_region list;
+}
+
+val detect :
+  ?options:Runner.options ->
+  ?propose_mitigation:(Node_id.t -> View.t -> string) ->
+  graph:Graph.t ->
+  flags:(float * Node_id.t) list ->
+  unit ->
+  outcome
+(** [detect ~graph ~flags ()] runs the agreement with the given
+    flagging schedule ((virtual time, node) pairs, like a crash
+    schedule).  [propose_mitigation] plays [selectValueForView]
+    (default: a descriptive label). *)
+
+val ok : outcome -> bool
+(** All seven properties hold for the run. *)
+
+val pp : Format.formatter -> outcome -> unit

@@ -1,0 +1,8 @@
+open Cliffedge_graph
+
+type t = Node_set.t
+
+let pp = Node_set.pp
+
+module Set = Set.Make (Node_set)
+module Map = Map.Make (Node_set)

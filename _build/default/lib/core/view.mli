@@ -1,0 +1,19 @@
+(** Views: candidate crashed regions.
+
+    A view is the node set a protocol participant proposes as the extent
+    of a crashed region (§2.3).  Views key the superposed consensus
+    instances, so this module provides total-ordered sets and maps of
+    views on top of {!Cliffedge_graph.Node_set}. *)
+
+open Cliffedge_graph
+
+type t = Node_set.t
+(** A view is a set of (allegedly crashed) nodes. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+(** Sets of views ([rejected] in Algorithm 1). *)
+
+module Map : Map.S with type key = t
+(** Maps keyed by views ([received], [opinions], [waiting]). *)

@@ -1,0 +1,1 @@
+lib/detector/failure_detector.ml: Cliffedge_graph Cliffedge_net Cliffedge_prng Cliffedge_sim Float Hashtbl Node_id Node_set Option

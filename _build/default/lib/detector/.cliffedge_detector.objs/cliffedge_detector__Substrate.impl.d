@@ -1,0 +1,1 @@
+lib/detector/substrate.ml: Cliffedge_net Cliffedge_prng Cliffedge_sim Failure_detector List

@@ -1,0 +1,1 @@
+lib/detector/substrate.mli: Cliffedge_graph Cliffedge_net Cliffedge_sim Failure_detector Node_id

@@ -1,0 +1,106 @@
+open Cliffedge_graph
+module Engine = Cliffedge_sim.Engine
+module Prng = Cliffedge_prng.Prng
+module Latency = Cliffedge_net.Latency
+
+type t = {
+  engine : Engine.t;
+  rng : Prng.t;
+  latency : Latency.t;
+  (* target -> observers subscribed to it *)
+  subscribers : (int, Node_set.t) Hashtbl.t;
+  (* (observer, target) pairs already subscribed, for dedup *)
+  subscriptions : (int * int, unit) Hashtbl.t;
+  crash_times : (int, float) Hashtbl.t;
+  channel_floor : (observer:Node_id.t -> crashed:Node_id.t -> float) option;
+  mutable notify : (observer:Node_id.t -> crashed:Node_id.t -> unit) option;
+}
+
+let create ~engine ~rng ~latency ?channel_floor () =
+  {
+    engine;
+    rng;
+    latency;
+    subscribers = Hashtbl.create 64;
+    subscriptions = Hashtbl.create 256;
+    crash_times = Hashtbl.create 16;
+    channel_floor;
+    notify = None;
+  }
+
+let on_crash_notification t handler = t.notify <- Some handler
+
+let is_crashed t p = Hashtbl.mem t.crash_times (Node_id.to_int p)
+
+let crash_time t p = Hashtbl.find_opt t.crash_times (Node_id.to_int p)
+
+let crashed_nodes t =
+  Hashtbl.fold
+    (fun p _ acc -> Node_set.add (Node_id.of_int p) acc)
+    t.crash_times Node_set.empty
+
+let schedule_notification t ~observer ~target =
+  let delay = Latency.sample t.latency t.rng in
+  (* Channel consistency: never notify before the crashed node's
+     in-flight messages to the observer have landed. *)
+  let floor =
+    match t.channel_floor with
+    | Some flush -> flush ~observer ~crashed:target +. 1e-9
+    | None -> neg_infinity
+  in
+  let time = Float.max (Engine.now t.engine +. delay) floor in
+  ignore
+    (Engine.schedule_at t.engine ~time (fun () ->
+         (* An observer that crashed meanwhile no longer receives
+            events. *)
+         if not (is_crashed t observer) then
+           match t.notify with
+           | Some handler -> handler ~observer ~crashed:target
+           | None -> failwith "Failure_detector: no notification handler installed"))
+
+let monitor t ~observer ~targets =
+  Node_set.iter
+    (fun target ->
+      if not (Node_id.equal observer target) then begin
+        let key = (Node_id.to_int observer, Node_id.to_int target) in
+        if not (Hashtbl.mem t.subscriptions key) then begin
+          Hashtbl.replace t.subscriptions key ();
+          if is_crashed t target then schedule_notification t ~observer ~target
+          else begin
+            let ti = Node_id.to_int target in
+            let current =
+              Option.value ~default:Node_set.empty (Hashtbl.find_opt t.subscribers ti)
+            in
+            Hashtbl.replace t.subscribers ti (Node_set.add observer current)
+          end
+        end
+      end)
+    targets
+
+let inject_false_suspicion t ~observer ~target =
+  let key = (Node_id.to_int observer, Node_id.to_int target) in
+  if
+    Hashtbl.mem t.subscriptions key
+    && (not (is_crashed t target))
+    && not (is_crashed t observer)
+  then begin
+    (* Consume the subscription so the pair is notified at most once,
+       like a genuine notification would. *)
+    let ti = Node_id.to_int target in
+    (match Hashtbl.find_opt t.subscribers ti with
+    | Some observers ->
+        Hashtbl.replace t.subscribers ti (Node_set.remove observer observers)
+    | None -> ());
+    schedule_notification t ~observer ~target
+  end
+
+let inject_crash t target =
+  let ti = Node_id.to_int target in
+  if not (Hashtbl.mem t.crash_times ti) then begin
+    Hashtbl.replace t.crash_times ti (Engine.now t.engine);
+    let observers =
+      Option.value ~default:Node_set.empty (Hashtbl.find_opt t.subscribers ti)
+    in
+    Hashtbl.remove t.subscribers ti;
+    Node_set.iter (fun observer -> schedule_notification t ~observer ~target) observers
+  end

@@ -1,0 +1,48 @@
+module Engine = Cliffedge_sim.Engine
+module Prng = Cliffedge_prng.Prng
+module Network = Cliffedge_net.Network
+
+type 'a t = {
+  engine : Engine.t;
+  network : 'a Network.t;
+  detector : Failure_detector.t;
+}
+
+let create ~seed ~message_latency ~detection_latency ~channel_consistent_fd () =
+  let engine = Engine.create () in
+  let rng = Prng.create seed in
+  let net_rng = Prng.split rng in
+  let fd_rng = Prng.split rng in
+  let network = Network.create ~engine ~rng:net_rng ~latency:message_latency () in
+  let detector =
+    let channel_floor =
+      if channel_consistent_fd then
+        Some
+          (fun ~observer ~crashed ->
+            Network.flush_time network ~src:crashed ~dst:observer)
+      else None
+    in
+    Failure_detector.create ~engine ~rng:fd_rng ~latency:detection_latency
+      ?channel_floor ()
+  in
+  { engine; network; detector }
+
+let schedule_crashes t crashes =
+  List.iter
+    (fun (time, p) ->
+      ignore
+        (Engine.schedule_at t.engine ~time (fun () ->
+             Network.crash t.network p;
+             Failure_detector.inject_crash t.detector p)))
+    crashes
+
+let run ?(false_suspicions = []) ~max_events t =
+  List.iter
+    (fun (time, observer, target) ->
+      ignore
+        (Engine.schedule_at t.engine ~time (fun () ->
+             Failure_detector.inject_false_suspicion t.detector ~observer ~target)))
+    false_suspicions;
+  Engine.run ~max_events t.engine
+
+let quiescent t = Engine.pending t.engine = 0

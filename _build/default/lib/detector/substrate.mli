@@ -1,0 +1,42 @@
+(** Shared simulation-substrate wiring.
+
+    Every runner (cliff-edge, flooding baseline, membership) needs the
+    same assembly: one engine, a seeded PRNG split between network and
+    detector, a FIFO network, a failure detector (channel-consistent or
+    raw), and the crash schedule wired to both.  This module factors
+    that assembly so the runners differ only in the state machine they
+    drive. *)
+
+open Cliffedge_graph
+
+type 'a t = {
+  engine : Cliffedge_sim.Engine.t;
+  network : 'a Cliffedge_net.Network.t;
+  detector : Failure_detector.t;
+}
+
+val create :
+  seed:int ->
+  message_latency:Cliffedge_net.Latency.t ->
+  detection_latency:Cliffedge_net.Latency.t ->
+  channel_consistent_fd:bool ->
+  unit ->
+  'a t
+(** Builds the engine, network and detector with independent PRNG
+    streams derived from [seed]. *)
+
+val schedule_crashes : 'a t -> (float * Node_id.t) list -> unit
+(** Schedules each fault injection: at its time the node is crashed in
+    the network (future deliveries dropped) and in the detector
+    (subscribers notified). *)
+
+val run :
+  ?false_suspicions:(float * Node_id.t * Node_id.t) list ->
+  max_events:int ->
+  'a t ->
+  unit
+(** Optionally schedules false suspicions (assumption ablation), then
+    runs the engine to quiescence or the event cap. *)
+
+val quiescent : 'a t -> bool
+(** No pending events remain. *)

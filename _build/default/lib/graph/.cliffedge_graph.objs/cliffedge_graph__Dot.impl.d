@@ -1,0 +1,1 @@
+lib/graph/dot.ml: Format Fun Graph List Node_id Node_set

@@ -1,0 +1,1 @@
+lib/graph/dot.mli: Format Graph Node_id Node_set

@@ -1,0 +1,1 @@
+lib/graph/dsu.ml: Array Graph Hashtbl List Node_id Node_set Option

@@ -1,0 +1,1 @@
+lib/graph/dsu.mli: Graph Node_id Node_set

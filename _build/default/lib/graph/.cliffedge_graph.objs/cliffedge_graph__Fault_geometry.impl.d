@@ -1,0 +1,1 @@
+lib/graph/fault_geometry.ml: Format Graph List Node_set

@@ -1,0 +1,1 @@
+lib/graph/fault_geometry.mli: Format Graph Node_id Node_set

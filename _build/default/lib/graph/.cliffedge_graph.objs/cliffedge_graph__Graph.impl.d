@@ -1,0 +1,1 @@
+lib/graph/graph.ml: Format List Node_id Node_map Node_set

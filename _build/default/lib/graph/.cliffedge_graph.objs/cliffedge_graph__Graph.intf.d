@@ -1,0 +1,1 @@
+lib/graph/graph.mli: Format Node_id Node_map Node_set

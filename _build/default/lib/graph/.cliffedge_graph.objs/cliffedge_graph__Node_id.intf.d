@@ -1,0 +1,1 @@
+lib/graph/node_id.mli: Format

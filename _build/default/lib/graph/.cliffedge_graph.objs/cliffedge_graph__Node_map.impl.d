@@ -1,0 +1,1 @@
+lib/graph/node_map.ml: Format List Map Node_id Node_set

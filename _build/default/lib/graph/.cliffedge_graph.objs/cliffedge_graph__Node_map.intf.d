@@ -1,0 +1,1 @@
+lib/graph/node_map.mli: Format Map Node_id Node_set

@@ -1,0 +1,1 @@
+lib/graph/node_set.ml: Array Cliffedge_prng Format List Node_id Set

@@ -1,0 +1,1 @@
+lib/graph/node_set.mli: Cliffedge_prng Format Node_id Set

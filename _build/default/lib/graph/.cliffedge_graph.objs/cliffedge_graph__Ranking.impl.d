@@ -1,0 +1,1 @@
+lib/graph/ranking.ml: Format Graph Int List Node_set

@@ -1,0 +1,1 @@
+lib/graph/ranking.mli: Format Graph Node_set

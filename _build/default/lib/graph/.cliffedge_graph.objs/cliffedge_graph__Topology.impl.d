@@ -1,0 +1,1 @@
+lib/graph/topology.ml: Array Cliffedge_prng Format Graph List Node_id Node_set Printf String

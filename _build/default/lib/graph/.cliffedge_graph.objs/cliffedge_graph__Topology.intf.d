@@ -1,0 +1,1 @@
+lib/graph/topology.mli: Cliffedge_prng Format Graph

@@ -1,0 +1,100 @@
+type t = {
+  mutable parent : int array;  (* parent.(i) = i for roots; -1 = absent *)
+  mutable rank : int array;
+  mutable count : int;
+  mutable class_count : int;
+}
+
+let absent = -1
+
+let create () = { parent = Array.make 8 absent; rank = Array.make 8 0; count = 0; class_count = 0 }
+
+let ensure_capacity t i =
+  let capacity = Array.length t.parent in
+  if i >= capacity then begin
+    let next = max (i + 1) (2 * capacity) in
+    let parent = Array.make next absent in
+    let rank = Array.make next 0 in
+    Array.blit t.parent 0 parent 0 capacity;
+    Array.blit t.rank 0 rank 0 capacity;
+    t.parent <- parent;
+    t.rank <- rank
+  end
+
+let mem t i = i >= 0 && i < Array.length t.parent && t.parent.(i) <> absent
+
+let add t i =
+  if i < 0 then invalid_arg "Dsu.add: negative element";
+  ensure_capacity t i;
+  if t.parent.(i) = absent then begin
+    t.parent.(i) <- i;
+    t.count <- t.count + 1;
+    t.class_count <- t.class_count + 1
+  end
+
+let rec find_root t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find_root t p in
+    t.parent.(i) <- root;  (* path compression *)
+    root
+  end
+
+let find t i =
+  add t i;
+  find_root t i
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri <> rj then begin
+    t.class_count <- t.class_count - 1;
+    if t.rank.(ri) < t.rank.(rj) then t.parent.(ri) <- rj
+    else if t.rank.(ri) > t.rank.(rj) then t.parent.(rj) <- ri
+    else begin
+      t.parent.(rj) <- ri;
+      t.rank.(ri) <- t.rank.(ri) + 1
+    end
+  end
+
+let same t i j = find t i = find t j
+
+let count t = t.count
+
+let class_count t = t.class_count
+
+let classes t =
+  let by_root = Hashtbl.create 16 in
+  Array.iteri
+    (fun i p ->
+      if p <> absent then begin
+        let root = find_root t i in
+        let existing = Option.value ~default:[] (Hashtbl.find_opt by_root root) in
+        Hashtbl.replace by_root root (i :: existing)
+      end)
+    t.parent;
+  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) by_root []
+  |> List.sort compare
+
+module Components = struct
+  type dsu = t
+
+  type nonrec t = { graph : Graph.t; dsu : dsu; mutable members : Node_set.t }
+
+  let create graph = { graph; dsu = create (); members = Node_set.empty }
+
+  let add t p =
+    let i = Node_id.to_int p in
+    if not (mem t.dsu i) then begin
+      add t.dsu i;
+      t.members <- Node_set.add p t.members;
+      Node_set.iter
+        (fun q -> if Node_set.mem q t.members then union t.dsu i (Node_id.to_int q))
+        (Graph.neighbours t.graph p)
+    end
+
+  let components t =
+    List.map Node_set.of_ints (classes t.dsu)
+
+  let dsu t = t.dsu
+end

@@ -1,0 +1,53 @@
+type t = {
+  graph : Graph.t;
+  domains : Node_set.t list;
+  clusters : Node_set.t list list;
+}
+
+let adjacent_domains g f h =
+  not (Node_set.is_empty (Node_set.inter (Graph.border g f) (Graph.border g h)))
+
+(* Union-find style grouping of domains under transitive adjacency; the
+   number of domains is small so quadratic merging is fine. *)
+let group_clusters g domains =
+  let merge_into groups domain =
+    let adjacent_groups, rest =
+      List.partition (List.exists (adjacent_domains g domain)) groups
+    in
+    (domain :: List.concat adjacent_groups) :: rest
+  in
+  List.fold_left merge_into [] domains
+  |> List.map (List.sort Node_set.compare)
+  |> List.sort (fun a b -> compare a b)
+
+let compute graph ~faulty =
+  let domains = Graph.connected_components graph faulty in
+  { graph; domains; clusters = group_clusters graph domains }
+
+let domains t = t.domains
+
+let domain_of t p = List.find_opt (Node_set.mem p) t.domains
+
+let adjacent t f h = adjacent_domains t.graph f h
+
+let clusters t = t.clusters
+
+let cluster_borders t =
+  List.map
+    (fun cluster ->
+      List.fold_left
+        (fun acc domain -> Node_set.union acc (Graph.border t.graph domain))
+        Node_set.empty cluster)
+    t.clusters
+
+let communication_envelope t =
+  List.map (Graph.closed_neighbourhood t.graph) t.domains
+
+let pp ppf t =
+  Format.fprintf ppf "%d faulty domain(s) in %d cluster(s):" (List.length t.domains)
+    (List.length t.clusters);
+  List.iteri
+    (fun i cluster ->
+      Format.fprintf ppf "@.  cluster %d:" i;
+      List.iter (fun d -> Format.fprintf ppf " %a" Node_set.pp d) cluster)
+    t.clusters

@@ -1,0 +1,42 @@
+(** Ground-truth geometry of a fault pattern (§2.2 of the paper).
+
+    Given the knowledge graph and the set of nodes that are faulty during
+    a run, this module computes the notions the specification and its
+    liveness property are phrased in: {e faulty domains} (maximal
+    connected regions of faulty nodes, whose borders are therefore
+    correct), the {e adjacency} relation between domains (borders
+    intersect), and {e faulty clusters} (equivalence classes of the
+    transitive closure of adjacency).
+
+    These are oracle-side notions: the checker uses them to validate
+    CD3 (locality) and CD7 (progress); protocol nodes never see them. *)
+
+type t
+
+val compute : Graph.t -> faulty:Node_set.t -> t
+(** Analyses a fault pattern.  [faulty] may be empty. *)
+
+val domains : t -> Node_set.t list
+(** The faulty domains, in increasing order of minimum element. *)
+
+val domain_of : t -> Node_id.t -> Node_set.t option
+(** The faulty domain containing a faulty node, [None] for correct
+    nodes. *)
+
+val adjacent : t -> Node_set.t -> Node_set.t -> bool
+(** The paper's [F ‖ H]: borders intersect.  Arguments must be domains
+    returned by {!domains}. *)
+
+val clusters : t -> Node_set.t list list
+(** The faulty clusters: each element groups the domains of one
+    equivalence class of transitive adjacency. *)
+
+val cluster_borders : t -> Node_set.t list
+(** For each cluster, the union of the borders of its domains — the
+    correct nodes among which CD7 requires at least one decision. *)
+
+val communication_envelope : t -> Node_set.t list
+(** For each domain [S], the closed neighbourhood [S ∪ border(S)] — the
+    set within which CD3 confines every exchanged message. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,148 @@
+type t = {
+  adjacency : Node_set.t Node_map.t;
+  edge_count : int;
+}
+
+let empty = { adjacency = Node_map.empty; edge_count = 0 }
+
+let mem_node p t = Node_map.mem p t.adjacency
+
+let neighbours t p =
+  match Node_map.find_opt p t.adjacency with
+  | Some s -> s
+  | None -> Node_set.empty
+
+let mem_edge p q t = Node_set.mem q (neighbours t p)
+
+let add_node p t =
+  if mem_node p t then t
+  else { t with adjacency = Node_map.add p Node_set.empty t.adjacency }
+
+let add_edge p q t =
+  if Node_id.equal p q then invalid_arg "Graph.add_edge: self-loop";
+  if mem_edge p q t then t
+  else
+    let t = add_node p (add_node q t) in
+    let link a b adjacency =
+      Node_map.add a (Node_set.add b (Node_map.find a adjacency)) adjacency
+    in
+    { adjacency = link p q (link q p t.adjacency); edge_count = t.edge_count + 1 }
+
+let of_edge_ids l = List.fold_left (fun g (p, q) -> add_edge p q g) empty l
+
+let of_edges l =
+  of_edge_ids (List.map (fun (i, j) -> (Node_id.of_int i, Node_id.of_int j)) l)
+
+let nodes t = Node_map.keys t.adjacency
+
+let node_count t = Node_map.cardinal t.adjacency
+
+let edge_count t = t.edge_count
+
+let edges t =
+  Node_map.fold
+    (fun p neigh acc ->
+      Node_set.fold
+        (fun q acc -> if Node_id.compare p q < 0 then (p, q) :: acc else acc)
+        neigh acc)
+    t.adjacency []
+  |> List.sort compare
+
+let degree t p = Node_set.cardinal (neighbours t p)
+
+let max_degree t =
+  Node_map.fold (fun _ neigh acc -> max acc (Node_set.cardinal neigh)) t.adjacency 0
+
+let border t s =
+  Node_set.fold
+    (fun p acc -> Node_set.union acc (Node_set.diff (neighbours t p) s))
+    s Node_set.empty
+
+let closed_neighbourhood t s = Node_set.union s (border t s)
+
+let induced t s =
+  let adjacency =
+    Node_set.fold
+      (fun p acc -> Node_map.add p (Node_set.inter (neighbours t p) s) acc)
+      s Node_map.empty
+  in
+  let doubled =
+    Node_map.fold (fun _ neigh acc -> acc + Node_set.cardinal neigh) adjacency 0
+  in
+  { adjacency; edge_count = doubled / 2 }
+
+(* Breadth-first exploration of the component of [start] inside [s]. *)
+let component_of t s start =
+  let rec grow frontier seen =
+    if Node_set.is_empty frontier then seen
+    else
+      let next =
+        Node_set.fold
+          (fun p acc -> Node_set.union acc (Node_set.inter (neighbours t p) s))
+          frontier Node_set.empty
+      in
+      let next = Node_set.diff next seen in
+      grow next (Node_set.union seen next)
+  in
+  let start_set = Node_set.singleton start in
+  grow start_set start_set
+
+let connected_components t s =
+  let rec loop remaining acc =
+    match Node_set.min_elt_opt remaining with
+    | None -> List.rev acc
+    | Some start ->
+        let comp = component_of t s start in
+        loop (Node_set.diff remaining comp) (comp :: acc)
+  in
+  loop (Node_set.inter s (nodes t)) []
+
+let is_connected_subset t s =
+  (not (Node_set.is_empty s))
+  && Node_set.subset s (nodes t)
+  &&
+  match Node_set.min_elt_opt s with
+  | None -> false
+  | Some start -> Node_set.equal (component_of t s start) s
+
+let is_region = is_connected_subset
+
+let is_connected t = is_connected_subset t (nodes t)
+
+let bfs_distances t source =
+  let rec grow frontier dist acc =
+    if Node_set.is_empty frontier then acc
+    else
+      let next =
+        Node_set.fold
+          (fun p acc -> Node_set.union acc (neighbours t p))
+          frontier Node_set.empty
+      in
+      let next = Node_set.filter (fun p -> not (Node_map.mem p acc)) next in
+      let acc = Node_set.fold (fun p acc -> Node_map.add p (dist + 1) acc) next acc in
+      grow next (dist + 1) acc
+  in
+  if not (mem_node source t) then Node_map.empty
+  else grow (Node_set.singleton source) 0 (Node_map.singleton source 0)
+
+let ball t source ~radius =
+  Node_map.fold
+    (fun p d acc -> if d <= radius then Node_set.add p acc else acc)
+    (bfs_distances t source)
+    Node_set.empty
+
+let pp_stats ppf t =
+  let min_degree =
+    Node_map.fold
+      (fun _ neigh acc -> min acc (Node_set.cardinal neigh))
+      t.adjacency max_int
+  in
+  let min_degree = if node_count t = 0 then 0 else min_degree in
+  Format.fprintf ppf "graph: %d nodes, %d edges, degree %d..%d" (node_count t)
+    (edge_count t) min_degree (max_degree t)
+
+let pp ppf t =
+  pp_stats ppf t;
+  Node_map.iter
+    (fun p neigh -> Format.fprintf ppf "@.  %a: %a" Node_id.pp p Node_set.pp neigh)
+    t.adjacency

@@ -1,0 +1,86 @@
+(** Undirected knowledge graphs.
+
+    The system model of the paper (§2.2): a finite undirected graph
+    [G = (Π, E)] where vertices are message-passing nodes and an edge
+    means the two nodes know each other.  The graph is immutable; every
+    simulated node shares the same value, matching the paper's assumption
+    that nodes "can query [G] on demand, either by directly contacting
+    live nodes, or using some underlying topology service for crashed
+    nodes". *)
+
+type t
+(** An immutable undirected graph.  No self-loops, no parallel edges. *)
+
+val empty : t
+
+val add_node : Node_id.t -> t -> t
+(** Adds an isolated node (no-op when already present). *)
+
+val add_edge : Node_id.t -> Node_id.t -> t -> t
+(** Adds both endpoints and the undirected edge between them.
+    @raise Invalid_argument on a self-loop. *)
+
+val of_edges : (int * int) list -> t
+(** Builds a graph from raw integer edges. *)
+
+val of_edge_ids : (Node_id.t * Node_id.t) list -> t
+
+val nodes : t -> Node_set.t
+(** All vertices. *)
+
+val node_count : t -> int
+
+val edge_count : t -> int
+
+val edges : t -> (Node_id.t * Node_id.t) list
+(** Each undirected edge once, as [(u, v)] with [u < v], sorted. *)
+
+val mem_node : Node_id.t -> t -> bool
+
+val mem_edge : Node_id.t -> Node_id.t -> t -> bool
+
+val neighbours : t -> Node_id.t -> Node_set.t
+(** [neighbours g p] is the border of the single node [p]: the set of
+    nodes that know [p].  Empty when [p] is not in the graph. *)
+
+val degree : t -> Node_id.t -> int
+
+val max_degree : t -> int
+
+val border : t -> Node_set.t -> Node_set.t
+(** [border g s] is the paper's [border(S)]: nodes outside [S] with at
+    least one neighbour inside [S]. *)
+
+val closed_neighbourhood : t -> Node_set.t -> Node_set.t
+(** [s] together with its border. *)
+
+val induced : t -> Node_set.t -> t
+(** Subgraph induced by a vertex subset. *)
+
+val connected_components : t -> Node_set.t -> Node_set.t list
+(** [connected_components g s] are the vertex sets of the connected
+    components of the induced subgraph [G\[s\]] — the paper's
+    [connectedComponents(S)].  Components are returned in increasing order
+    of their minimum element. *)
+
+val is_connected_subset : t -> Node_set.t -> bool
+(** Whether the induced subgraph on the given (non-empty) subset is
+    connected.  The empty set is not connected. *)
+
+val is_region : t -> Node_set.t -> bool
+(** A region is a non-empty connected subgraph of [G] (§2.2). *)
+
+val is_connected : t -> bool
+(** Whether the whole graph is connected (and non-empty). *)
+
+val bfs_distances : t -> Node_id.t -> int Node_map.t
+(** Hop distances from a source to every reachable node. *)
+
+val ball : t -> Node_id.t -> radius:int -> Node_set.t
+(** Nodes within the given hop distance of the source (including it). *)
+
+val pp : Format.formatter -> t -> unit
+(** Summary rendering: node/edge counts and adjacency lists. *)
+
+val pp_stats : Format.formatter -> t -> unit
+(** One-line [nodes/edges/min-max degree] summary. *)

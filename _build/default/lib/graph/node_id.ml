@@ -1,0 +1,36 @@
+type t = int
+
+let of_int i =
+  if i < 0 then invalid_arg "Node_id.of_int: negative identifier";
+  i
+
+let to_int t = t
+
+let compare = Int.compare
+
+let equal = Int.equal
+
+let hash t = t
+
+let pp ppf t = Format.fprintf ppf "n%d" t
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Names = struct
+  module M = Map.Make (Int)
+
+  type nonrec t = string M.t
+
+  let empty = M.empty
+
+  let add id name t = M.add id name t
+
+  let of_list l = List.fold_left (fun acc (id, name) -> add id name acc) empty l
+
+  let find t id = M.find_opt id t
+
+  let pp t ppf id =
+    match find t id with
+    | Some name -> Format.pp_print_string ppf name
+    | None -> pp ppf id
+end

@@ -1,0 +1,11 @@
+include Map.Make (Node_id)
+
+let keys t = fold (fun k _ acc -> Node_set.add k acc) t Node_set.empty
+
+let of_list l = List.fold_left (fun acc (k, v) -> add k v acc) empty l
+
+let pp pp_value ppf t =
+  let pp_binding ppf (k, v) = Format.fprintf ppf "%a -> %a" Node_id.pp k pp_value v in
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") pp_binding)
+    (bindings t)

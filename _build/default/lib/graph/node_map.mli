@@ -1,0 +1,11 @@
+(** Finite maps keyed by node identifiers. *)
+
+include Map.S with type key = Node_id.t
+
+val keys : 'a t -> Node_set.t
+(** The set of keys bound in the map. *)
+
+val of_list : (key * 'a) list -> 'a t
+
+val pp : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+(** Prints as [[n1 -> v1; n2 -> v2]]. *)

@@ -1,0 +1,28 @@
+module Prng = Cliffedge_prng.Prng
+include Set.Make (Node_id)
+
+let of_ints is = of_list (List.map Node_id.of_int is)
+
+let to_ints t = List.map Node_id.to_int (elements t)
+
+let pp ppf t =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ") Node_id.pp)
+    (elements t)
+
+let pp_named names ppf t =
+  Format.fprintf ppf "{@[%a@]}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (Node_id.Names.pp names))
+    (elements t)
+
+let to_string t = Format.asprintf "%a" pp t
+
+let random_subset rng t ~keep_probability =
+  filter (fun _ -> Prng.float rng 1.0 < keep_probability) t
+
+let random_element rng t =
+  if is_empty t then invalid_arg "Node_set.random_element: empty set";
+  let arr = Array.of_list (elements t) in
+  Prng.choose_array rng arr

@@ -1,0 +1,31 @@
+(** Finite sets of node identifiers.
+
+    Node sets are the currency of the whole system: crashed regions,
+    borders, waiting sets and proposed views are all values of this type.
+    The module extends the standard functorial set with the helpers the
+    protocol and its checker need.  [compare] is a strict total order on
+    sets, used as the final tie-break of the region ranking (§3.1 of the
+    paper leaves that order free). *)
+
+include Set.S with type elt = Node_id.t
+
+val of_ints : int list -> t
+(** [of_ints is] builds a set from raw integer identifiers. *)
+
+val to_ints : t -> int list
+(** Sorted raw integer identifiers of the members. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints as [{n1, n2, ...}]. *)
+
+val pp_named : Node_id.Names.t -> Format.formatter -> t -> unit
+(** Like {!pp} but resolves display names. *)
+
+val to_string : t -> string
+
+val random_subset : Cliffedge_prng.Prng.t -> t -> keep_probability:float -> t
+(** Keeps each element independently with the given probability. *)
+
+val random_element : Cliffedge_prng.Prng.t -> t -> elt
+(** Uniform draw.
+    @raise Invalid_argument on the empty set. *)

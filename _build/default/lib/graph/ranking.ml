@@ -1,0 +1,26 @@
+let default_tiebreak = Node_set.compare
+
+let compare_with ~tiebreak g r s =
+  let by_size = Int.compare (Node_set.cardinal r) (Node_set.cardinal s) in
+  if by_size <> 0 then by_size
+  else
+    let by_border =
+      Int.compare
+        (Node_set.cardinal (Graph.border g r))
+        (Node_set.cardinal (Graph.border g s))
+    in
+    if by_border <> 0 then by_border else tiebreak r s
+
+let compare g r s = compare_with ~tiebreak:default_tiebreak g r s
+
+let lower g r s = compare g r s < 0
+
+let max_ranked_region g = function
+  | [] -> invalid_arg "Ranking.max_ranked_region: empty collection"
+  | first :: rest ->
+      List.fold_left (fun best c -> if lower g best c then c else best) first rest
+
+let pp_rank g ppf r =
+  Format.fprintf ppf "(|%d|, border %d, %a)" (Node_set.cardinal r)
+    (Node_set.cardinal (Graph.border g r))
+    Node_set.pp r

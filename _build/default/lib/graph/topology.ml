@@ -1,0 +1,244 @@
+module Prng = Cliffedge_prng.Prng
+
+type spec =
+  | Ring of int
+  | Path of int
+  | Grid of int * int
+  | Torus of int * int
+  | Complete of int
+  | Star of int
+  | Binary_tree of int
+  | Erdos_renyi of int * float
+  | Watts_strogatz of int * int * float
+  | Barabasi_albert of int * int
+  | Random_geometric of int * float
+
+let require condition message = if not condition then invalid_arg message
+
+let ring n =
+  require (n >= 3) "Topology.ring: need n >= 3";
+  Graph.of_edges (List.init n (fun i -> (i, (i + 1) mod n)))
+
+let path n =
+  require (n >= 2) "Topology.path: need n >= 2";
+  Graph.of_edges (List.init (n - 1) (fun i -> (i, i + 1)))
+
+let grid w h =
+  require (w >= 1 && h >= 1 && w * h >= 2) "Topology.grid: need w*h >= 2";
+  let id x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      if x + 1 < w then edges := (id x y, id (x + 1) y) :: !edges;
+      if y + 1 < h then edges := (id x y, id x (y + 1)) :: !edges
+    done
+  done;
+  Graph.of_edges !edges
+
+let torus w h =
+  require (w >= 3 && h >= 3) "Topology.torus: need w, h >= 3";
+  let id x y = (y * w) + x in
+  let edges = ref [] in
+  for y = 0 to h - 1 do
+    for x = 0 to w - 1 do
+      edges := (id x y, id ((x + 1) mod w) y) :: !edges;
+      edges := (id x y, id x ((y + 1) mod h)) :: !edges
+    done
+  done;
+  Graph.of_edges !edges
+
+let complete n =
+  require (n >= 2) "Topology.complete: need n >= 2";
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  Graph.of_edges !edges
+
+let star n =
+  require (n >= 2) "Topology.star: need n >= 2";
+  Graph.of_edges (List.init (n - 1) (fun i -> (0, i + 1)))
+
+let binary_tree n =
+  require (n >= 2) "Topology.binary_tree: need n >= 2";
+  let edges = ref [] in
+  for i = 1 to n - 1 do
+    edges := (i, (i - 1) / 2) :: !edges
+  done;
+  Graph.of_edges !edges
+
+(* Random backbone path guaranteeing connectivity of random families. *)
+let backbone rng n =
+  let order = Array.init n (fun i -> i) in
+  Prng.shuffle rng order;
+  List.init (n - 1) (fun i -> (order.(i), order.(i + 1)))
+
+let erdos_renyi rng n ~p =
+  require (n >= 2) "Topology.erdos_renyi: need n >= 2";
+  require (p >= 0.0 && p <= 1.0) "Topology.erdos_renyi: p out of [0,1]";
+  let edges = ref (backbone rng n) in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if Prng.float rng 1.0 < p then edges := (i, j) :: !edges
+    done
+  done;
+  Graph.of_edges !edges
+
+let watts_strogatz rng n ~k ~beta =
+  require (n >= 4) "Topology.watts_strogatz: need n >= 4";
+  require (k >= 2 && k mod 2 = 0 && k < n) "Topology.watts_strogatz: bad k";
+  require (beta >= 0.0 && beta <= 1.0) "Topology.watts_strogatz: beta out of [0,1]";
+  let g = ref Graph.empty in
+  for i = 0 to n - 1 do
+    g := Graph.add_node (Node_id.of_int i) !g
+  done;
+  let add i j = g := Graph.add_edge (Node_id.of_int i) (Node_id.of_int j) !g in
+  let has i j = Graph.mem_edge (Node_id.of_int i) (Node_id.of_int j) !g in
+  for i = 0 to n - 1 do
+    for offset = 1 to k / 2 do
+      let j = (i + offset) mod n in
+      if Prng.float rng 1.0 < beta then begin
+        (* Rewire to a uniform target, keeping the graph simple; fall back
+           to the lattice edge when no valid target is drawn. *)
+        let target = Prng.int rng n in
+        if target <> i && not (has i target) then add i target
+        else if not (has i j) then add i j
+      end
+      else if not (has i j) then add i j
+    done
+  done;
+  (* The rewiring can in principle disconnect the graph; a ring backbone
+     restores connectivity without changing the small-world character. *)
+  if Graph.is_connected !g then !g
+  else begin
+    for i = 0 to n - 1 do
+      if not (has i ((i + 1) mod n)) then add i ((i + 1) mod n)
+    done;
+    !g
+  end
+
+let barabasi_albert rng n ~m =
+  require (m >= 1 && n > m + 1) "Topology.barabasi_albert: need n > m + 1 >= 2";
+  let g = ref (complete (m + 1)) in
+  (* Repeated endpoints of existing edges implement degree-proportional
+     sampling. *)
+  let endpoints = ref [] in
+  List.iter
+    (fun (u, v) -> endpoints := u :: v :: !endpoints)
+    (Graph.edges !g);
+  let endpoint_array = ref (Array.of_list !endpoints) in
+  for i = m + 1 to n - 1 do
+    let p = Node_id.of_int i in
+    let chosen = ref Node_set.empty in
+    while Node_set.cardinal !chosen < m do
+      let q = Prng.choose_array rng !endpoint_array in
+      if not (Node_id.equal q p) then chosen := Node_set.add q !chosen
+    done;
+    Node_set.iter
+      (fun q ->
+        g := Graph.add_edge p q !g;
+        endpoints := p :: q :: !endpoints)
+      !chosen;
+    endpoint_array := Array.of_list !endpoints
+  done;
+  !g
+
+let random_geometric rng n ~radius =
+  require (n >= 2) "Topology.random_geometric: need n >= 2";
+  require (radius > 0.0) "Topology.random_geometric: radius must be positive";
+  let points = Array.init n (fun _ -> (Prng.float rng 1.0, Prng.float rng 1.0)) in
+  let close i j =
+    let xi, yi = points.(i) and xj, yj = points.(j) in
+    let dx = xi -. xj and dy = yi -. yj in
+    (dx *. dx) +. (dy *. dy) <= radius *. radius
+  in
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if close i j then edges := (i, j) :: !edges
+    done
+  done;
+  let g = List.fold_left (fun g i -> Graph.add_node (Node_id.of_int i) g)
+      (Graph.of_edges !edges)
+      (List.init n (fun i -> i))
+  in
+  if Graph.is_connected g then g
+  else begin
+    (* Stitch along x-coordinate order: links each node to its spatial
+       successor, keeping the geometric flavour of the backbone. *)
+    let order = Array.init n (fun i -> i) in
+    Array.sort (fun a b -> compare points.(a) points.(b)) order;
+    let extra = List.init (n - 1) (fun i -> (order.(i), order.(i + 1))) in
+    List.fold_left
+      (fun g (i, j) -> Graph.add_edge (Node_id.of_int i) (Node_id.of_int j) g)
+      g extra
+  end
+
+let build rng = function
+  | Ring n -> ring n
+  | Path n -> path n
+  | Grid (w, h) -> grid w h
+  | Torus (w, h) -> torus w h
+  | Complete n -> complete n
+  | Star n -> star n
+  | Binary_tree n -> binary_tree n
+  | Erdos_renyi (n, p) -> erdos_renyi rng n ~p
+  | Watts_strogatz (n, k, beta) -> watts_strogatz rng n ~k ~beta
+  | Barabasi_albert (n, m) -> barabasi_albert rng n ~m
+  | Random_geometric (n, radius) -> random_geometric rng n ~radius
+
+let spec_of_string s =
+  let fail () = Error (Printf.sprintf "unrecognized topology spec %S" s) in
+  let int_of x = int_of_string_opt x in
+  let float_of x = float_of_string_opt x in
+  match String.split_on_char ':' s with
+  | [ "ring"; n ] -> (
+      match int_of n with Some n -> Ok (Ring n) | None -> fail ())
+  | [ "path"; n ] -> (
+      match int_of n with Some n -> Ok (Path n) | None -> fail ())
+  | [ "complete"; n ] -> (
+      match int_of n with Some n -> Ok (Complete n) | None -> fail ())
+  | [ "star"; n ] -> (
+      match int_of n with Some n -> Ok (Star n) | None -> fail ())
+  | [ "tree"; n ] -> (
+      match int_of n with Some n -> Ok (Binary_tree n) | None -> fail ())
+  | [ (("grid" | "torus") as kind); wh ] -> (
+      match String.split_on_char 'x' wh with
+      | [ w; h ] -> (
+          match (int_of w, int_of h) with
+          | Some w, Some h ->
+              if String.equal kind "grid" then Ok (Grid (w, h)) else Ok (Torus (w, h))
+          | _ -> fail ())
+      | _ -> fail ())
+  | [ "er"; n; p ] -> (
+      match (int_of n, float_of p) with
+      | Some n, Some p -> Ok (Erdos_renyi (n, p))
+      | _ -> fail ())
+  | [ "ws"; n; k; beta ] -> (
+      match (int_of n, int_of k, float_of beta) with
+      | Some n, Some k, Some beta -> Ok (Watts_strogatz (n, k, beta))
+      | _ -> fail ())
+  | [ "ba"; n; m ] -> (
+      match (int_of n, int_of m) with
+      | Some n, Some m -> Ok (Barabasi_albert (n, m))
+      | _ -> fail ())
+  | [ "geo"; n; r ] -> (
+      match (int_of n, float_of r) with
+      | Some n, Some r -> Ok (Random_geometric (n, r))
+      | _ -> fail ())
+  | _ -> fail ()
+
+let pp_spec ppf = function
+  | Ring n -> Format.fprintf ppf "ring:%d" n
+  | Path n -> Format.fprintf ppf "path:%d" n
+  | Grid (w, h) -> Format.fprintf ppf "grid:%dx%d" w h
+  | Torus (w, h) -> Format.fprintf ppf "torus:%dx%d" w h
+  | Complete n -> Format.fprintf ppf "complete:%d" n
+  | Star n -> Format.fprintf ppf "star:%d" n
+  | Binary_tree n -> Format.fprintf ppf "tree:%d" n
+  | Erdos_renyi (n, p) -> Format.fprintf ppf "er:%d:%g" n p
+  | Watts_strogatz (n, k, beta) -> Format.fprintf ppf "ws:%d:%d:%g" n k beta
+  | Barabasi_albert (n, m) -> Format.fprintf ppf "ba:%d:%d" n m
+  | Random_geometric (n, r) -> Format.fprintf ppf "geo:%d:%g" n r

@@ -1,0 +1,76 @@
+(** Topology generators.
+
+    Deterministic builders for the network shapes used by the examples,
+    tests and experiments: regular overlays (rings, grids, tori), dense
+    references (complete, star), and seeded random families
+    (Erdős–Rényi, Watts–Strogatz, Barabási–Albert, random geometric).
+    Random families take a {!Cliffedge_prng.Prng.t} so that a topology is
+    a pure function of its seed. *)
+
+type spec =
+  | Ring of int
+  | Path of int
+  | Grid of int * int
+  | Torus of int * int
+  | Complete of int
+  | Star of int
+  | Binary_tree of int
+  | Erdos_renyi of int * float
+  | Watts_strogatz of int * int * float
+  | Barabasi_albert of int * int
+  | Random_geometric of int * float
+      (** Symbolic description of a topology, convenient for sweeps and
+          command lines. *)
+
+val ring : int -> Graph.t
+(** Cycle on [n >= 3] nodes. *)
+
+val path : int -> Graph.t
+(** Line on [n >= 2] nodes. *)
+
+val grid : int -> int -> Graph.t
+(** [grid w h]: 4-neighbour mesh, [w, h >= 1], [w*h >= 2]. *)
+
+val torus : int -> int -> Graph.t
+(** [torus w h]: wrap-around 4-neighbour mesh, [w, h >= 3]. *)
+
+val complete : int -> Graph.t
+(** Clique on [n >= 2] nodes. *)
+
+val star : int -> Graph.t
+(** Hub node [0] plus [n - 1 >= 1] leaves. *)
+
+val binary_tree : int -> Graph.t
+(** Complete binary heap-shaped tree on [n >= 2] nodes. *)
+
+val erdos_renyi : Cliffedge_prng.Prng.t -> int -> p:float -> Graph.t
+(** [G(n, p)] made connected: a random Hamiltonian backbone path is added
+    first so that every sample is connected, then each remaining edge is
+    kept with probability [p]. *)
+
+val watts_strogatz : Cliffedge_prng.Prng.t -> int -> k:int -> beta:float -> Graph.t
+(** Small-world rewiring of a ring lattice where each node is linked to
+    its [k] nearest neighbours ([k] even, [k < n]); each lattice edge is
+    rewired with probability [beta], skipping rewirings that would create
+    duplicates. *)
+
+val barabasi_albert : Cliffedge_prng.Prng.t -> int -> m:int -> Graph.t
+(** Preferential attachment: starts from a clique on [m + 1] nodes, each
+    new node attaches to [m] distinct existing nodes chosen proportionally
+    to degree. *)
+
+val random_geometric : Cliffedge_prng.Prng.t -> int -> radius:float -> Graph.t
+(** Nodes placed uniformly in the unit square, linked when within
+    [radius]; a backbone path over the node ordering by x-coordinate is
+    added when needed to guarantee connectivity. *)
+
+val build : Cliffedge_prng.Prng.t -> spec -> Graph.t
+(** Materializes a symbolic description. *)
+
+val spec_of_string : string -> (spec, string) result
+(** Parses descriptions such as ["ring:100"], ["grid:10x10"],
+    ["torus:8x8"], ["er:200:0.05"], ["ws:100:6:0.1"], ["ba:150:3"],
+    ["geo:100:0.15"], ["complete:30"], ["star:20"], ["path:50"],
+    ["tree:63"]. *)
+
+val pp_spec : Format.formatter -> spec -> unit

@@ -1,0 +1,1 @@
+lib/mcheck/explorer.ml: Buffer Cliffedge Cliffedge_graph Cliffedge_prng Digest Fault_geometry Format Fun Graph Hashtbl List Map Node_id Node_map Node_set Option Printf String

@@ -1,0 +1,1 @@
+lib/mcheck/explorer.mli: Cliffedge Cliffedge_graph Format Graph Node_id

@@ -1,0 +1,440 @@
+open Cliffedge_graph
+module Protocol = Cliffedge.Protocol
+module Message = Cliffedge.Message
+module Opinion = Cliffedge.Opinion
+module Checker = Cliffedge.Checker
+module View = Cliffedge.View
+
+type fd_semantics = [ `Channel_consistent | `Raw ]
+
+type search_mode =
+  | Exhaustive
+  | Sample of { walks : int; seed : int }
+
+type violation = {
+  property : Checker.property;
+  description : string;
+  trace : string list;
+}
+
+type stats = {
+  states_explored : int;
+  transitions : int;
+  leaves : int;
+  violations : violation list;
+  truncated : bool;
+}
+
+let ok stats = stats.violations = [] && not stats.truncated
+
+let pp_stats ppf stats =
+  Format.fprintf ppf "%d state(s), %d transition(s), %d leaf(ves), %d violation(s)%s"
+    stats.states_explored stats.transitions stats.leaves
+    (List.length stats.violations)
+    (if stats.truncated then " [TRUNCATED]" else "");
+  List.iter
+    (fun v ->
+      Format.fprintf ppf "@.  %s: %s@.  after: %s"
+        (Checker.property_name v.property)
+        v.description
+        (String.concat " ; " v.trace))
+    stats.violations
+
+(* ------------------------------------------------------------------ *)
+(* World representation (immutable)                                    *)
+
+module Channel_map = Map.Make (struct
+  type t = int * int
+
+  let compare = compare
+end)
+
+type world = {
+  alive : string Protocol.state Node_map.t;
+  crashed : Node_set.t;
+  channels : string Message.t list Channel_map.t;  (* head = next to deliver *)
+  pending_crashes : Node_id.t list;  (* injected in this order *)
+  pending_notifs : (int * int) list;  (* (observer, crashed), sorted *)
+  subs : (int * int) list;  (* (observer, target), sorted *)
+  decisions : (Node_id.t * View.t * string) list;  (* in decision order *)
+  touched : (int * int) list;  (* communicated ordered pairs, sorted *)
+}
+
+type move =
+  | Crash of Node_id.t
+  | Deliver of int * int
+  | Notify of int * int
+
+let pp_move = function
+  | Crash q -> Printf.sprintf "crash(%d)" (Node_id.to_int q)
+  | Deliver (s, d) -> Printf.sprintf "deliver(%d->%d)" s d
+  | Notify (o, c) -> Printf.sprintf "notify(%d of %d)" o c
+
+let sorted_insert x l = List.sort_uniq compare (x :: l)
+
+(* Canonical rendering for state hashing. *)
+
+let message_fp msg =
+  let set_fp s = String.concat "," (List.map string_of_int (Node_set.to_ints s)) in
+  let vec_fp vec =
+    String.concat ";"
+      (List.map
+         (fun (p, op) ->
+           Printf.sprintf "%d=%s" (Node_id.to_int p)
+             (match op with Opinion.Accept v -> "A(" ^ v ^ ")" | Opinion.Reject -> "R"))
+         (Node_map.bindings vec))
+  in
+  match msg with
+  | Message.Round { round; view; border = _; opinions } ->
+      Printf.sprintf "r%d{%s}%s" round (set_fp view) (vec_fp opinions)
+  | Message.Outcome { view; opinions; _ } ->
+      Printf.sprintf "out{%s}%s" (set_fp view) (vec_fp opinions)
+
+let world_fp w =
+  let buffer = Buffer.create 1024 in
+  Node_map.iter
+    (fun p st ->
+      Buffer.add_string buffer (string_of_int (Node_id.to_int p));
+      Buffer.add_char buffer ':';
+      Buffer.add_string buffer (Protocol.fingerprint Fun.id st);
+      Buffer.add_char buffer '\n')
+    w.alive;
+  Buffer.add_string buffer (Node_set.to_string w.crashed);
+  Channel_map.iter
+    (fun (s, d) msgs ->
+      Buffer.add_string buffer (Printf.sprintf "|%d>%d:" s d);
+      List.iter
+        (fun m ->
+          Buffer.add_string buffer (message_fp m);
+          Buffer.add_char buffer '!')
+        msgs)
+    w.channels;
+  Buffer.add_string buffer "|pc:";
+  List.iter
+    (fun q -> Buffer.add_string buffer (string_of_int (Node_id.to_int q) ^ ","))
+    w.pending_crashes;
+  Buffer.add_string buffer "|pn:";
+  List.iter (fun (o, c) -> Buffer.add_string buffer (Printf.sprintf "%d/%d," o c)) w.pending_notifs;
+  Buffer.add_string buffer "|s:";
+  List.iter (fun (o, t) -> Buffer.add_string buffer (Printf.sprintf "%d/%d," o t)) w.subs;
+  Buffer.add_string buffer "|d:";
+  List.iter
+    (fun (p, v, d) ->
+      Buffer.add_string buffer
+        (Printf.sprintf "%d@%s=%s," (Node_id.to_int p) (Node_set.to_string v) d))
+    (List.sort compare w.decisions);
+  Digest.string (Buffer.contents buffer)
+
+(* ------------------------------------------------------------------ *)
+(* Exploration                                                         *)
+
+let explore ?(fd = `Channel_consistent) ?(mode = Exhaustive)
+    ?(max_states = 1_000_000) ?(early_stopping = false) ~graph ~crashes () =
+  let cfg =
+    Protocol.config ~early_stopping ~graph
+      ~propose_value:(fun p v ->
+        Printf.sprintf "plan(%d,%d)" (Node_id.to_int p) (Node_set.cardinal v))
+      ()
+  in
+  let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let states = ref 0
+  and transitions = ref 0
+  and leaves = ref 0
+  and violations = ref []
+  and truncated = ref false in
+  let report property trace fmt =
+    Format.kasprintf
+      (fun description ->
+        if List.length !violations < 10 then
+          violations := { property; description; trace = List.rev trace } :: !violations)
+      fmt
+  in
+  (* -------------------- decide-time safety checks ------------------ *)
+  let check_decision trace w p view value =
+    if List.exists (fun (q, _, _) -> Node_id.equal p q) w.decisions then
+      report Checker.CD1_integrity trace "node %a decided twice" Node_id.pp p;
+    if not (Graph.is_region graph view) then
+      report Checker.CD2_view_accuracy trace "view %a is not a region" View.pp view;
+    if not (Node_set.subset view w.crashed) then
+      report Checker.CD2_view_accuracy trace "view %a not fully crashed at decision"
+        View.pp view;
+    if not (Node_set.mem p (Graph.border graph view)) then
+      report Checker.CD2_view_accuracy trace "decider %a not on border of %a" Node_id.pp
+        p View.pp view;
+    List.iter
+      (fun (q, w_view, w_value) ->
+        let mismatch () =
+          not (Node_set.equal view w_view && String.equal value w_value)
+        in
+        if Node_set.mem q (Graph.border graph view) && mismatch () then
+          report Checker.CD5_uniform_border_agreement trace
+            "%a decided %a but border node %a decided %a" Node_id.pp p View.pp view
+            Node_id.pp q View.pp w_view;
+        if Node_set.mem p (Graph.border graph w_view) && mismatch () then
+          report Checker.CD5_uniform_border_agreement trace
+            "%a decided %a but border node %a decided %a" Node_id.pp q View.pp w_view
+            Node_id.pp p View.pp view)
+      w.decisions
+  in
+  (* -------------------- applying protocol actions ------------------ *)
+  let rec apply_actions trace w p actions =
+    List.fold_left
+      (fun w action ->
+        match action with
+        | Protocol.Note _ -> w
+        | Protocol.Monitor targets ->
+            Node_set.fold
+              (fun target w ->
+                if Node_id.equal target p then w
+                else
+                  let key = (Node_id.to_int p, Node_id.to_int target) in
+                  if List.mem key w.subs then w
+                  else
+                    let w = { w with subs = sorted_insert key w.subs } in
+                    if Node_set.mem target w.crashed then
+                      { w with pending_notifs = sorted_insert key w.pending_notifs }
+                    else w)
+              targets w
+        | Protocol.Send { dst; msg } ->
+            let key = (Node_id.to_int p, Node_id.to_int dst) in
+            let w = { w with touched = sorted_insert key w.touched } in
+            if Node_set.mem dst w.crashed then w
+            else
+              let queue =
+                Option.value ~default:[] (Channel_map.find_opt key w.channels)
+              in
+              { w with channels = Channel_map.add key (queue @ [ msg ]) w.channels }
+        | Protocol.Decide { view; value } ->
+            check_decision trace w p view value;
+            { w with decisions = (p, view, value) :: w.decisions })
+      w actions
+
+  and step_node trace w p event =
+    match Node_map.find_opt p w.alive with
+    | None -> w (* crashed meanwhile; event is void *)
+    | Some st ->
+        let st, actions = Protocol.handle cfg st event in
+        let w = { w with alive = Node_map.add p st w.alive } in
+        apply_actions trace w p actions
+  in
+  (* -------------------- enabled moves ------------------------------ *)
+  let enabled_moves w =
+    let crash_moves =
+      match w.pending_crashes with [] -> [] | q :: _ -> [ Crash q ]
+    in
+    let deliver_moves =
+      Channel_map.fold
+        (fun (s, d) queue acc ->
+          if queue <> [] && Node_map.mem (Node_id.of_int d) w.alive then
+            Deliver (s, d) :: acc
+          else acc)
+        w.channels []
+    in
+    let notify_moves =
+      List.filter_map
+        (fun (o, c) ->
+          let observer_alive = Node_map.mem (Node_id.of_int o) w.alive in
+          let channel_clear =
+            match fd with
+            | `Raw -> true
+            | `Channel_consistent -> (
+                match Channel_map.find_opt (c, o) w.channels with
+                | None | Some [] -> true
+                | Some _ -> false)
+          in
+          if observer_alive && channel_clear then Some (Notify (o, c)) else None)
+        w.pending_notifs
+    in
+    crash_moves @ List.rev deliver_moves @ notify_moves
+  in
+  let apply_move trace w move =
+    match move with
+    | Crash q ->
+        let w =
+          {
+            w with
+            alive = Node_map.remove q w.alive;
+            crashed = Node_set.add q w.crashed;
+            pending_crashes = List.tl w.pending_crashes;
+            (* Queued messages to q can never be delivered: drop them. *)
+            channels =
+              Channel_map.filter
+                (fun (_, d) _ -> d <> Node_id.to_int q)
+                w.channels;
+            (* Notifications to q are void. *)
+            pending_notifs =
+              List.filter (fun (o, _) -> o <> Node_id.to_int q) w.pending_notifs;
+          }
+        in
+        let new_notifs =
+          List.filter_map
+            (fun (o, t) ->
+              if t = Node_id.to_int q && Node_map.mem (Node_id.of_int o) w.alive then
+                Some (o, t)
+              else None)
+            w.subs
+        in
+        {
+          w with
+          pending_notifs =
+            List.fold_left (fun acc n -> sorted_insert n acc) w.pending_notifs new_notifs;
+        }
+    | Deliver (s, d) -> (
+        let key = (s, d) in
+        match Channel_map.find_opt key w.channels with
+        | None | Some [] -> assert false
+        | Some (msg :: rest) ->
+            let w =
+              {
+                w with
+                channels =
+                  (if rest = [] then Channel_map.remove key w.channels
+                   else Channel_map.add key rest w.channels);
+              }
+            in
+            step_node trace w (Node_id.of_int d)
+              (Protocol.Deliver { src = Node_id.of_int s; msg }))
+    | Notify (o, c) ->
+        let w =
+          { w with pending_notifs = List.filter (( <> ) (o, c)) w.pending_notifs }
+        in
+        step_node trace w (Node_id.of_int o) (Protocol.Crash (Node_id.of_int c))
+  in
+  (* -------------------- leaf (quiescence) checks ------------------- *)
+  let check_leaf trace w =
+    incr leaves;
+    let geometry = Fault_geometry.compute graph ~faulty:w.crashed in
+    let correct = Node_set.diff (Graph.nodes graph) w.crashed in
+    let decider_set =
+      List.fold_left (fun acc (p, _, _) -> Node_set.add p acc) Node_set.empty
+        w.decisions
+    in
+    (* CD3: all communication within some domain envelope. *)
+    let envelopes = Fault_geometry.communication_envelope geometry in
+    List.iter
+      (fun (s, d) ->
+        let covered =
+          List.exists
+            (fun env ->
+              Node_set.mem (Node_id.of_int s) env && Node_set.mem (Node_id.of_int d) env)
+            envelopes
+        in
+        if not covered then
+          report Checker.CD3_locality trace "message %d -> %d outside every envelope" s d)
+      w.touched;
+    (* CD4: border of a decided view fully decides. *)
+    List.iter
+      (fun (_, view, _) ->
+        Node_set.iter
+          (fun q ->
+            if Node_set.mem q correct && not (Node_set.mem q decider_set) then
+              report Checker.CD4_border_termination trace
+                "correct border node %a of decided %a never decides" Node_id.pp q
+                View.pp view)
+          (Graph.border graph view))
+      w.decisions;
+    (* CD6 among correct deciders. *)
+    let correct_decisions =
+      List.filter (fun (p, _, _) -> Node_set.mem p correct) w.decisions
+    in
+    List.iter
+      (fun (p, v, _) ->
+        List.iter
+          (fun (q, u, _) ->
+            if
+              (not (Node_id.equal p q))
+              && (not (Node_set.equal v u))
+              && not (Node_set.is_empty (Node_set.inter v u))
+            then
+              report Checker.CD6_view_convergence trace
+                "correct deciders %a and %a hold overlapping views" Node_id.pp p
+                Node_id.pp q)
+          correct_decisions)
+      correct_decisions;
+    (* CD7: progress per cluster. *)
+    List.iter
+      (fun border ->
+        let has =
+          Node_set.exists
+            (fun p -> Node_set.mem p correct && Node_set.mem p decider_set)
+            border
+        in
+        if not has then
+          report Checker.CD7_progress trace "no decider in cluster bordered by %a"
+            Node_set.pp border)
+      (Fault_geometry.cluster_borders geometry)
+  in
+  (* -------------------- DFS over the state graph ------------------- *)
+  let rec dfs trace w =
+    if !states < max_states then begin
+      let fp = world_fp w in
+      if not (Hashtbl.mem visited fp) then begin
+        Hashtbl.replace visited fp ();
+        incr states;
+        match enabled_moves w with
+        | [] -> check_leaf trace w
+        | moves ->
+            List.iter
+              (fun move ->
+                incr transitions;
+                let trace = pp_move move :: trace in
+                dfs trace (apply_move trace w move))
+              moves
+      end
+    end
+    else truncated := true
+  in
+  (* -------------------- initial world ------------------------------ *)
+  let initial =
+    let w =
+      {
+        alive =
+          Node_set.fold
+            (fun p acc -> Node_map.add p (Protocol.init ~self:p) acc)
+            (Graph.nodes graph) Node_map.empty;
+        crashed = Node_set.empty;
+        channels = Channel_map.empty;
+        pending_crashes = crashes;
+        pending_notifs = [];
+        subs = [];
+        decisions = [];
+        touched = [];
+      }
+    in
+    (* Initialisation is not a scheduling choice: all nodes boot before
+       the first crash. *)
+    Node_set.fold
+      (fun p w -> step_node [ "init" ] w p Protocol.Init)
+      (Graph.nodes graph) w
+  in
+  (match mode with
+  | Exhaustive -> dfs [] initial
+  | Sample { walks; seed } ->
+      let rng = Cliffedge_prng.Prng.create seed in
+      let record w =
+        let fp = world_fp w in
+        if not (Hashtbl.mem visited fp) then begin
+          Hashtbl.replace visited fp ();
+          incr states
+        end
+      in
+      for _ = 1 to walks do
+        let rec walk trace w =
+          record w;
+          match enabled_moves w with
+          | [] -> check_leaf trace w
+          | moves ->
+              let move = Cliffedge_prng.Prng.choose rng moves in
+              incr transitions;
+              let trace = pp_move move :: trace in
+              walk trace (apply_move trace w move)
+        in
+        walk [] initial
+      done);
+  {
+    states_explored = !states;
+    transitions = !transitions;
+    leaves = !leaves;
+    violations = List.rev !violations;
+    truncated = !truncated;
+  }

@@ -1,0 +1,1 @@
+lib/net/latency.ml: Cliffedge_prng Float Format Printf String

@@ -1,0 +1,1 @@
+lib/net/latency.mli: Cliffedge_prng Format

@@ -1,0 +1,1 @@
+lib/net/network.ml: Cliffedge_graph Cliffedge_prng Cliffedge_sim Float Hashtbl Latency Node_id Node_set Option Stats

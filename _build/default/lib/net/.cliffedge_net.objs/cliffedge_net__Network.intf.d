@@ -1,0 +1,1 @@
+lib/net/network.mli: Cliffedge_graph Cliffedge_prng Cliffedge_sim Latency Node_id Node_set Stats

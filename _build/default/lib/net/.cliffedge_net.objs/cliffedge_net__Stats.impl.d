@@ -1,0 +1,1 @@
+lib/net/stats.ml: Cliffedge_graph Format Hashtbl List Node_id Node_set Option

@@ -1,0 +1,1 @@
+lib/net/stats.mli: Cliffedge_graph Format Node_id Node_set

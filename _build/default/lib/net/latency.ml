@@ -1,0 +1,37 @@
+module Prng = Cliffedge_prng.Prng
+
+type t =
+  | Constant of float
+  | Uniform of { min : float; max : float }
+  | Exponential of { min : float; mean : float }
+
+let sample t rng =
+  let raw =
+    match t with
+    | Constant d -> d
+    | Uniform { min; max } -> min +. Prng.float rng (max -. min)
+    | Exponential { min; mean } -> min +. Prng.exponential rng ~mean
+  in
+  Float.max 0.0 raw
+
+let of_string s =
+  let fail () = Error (Printf.sprintf "unrecognized latency spec %S" s) in
+  match String.split_on_char ':' s with
+  | [ "const"; d ] -> (
+      match float_of_string_opt d with
+      | Some d -> Ok (Constant d)
+      | None -> fail ())
+  | [ "uniform"; min; max ] -> (
+      match (float_of_string_opt min, float_of_string_opt max) with
+      | Some min, Some max when min <= max -> Ok (Uniform { min; max })
+      | _ -> fail ())
+  | [ "exp"; min; mean ] -> (
+      match (float_of_string_opt min, float_of_string_opt mean) with
+      | Some min, Some mean -> Ok (Exponential { min; mean })
+      | _ -> fail ())
+  | _ -> fail ()
+
+let pp ppf = function
+  | Constant d -> Format.fprintf ppf "const:%g" d
+  | Uniform { min; max } -> Format.fprintf ppf "uniform:%g:%g" min max
+  | Exponential { min; mean } -> Format.fprintf ppf "exp:%g:%g" min mean

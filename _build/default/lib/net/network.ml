@@ -1,0 +1,65 @@
+open Cliffedge_graph
+module Engine = Cliffedge_sim.Engine
+module Prng = Cliffedge_prng.Prng
+
+type 'a t = {
+  engine : Engine.t;
+  rng : Prng.t;
+  latency : Latency.t;
+  stats : Stats.t;
+  crashed : (int, unit) Hashtbl.t;
+  (* Latest scheduled delivery time per ordered pair, enforcing FIFO. *)
+  last_delivery : (int * int, float) Hashtbl.t;
+  mutable deliver : (src:Node_id.t -> dst:Node_id.t -> 'a -> unit) option;
+}
+
+let create ~engine ~rng ~latency () =
+  {
+    engine;
+    rng;
+    latency;
+    stats = Stats.create ();
+    crashed = Hashtbl.create 16;
+    last_delivery = Hashtbl.create 64;
+    deliver = None;
+  }
+
+let on_deliver t handler = t.deliver <- Some handler
+
+let is_crashed t p = Hashtbl.mem t.crashed (Node_id.to_int p)
+
+let crash t p = Hashtbl.replace t.crashed (Node_id.to_int p) ()
+
+let send t ?(units = 1) ~src ~dst payload =
+  if not (is_crashed t src) then begin
+    Stats.record_send t.stats ~src ~dst ~units;
+    let key = (Node_id.to_int src, Node_id.to_int dst) in
+    let earliest =
+      Engine.now t.engine +. Latency.sample t.latency t.rng
+    in
+    let fifo_floor =
+      Option.value ~default:neg_infinity (Hashtbl.find_opt t.last_delivery key)
+    in
+    (* A hair after the previous delivery keeps distinct deterministic
+       slots for same-channel messages. *)
+    let time = Float.max earliest (fifo_floor +. 1e-9) in
+    Hashtbl.replace t.last_delivery key time;
+    ignore
+      (Engine.schedule_at t.engine ~time (fun () ->
+           if is_crashed t dst then Stats.record_drop t.stats
+           else begin
+             Stats.record_delivery t.stats;
+             match t.deliver with
+             | Some handler -> handler ~src ~dst payload
+             | None -> failwith "Network: no delivery handler installed"
+           end))
+  end
+
+let flush_time t ~src ~dst =
+  Option.value ~default:neg_infinity
+    (Hashtbl.find_opt t.last_delivery (Node_id.to_int src, Node_id.to_int dst))
+
+let multicast t ?units ~src ~dsts payload =
+  Node_set.iter (fun dst -> send t ?units ~src ~dst payload) dsts
+
+let stats t = t.stats

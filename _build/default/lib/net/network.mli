@@ -1,0 +1,57 @@
+(** Simulated asynchronous reliable FIFO point-to-point network.
+
+    Implements exactly the channel assumptions of §2.2 of the paper:
+    any two nodes can exchange messages over asynchronous, reliable,
+    FIFO channels.  Per ordered pair, delivery order equals send order
+    even when the latency model draws out-of-order delays (a later send
+    is never delivered before an earlier one).  Messages to a node that
+    has crashed by delivery time are dropped; messages already sent by a
+    node that subsequently crashes are still delivered, as in the
+    asynchronous model.
+
+    The FIFO guarantee is load-bearing for the protocol: Lemma 3 of the
+    paper (agreement on final opinion vectors) relies on a node's accept
+    preceding its reject on every channel. *)
+
+open Cliffedge_graph
+
+type 'a t
+(** A network carrying payloads of type ['a]. *)
+
+val create :
+  engine:Cliffedge_sim.Engine.t ->
+  rng:Cliffedge_prng.Prng.t ->
+  latency:Latency.t ->
+  unit ->
+  'a t
+
+val on_deliver : 'a t -> (src:Node_id.t -> dst:Node_id.t -> 'a -> unit) -> unit
+(** Installs the delivery handler (typically the runner's dispatch into
+    protocol nodes).  Must be installed before the first delivery
+    fires. *)
+
+val send : 'a t -> ?units:int -> src:Node_id.t -> dst:Node_id.t -> 'a -> unit
+(** Enqueues a message.  [units] is an abstract payload size for
+    accounting (default 1).  Sends from crashed nodes are ignored
+    (crashed nodes cannot act); sends to crashed nodes are dropped at
+    delivery time. *)
+
+val multicast :
+  'a t -> ?units:int -> src:Node_id.t -> dsts:Node_set.t -> 'a -> unit
+(** The paper's best-effort multicast: a plain loop of point-to-point
+    sends.  No guarantee beyond the underlying channels. *)
+
+val crash : 'a t -> Node_id.t -> unit
+(** Marks a node as crashed from the current virtual time on. *)
+
+val flush_time : 'a t -> src:Node_id.t -> dst:Node_id.t -> float
+(** Virtual time by which every message currently sent on the ordered
+    channel [src -> dst] will have been delivered ([neg_infinity] when
+    nothing was ever sent).  The channel-consistent failure detector
+    uses this floor so that a crash notification never overtakes the
+    crashed node's in-flight messages — see
+    {!Cliffedge_detector.Failure_detector}. *)
+
+val is_crashed : 'a t -> Node_id.t -> bool
+
+val stats : 'a t -> Stats.t

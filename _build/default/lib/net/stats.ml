@@ -1,0 +1,53 @@
+open Cliffedge_graph
+
+type t = {
+  mutable sent : int;
+  mutable delivered : int;
+  mutable dropped : int;
+  mutable units_sent : int;
+  per_pair : (int * int, int) Hashtbl.t;
+}
+
+let create () =
+  { sent = 0; delivered = 0; dropped = 0; units_sent = 0; per_pair = Hashtbl.create 64 }
+
+let record_send t ~src ~dst ~units =
+  t.sent <- t.sent + 1;
+  t.units_sent <- t.units_sent + units;
+  let key = (Node_id.to_int src, Node_id.to_int dst) in
+  let current = Option.value ~default:0 (Hashtbl.find_opt t.per_pair key) in
+  Hashtbl.replace t.per_pair key (current + 1)
+
+let record_delivery t = t.delivered <- t.delivered + 1
+
+let record_drop t = t.dropped <- t.dropped + 1
+
+let sent t = t.sent
+
+let delivered t = t.delivered
+
+let dropped t = t.dropped
+
+let units_sent t = t.units_sent
+
+let pairs t =
+  Hashtbl.fold
+    (fun (src, dst) _ acc -> (Node_id.of_int src, Node_id.of_int dst) :: acc)
+    t.per_pair []
+  |> List.sort compare
+
+let pair_count t ~src ~dst =
+  Option.value ~default:0
+    (Hashtbl.find_opt t.per_pair (Node_id.to_int src, Node_id.to_int dst))
+
+let communicating_nodes t =
+  Hashtbl.fold
+    (fun (src, dst) _ acc ->
+      Node_set.add (Node_id.of_int src) (Node_set.add (Node_id.of_int dst) acc))
+    t.per_pair Node_set.empty
+
+let pp ppf t =
+  Format.fprintf ppf
+    "messages: %d sent (%d units), %d delivered, %d dropped, %d node(s) involved"
+    t.sent t.units_sent t.delivered t.dropped
+    (Node_set.cardinal (communicating_nodes t))

@@ -1,0 +1,38 @@
+(** Message accounting.
+
+    Counts messages and abstract payload units (for the cliff-edge
+    protocol a unit is one opinion-vector entry, a good proxy for bytes
+    on the wire), globally and per ordered node pair.  The locality
+    checker (CD3) and the scaling experiments (X4/X5) read these
+    counters. *)
+
+open Cliffedge_graph
+
+type t
+
+val create : unit -> t
+
+val record_send : t -> src:Node_id.t -> dst:Node_id.t -> units:int -> unit
+
+val record_delivery : t -> unit
+
+val record_drop : t -> unit
+(** A message whose destination had crashed by delivery time. *)
+
+val sent : t -> int
+
+val delivered : t -> int
+
+val dropped : t -> int
+
+val units_sent : t -> int
+
+val pairs : t -> (Node_id.t * Node_id.t) list
+(** Ordered pairs that exchanged at least one message. *)
+
+val pair_count : t -> src:Node_id.t -> dst:Node_id.t -> int
+
+val communicating_nodes : t -> Node_set.t
+(** Nodes that sent or were sent at least one message. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/repair/churn.ml: Cliffedge Cliffedge_graph Cliffedge_workload Format Graph List Node_set Session

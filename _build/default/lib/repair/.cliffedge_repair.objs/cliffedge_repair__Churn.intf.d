@@ -1,0 +1,1 @@
+lib/repair/churn.mli: Cliffedge Cliffedge_graph Cliffedge_prng Format Graph Node_set Planner Session

@@ -1,0 +1,1 @@
+lib/repair/plan.ml: Cliffedge_graph Format Graph List Node_id Node_set

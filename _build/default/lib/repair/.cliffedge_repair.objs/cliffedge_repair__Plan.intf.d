@@ -1,0 +1,1 @@
+lib/repair/plan.mli: Cliffedge_graph Format Graph Node_id Node_set

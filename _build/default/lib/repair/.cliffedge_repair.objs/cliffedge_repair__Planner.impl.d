@@ -1,0 +1,1 @@
+lib/repair/planner.ml: Cliffedge_graph Format Graph Node_id Node_set Plan Printf

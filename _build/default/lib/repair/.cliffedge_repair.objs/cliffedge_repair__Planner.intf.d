@@ -1,0 +1,1 @@
+lib/repair/planner.mli: Cliffedge Cliffedge_graph Format Graph Node_id Plan

@@ -1,0 +1,1 @@
+lib/repair/session.ml: Cliffedge Cliffedge_graph Format Graph List Node_set Plan Planner

@@ -1,0 +1,1 @@
+lib/repair/session.mli: Cliffedge Cliffedge_graph Format Graph Node_id Plan Planner

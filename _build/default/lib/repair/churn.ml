@@ -1,0 +1,62 @@
+open Cliffedge_graph
+module Runner = Cliffedge.Runner
+module Checker = Cliffedge.Checker
+
+type epoch = {
+  index : int;
+  overlay : Graph.t;
+  crashed : Node_set.t;
+  session : Session.outcome;
+}
+
+type outcome = {
+  epochs : epoch list;
+  final_overlay : Graph.t;
+  all_ok : bool;
+}
+
+let run ?(options = Runner.default_options) ?strategy ~graph ~next_wave ~epochs () =
+  let rec loop overlay index acc =
+    if index >= epochs then (overlay, List.rev acc)
+    else
+      match next_wave overlay index with
+      | None -> (overlay, List.rev acc)
+      | Some region ->
+          let crashes =
+            List.map (fun p -> (10.0, p)) (Node_set.elements region)
+          in
+          let session =
+            Session.repair
+              ~options:{ options with Runner.seed = options.Runner.seed + (1009 * index) }
+              ?strategy ~graph:overlay ~crashes ()
+          in
+          let epoch = { index; overlay; crashed = region; session } in
+          loop session.Session.healed_overlay (index + 1) (epoch :: acc)
+  in
+  let final_overlay, epochs = loop graph 0 [] in
+  let all_ok =
+    List.for_all
+      (fun e -> Checker.ok e.session.Session.report && e.session.Session.healed)
+      epochs
+  in
+  { epochs; final_overlay; all_ok }
+
+let random_wave rng ~size overlay _index =
+  if Graph.node_count overlay < size + 2 then None
+  else Some (Cliffedge_workload.Fault_gen.connected_region rng overlay ~size)
+
+let pp ppf outcome =
+  Format.fprintf ppf "@[<v>churn: %d epoch(s), all ok = %b@,"
+    (List.length outcome.epochs) outcome.all_ok;
+  List.iter
+    (fun e ->
+      Format.fprintf ppf
+        "  epoch %d: %d-node overlay, crash %a, %d plan(s), healed=%b@," e.index
+        (Graph.node_count e.overlay)
+        Node_set.pp e.crashed
+        (List.length e.session.Session.plans)
+        e.session.Session.healed)
+    outcome.epochs;
+  Format.fprintf ppf "  final overlay: %d node(s), connected=%b@]"
+    (Graph.node_count outcome.final_overlay)
+    (Graph.is_connected outcome.final_overlay)

@@ -1,0 +1,46 @@
+(** Long-running churn: repeated fault waves over a self-healing overlay.
+
+    The paper's service is single-shot — it "stops by raising a decide
+    event".  A deployment re-instantiates it after every repair: crash
+    wave → cliff-edge agreement on each region → apply the agreed plans
+    → fresh protocol instances on the healed overlay → next wave.  This
+    module runs that lifecycle for a configurable number of epochs,
+    which is also how the repository demonstrates that the healed
+    overlay is a first-class knowledge graph (nothing distinguishes a
+    spliced edge from an original one in the next epoch). *)
+
+open Cliffedge_graph
+
+type epoch = {
+  index : int;
+  overlay : Graph.t;  (** overlay at the start of the wave *)
+  crashed : Node_set.t;  (** region killed in this wave *)
+  session : Session.outcome;  (** the agreement + repair that followed *)
+}
+
+type outcome = {
+  epochs : epoch list;  (** in order; may stop early (see {!run}) *)
+  final_overlay : Graph.t;  (** overlay after the last repair *)
+  all_ok : bool;  (** every epoch: CD1–CD7 held and the repair healed *)
+}
+
+val run :
+  ?options:Cliffedge.Runner.options ->
+  ?strategy:Planner.strategy ->
+  graph:Graph.t ->
+  next_wave:(Graph.t -> int -> Node_set.t option) ->
+  epochs:int ->
+  unit ->
+  outcome
+(** [run ~graph ~next_wave ~epochs ()] executes up to [epochs] waves.
+    [next_wave overlay i] chooses the region of the {e current} overlay
+    to crash in epoch [i] ([None] stops the churn early, e.g. when the
+    overlay got too small).  Each epoch runs with a distinct PRNG seed
+    derived from [options.seed] and [i]. *)
+
+val random_wave :
+  Cliffedge_prng.Prng.t -> size:int -> Graph.t -> int -> Node_set.t option
+(** A [next_wave] that kills a random connected region of [size] nodes,
+    stopping when fewer than [size + 2] nodes remain. *)
+
+val pp : Format.formatter -> outcome -> unit

@@ -1,0 +1,49 @@
+open Cliffedge_graph
+
+type t = { edges : (Node_id.t * Node_id.t) list }
+
+let empty = { edges = [] }
+
+let orient (a, b) = if Node_id.compare a b <= 0 then (a, b) else (b, a)
+
+let make edges =
+  let edges =
+    edges
+    |> List.map orient
+    |> List.filter (fun (a, b) -> not (Node_id.equal a b))
+    |> List.sort_uniq compare
+  in
+  { edges }
+
+let equal a b = a.edges = b.edges
+
+let union a b = make (a.edges @ b.edges)
+
+let edge_count t = List.length t.edges
+
+let apply graph t =
+  List.fold_left (fun g (a, b) -> Graph.add_edge a b g) graph t.edges
+
+let touches_only t nodes =
+  List.for_all (fun (a, b) -> Node_set.mem a nodes && Node_set.mem b nodes) t.edges
+
+let heals graph ~crashed plans =
+  let survivors = Node_set.diff (Graph.nodes graph) crashed in
+  if Node_set.cardinal survivors <= 1 then true
+  else
+    let healed =
+      List.fold_left apply (Graph.induced graph survivors) plans
+    in
+    (* Plans may only reconnect survivors; edges to crashed endpoints
+       would falsify connectivity of the survivor overlay. *)
+    List.for_all (fun p -> touches_only p survivors) plans
+    && Graph.is_connected (Graph.induced healed survivors)
+
+let pp ppf t =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       (fun ppf (a, b) -> Format.fprintf ppf "%a--%a" Node_id.pp a Node_id.pp b))
+    t.edges
+
+let to_string t = Format.asprintf "%a" pp t

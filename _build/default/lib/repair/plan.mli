@@ -1,0 +1,43 @@
+(** Repair plans — concrete decision values for overlay healing.
+
+    The paper motivates cliff-edge consensus with the generalised repair
+    of overlay networks (its reference [16]): once the border of a
+    crashed region agrees on the region's extent, it must agree on, and
+    execute, a common repair.  A plan is a set of overlay edges to
+    create among survivors.  Because CD5 guarantees all border nodes of
+    a decided region hold the {e same} plan, the repair is applied
+    exactly once per region. *)
+
+open Cliffedge_graph
+
+type t = { edges : (Node_id.t * Node_id.t) list }
+(** Edges to splice into the overlay, each with endpoints ordered
+    [(low, high)]. *)
+
+val empty : t
+
+val make : (Node_id.t * Node_id.t) list -> t
+(** Normalizes edge orientation and order, drops duplicates and
+    self-loops. *)
+
+val equal : t -> t -> bool
+
+val union : t -> t -> t
+
+val edge_count : t -> int
+
+val apply : Graph.t -> t -> Graph.t
+(** Adds the plan's edges.  Endpoints are added to the graph if absent. *)
+
+val touches_only : t -> Node_set.t -> bool
+(** All endpoints lie in the given set (e.g. the survivors, or a
+    region's border — locality of the repair itself). *)
+
+val heals : Graph.t -> crashed:Node_set.t -> t list -> bool
+(** Whether applying the plans to the surviving subgraph makes it
+    connected again.  Trivially [true] when fewer than two survivors
+    remain. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/report/table.ml: Buffer Char Csv Filename Format List Printf String Sys

@@ -1,0 +1,40 @@
+type t = {
+  columns : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ~columns = { columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Csv.add_row: row width mismatches header";
+  t.rows <- row :: t.rows
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if not (needs_quoting s) then s
+  else begin
+    let buffer = Buffer.create (String.length s + 2) in
+    Buffer.add_char buffer '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buffer "\"\"" else Buffer.add_char buffer c)
+      s;
+    Buffer.add_char buffer '"';
+    Buffer.contents buffer
+  end
+
+let render t =
+  let line cells = String.concat "," (List.map escape cells) ^ "\n" in
+  let buffer = Buffer.create 256 in
+  Buffer.add_string buffer (line t.columns);
+  List.iter (fun row -> Buffer.add_string buffer (line row)) (List.rev t.rows);
+  Buffer.contents buffer
+
+let write_file t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render t))

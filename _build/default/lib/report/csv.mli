@@ -1,0 +1,21 @@
+(** CSV export for experiment results.
+
+    RFC-4180-style quoting: fields containing commas, quotes or
+    newlines are wrapped in double quotes with embedded quotes
+    doubled.  Used by the benchmark harness's [--csv] mode so that the
+    experiment series can be re-plotted outside the repository. *)
+
+type t
+
+val create : columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument when the row width mismatches the header. *)
+
+val render : t -> string
+(** Header line plus one line per row, [\n]-terminated. *)
+
+val write_file : t -> string -> unit
+
+val escape : string -> string
+(** Quoting rule for one field, exposed for tests. *)

@@ -1,0 +1,41 @@
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  let rank = int_of_float (ceil (q *. float_of_int n)) in
+  sorted.(max 0 (min (n - 1) (rank - 1)))
+
+let of_list samples =
+  if samples = [] then invalid_arg "Summary.of_list: empty sample";
+  let sorted = Array.of_list samples in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let count = n in
+  let total = Array.fold_left ( +. ) 0.0 sorted in
+  let mean = total /. float_of_int n in
+  let sq_diff = Array.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.0)) 0.0 sorted in
+  let stddev = if n <= 1 then 0.0 else sqrt (sq_diff /. float_of_int (n - 1)) in
+  {
+    count;
+    mean;
+    stddev;
+    min = sorted.(0);
+    max = sorted.(n - 1);
+    median = percentile sorted 0.5;
+    p90 = percentile sorted 0.9;
+  }
+
+let of_ints samples = of_list (List.map float_of_int samples)
+
+let pp ppf t =
+  Format.fprintf ppf "%.1f ± %.1f [%.1f..%.1f]" t.mean t.stddev t.min t.max
+
+let pp_terse ppf t = Format.fprintf ppf "%.1f" t.mean

@@ -1,0 +1,22 @@
+(** Descriptive statistics over float samples. *)
+
+type t = {
+  count : int;
+  mean : float;
+  stddev : float;  (** sample standard deviation (n-1); 0 for n <= 1 *)
+  min : float;
+  max : float;
+  median : float;
+  p90 : float;  (** 90th percentile (nearest-rank) *)
+}
+
+val of_list : float list -> t
+(** @raise Invalid_argument on the empty list. *)
+
+val of_ints : int list -> t
+
+val pp : Format.formatter -> t -> unit
+(** ["mean ± sd [min..max]"]. *)
+
+val pp_terse : Format.formatter -> t -> unit
+(** Just the mean, with one decimal. *)

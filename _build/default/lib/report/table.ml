@@ -1,0 +1,87 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : string list list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.columns then
+    invalid_arg "Table.add_row: row width mismatches columns";
+  t.rows <- row :: t.rows
+
+let add_rows t rows = List.iter (add_row t) rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun widths row -> List.map2 (fun w cell -> max w (String.length cell)) widths row)
+      (List.map String.length t.columns)
+      rows
+  in
+  let buffer = Buffer.create 256 in
+  let line fill cross =
+    List.iter
+      (fun w ->
+        Buffer.add_string buffer cross;
+        Buffer.add_string buffer (String.make (w + 2) fill))
+      widths;
+    Buffer.add_string buffer cross;
+    Buffer.add_char buffer '\n'
+  in
+  let row_out cells =
+    List.iter2
+      (fun w cell -> Buffer.add_string buffer (Printf.sprintf "| %-*s " w cell))
+      widths cells;
+    Buffer.add_string buffer "|\n"
+  in
+  Buffer.add_string buffer ("== " ^ t.title ^ " ==\n");
+  line '-' "+";
+  row_out t.columns;
+  line '=' "+";
+  List.iter row_out rows;
+  line '-' "+";
+  Buffer.contents buffer
+
+let title t = t.title
+
+let to_csv t =
+  let csv = Csv.create ~columns:t.columns in
+  List.iter (Csv.add_row csv) (List.rev t.rows);
+  csv
+
+let csv_dir = ref None
+
+let set_csv_dir dir = csv_dir := dir
+
+let slug title =
+  let b = Buffer.create (String.length title) in
+  let last_dash = ref true in
+  String.iter
+    (fun c ->
+      match Char.lowercase_ascii c with
+      | ('a' .. 'z' | '0' .. '9') as c ->
+          Buffer.add_char b c;
+          last_dash := false
+      | _ ->
+          if not !last_dash then begin
+            Buffer.add_char b '-';
+            last_dash := true
+          end)
+    title;
+  let s = Buffer.contents b in
+  let s = if String.length s > 0 && s.[String.length s - 1] = '-' then String.sub s 0 (String.length s - 1) else s in
+  if String.length s > 64 then String.sub s 0 64 else s
+
+let print t =
+  print_string (render t);
+  print_newline ();
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      Csv.write_file (to_csv t) (Filename.concat dir (slug t.title ^ ".csv"))
+
+let cell fmt = Format.asprintf fmt

@@ -1,0 +1,37 @@
+(** ASCII table rendering for experiment output.
+
+    The benchmark harness prints every regenerated experiment as one of
+    these tables; EXPERIMENTS.md embeds them verbatim. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument when the row width mismatches the columns. *)
+
+val add_rows : t -> string list list -> unit
+
+val render : t -> string
+(** Title, header, separator and aligned rows. *)
+
+val print : t -> unit
+(** [render] to stdout, followed by a blank line. *)
+
+val cell : ('a, Format.formatter, unit, string) format4 -> 'a
+(** [Format.asprintf] alias, for building cells tersely. *)
+
+val title : t -> string
+
+val to_csv : t -> Csv.t
+(** The same data as a CSV document, for machine consumption
+    ([bench/main.exe --csv]). *)
+
+val set_csv_dir : string option -> unit
+(** When set, every subsequent {!print} also writes the table to
+    [<dir>/<slug-of-title>.csv] (the directory is created if needed).
+    Harness-level switch; [None] (the default) disables it. *)
+
+val slug : string -> string
+(** Filesystem-safe lowercase identifier derived from a title, exposed
+    for tests. *)

@@ -1,0 +1,91 @@
+type entry = {
+  time : float;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = entry
+
+type t = {
+  queue : entry Heap.t;
+  mutable clock : float;
+  mutable next_seq : int;
+  mutable live : int;
+  mutable processed : int;
+}
+
+let compare_entry a b =
+  let by_time = Float.compare a.time b.time in
+  if by_time <> 0 then by_time else Int.compare a.seq b.seq
+
+let create () =
+  {
+    queue = Heap.create ~compare:compare_entry;
+    clock = 0.0;
+    next_seq = 0;
+    live = 0;
+    processed = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at t ~time action =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  let entry = { time; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.live <- t.live + 1;
+  Heap.push t.queue entry;
+  entry
+
+let schedule t ~delay action =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) action
+
+let cancel t handle =
+  if not handle.cancelled then begin
+    handle.cancelled <- true;
+    t.live <- t.live - 1
+  end
+
+let pending t = t.live
+
+let rec step t =
+  match Heap.pop t.queue with
+  | None -> false
+  | Some entry ->
+      if entry.cancelled then step t
+      else begin
+        t.clock <- entry.time;
+        t.live <- t.live - 1;
+        t.processed <- t.processed + 1;
+        entry.action ();
+        true
+      end
+
+let run ?until ?max_events t =
+  let fired = ref 0 in
+  let budget_left () =
+    match max_events with None -> true | Some m -> !fired < m
+  in
+  let horizon_allows () =
+    match until with
+    | None -> true
+    | Some horizon -> (
+        (* Peeks past cancelled entries without firing anything. *)
+        let rec live_head () =
+          match Heap.peek t.queue with
+          | None -> None
+          | Some e when e.cancelled ->
+              ignore (Heap.pop t.queue);
+              live_head ()
+          | Some e -> Some e
+        in
+        match live_head () with None -> false | Some e -> e.time <= horizon)
+  in
+  let continue = ref true in
+  while !continue && budget_left () && horizon_allows () do
+    if step t then incr fired else continue := false
+  done
+
+let events_processed t = t.processed

@@ -1,0 +1,48 @@
+(** Deterministic discrete-event simulation engine.
+
+    The engine replaces the wall-clock asynchrony of the paper's system
+    model: every message delivery, failure-detector notification and
+    crash is an event scheduled at a virtual time.  Events scheduled at
+    the same instant fire in scheduling order (a strictly increasing
+    sequence number breaks ties), so a run is a pure function of the
+    scenario seed.
+
+    Virtual time is a [float] in arbitrary "milliseconds"; only the
+    relative order of events matters to the protocol, which is
+    asynchronous. *)
+
+type t
+
+type handle
+(** Token for cancelling a scheduled event. *)
+
+val create : unit -> t
+(** Fresh engine at time [0.]. *)
+
+val now : t -> float
+(** Current virtual time. *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> handle
+(** [schedule t ~delay f] runs [f] at time [now t +. delay].
+    @raise Invalid_argument if [delay < 0.]. *)
+
+val schedule_at : t -> time:float -> (unit -> unit) -> handle
+(** Absolute-time variant; the time must not be in the virtual past. *)
+
+val cancel : t -> handle -> unit
+(** Cancels a pending event.  Cancelling an already-fired or
+    already-cancelled event is a no-op. *)
+
+val pending : t -> int
+(** Number of scheduled, not-yet-fired, not-cancelled events. *)
+
+val step : t -> bool
+(** Fires the next event.  Returns [false] when the queue is empty. *)
+
+val run : ?until:float -> ?max_events:int -> t -> unit
+(** Fires events until the queue drains, the optional horizon is
+    reached (events strictly later than [until] stay queued), or
+    [max_events] have fired in this call. *)
+
+val events_processed : t -> int
+(** Total events fired since creation, a cheap progress metric. *)

@@ -1,0 +1,68 @@
+type 'a t = {
+  compare : 'a -> 'a -> int;
+  mutable store : 'a array;
+  mutable size : int;
+}
+
+let create ~compare = { compare; store = [||]; size = 0 }
+
+let size t = t.size
+
+let is_empty t = t.size = 0
+
+let grow t element =
+  let capacity = Array.length t.store in
+  if t.size = capacity then begin
+    let next = max 8 (2 * capacity) in
+    let store = Array.make next element in
+    Array.blit t.store 0 store 0 t.size;
+    t.store <- store
+  end
+
+let swap t i j =
+  let tmp = t.store.(i) in
+  t.store.(i) <- t.store.(j);
+  t.store.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.compare t.store.(i) t.store.(parent) < 0 then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let left = (2 * i) + 1 and right = (2 * i) + 2 in
+  let smallest = ref i in
+  if left < t.size && t.compare t.store.(left) t.store.(!smallest) < 0 then
+    smallest := left;
+  if right < t.size && t.compare t.store.(right) t.store.(!smallest) < 0 then
+    smallest := right;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t x =
+  grow t x;
+  t.store.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t = if t.size = 0 then None else Some t.store.(0)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.store.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.store.(0) <- t.store.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let to_list t = Array.to_list (Array.sub t.store 0 t.size)

@@ -1,0 +1,24 @@
+(** Imperative binary min-heap.
+
+    Backing store of the event queue.  Amortized O(log n) push/pop with a
+    growable array. *)
+
+type 'a t
+
+val create : compare:('a -> 'a -> int) -> 'a t
+(** Empty heap ordered by the given comparison. *)
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Smallest element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the smallest element. *)
+
+val to_list : 'a t -> 'a list
+(** All elements in unspecified order (does not drain the heap). *)

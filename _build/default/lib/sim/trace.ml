@@ -1,0 +1,22 @@
+type 'a entry = { time : float; event : 'a }
+
+type 'a t = { mutable entries : 'a entry list; mutable length : int }
+
+let create () = { entries = []; length = 0 }
+
+let record t ~time event =
+  t.entries <- { time; event } :: t.entries;
+  t.length <- t.length + 1
+
+let length t = t.length
+
+let to_list t = List.rev t.entries
+
+let events t = List.rev_map (fun e -> e.event) t.entries
+
+let filter_map f t = List.filter_map f (to_list t)
+
+let pp pp_event ppf t =
+  List.iter
+    (fun { time; event } -> Format.fprintf ppf "t=%10.3f  %a@." time pp_event event)
+    (to_list t)

@@ -1,0 +1,28 @@
+(** Time-stamped trace collection.
+
+    Runs record typed observations (sends, deliveries, crashes,
+    decisions) into a trace; checkers and reports consume the
+    chronological list afterwards. *)
+
+type 'a t
+
+type 'a entry = { time : float; event : 'a }
+
+val create : unit -> 'a t
+
+val record : 'a t -> time:float -> 'a -> unit
+
+val length : 'a t -> int
+
+val to_list : 'a t -> 'a entry list
+(** Entries in recording order (which is chronological when times are
+    recorded from a monotone clock). *)
+
+val events : 'a t -> 'a list
+(** Just the events, in recording order. *)
+
+val filter_map : ('a entry -> 'b option) -> 'a t -> 'b list
+
+val pp :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
+(** One line per entry, [t=<time> <event>]. *)

@@ -1,0 +1,1 @@
+lib/workload/fault_gen.ml: Cliffedge_graph Cliffedge_prng Graph List Node_id Node_set

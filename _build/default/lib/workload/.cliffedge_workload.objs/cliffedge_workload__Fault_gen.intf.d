@@ -1,0 +1,1 @@
+lib/workload/fault_gen.mli: Cliffedge_graph Cliffedge_prng Graph Node_id Node_set

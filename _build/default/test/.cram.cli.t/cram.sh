@@ -1,0 +1,8 @@
+  $ cliffedge-cli run --topology ring:8 --region-size 1 --seed 0
+  $ cliffedge-cli dot --topology path:4 --region-size 1 --seed 0
+  $ cliffedge-cli mcheck --topology path:5 --crash 2,3,1
+  $ cliffedge-cli mcheck --topology path:5 --crash 2,3 --raw-fd
+  $ cliffedge-cli sweep --topology ring:24 --sizes 1,2 --seed 1
+  $ cliffedge-cli paper atlantis
+  $ cliffedge-cli paper fig2 --seed 0
+  $ cliffedge-cli run --topology ring:10 --region-size 2 --seed 0 --timeline

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Cliffedge_baseline Cliffedge_graph Cliffedge_net List Node_id Node_map Node_set Topology

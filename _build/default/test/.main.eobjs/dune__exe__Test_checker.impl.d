@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Cliffedge Cliffedge_graph Cliffedge_net List Node_id Node_set String Topology

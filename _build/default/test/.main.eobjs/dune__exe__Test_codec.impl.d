@@ -1,0 +1,1 @@
+test/test_codec.ml: Alcotest Bytes Char Cliffedge Cliffedge_codec Cliffedge_graph List Node_id Node_map Node_set Option Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_dsu.ml: Alcotest Cliffedge_graph Cliffedge_prng Graph List Node_id Node_set QCheck2 QCheck_alcotest Topology

@@ -1,0 +1,1 @@
+test/test_fault_gen.ml: Alcotest Cliffedge_graph Cliffedge_prng Cliffedge_workload Fault_geometry Float Graph List Node_id Node_set Topology

@@ -1,0 +1,1 @@
+test/test_fault_geometry.ml: Alcotest Cliffedge_graph Cliffedge_prng Fault_geometry Graph List Node_id Node_set QCheck2 QCheck_alcotest Topology

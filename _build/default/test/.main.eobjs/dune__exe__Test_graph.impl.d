@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Cliffedge_graph Cliffedge_prng Cliffedge_workload Graph List Node_id Node_map Node_set QCheck2 QCheck_alcotest Topology

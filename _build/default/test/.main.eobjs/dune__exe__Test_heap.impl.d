@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Cliffedge_sim Int List QCheck2 QCheck_alcotest

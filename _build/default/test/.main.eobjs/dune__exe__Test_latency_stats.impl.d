@@ -1,0 +1,1 @@
+test/test_latency_stats.ml: Alcotest Cliffedge_graph Cliffedge_net Cliffedge_prng Dot Format Graph List Node_id Node_set String

@@ -1,0 +1,1 @@
+test/test_mcheck.ml: Alcotest Cliffedge Cliffedge_graph Cliffedge_mcheck List Node_id Topology

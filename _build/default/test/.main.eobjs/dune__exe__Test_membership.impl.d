@@ -1,0 +1,1 @@
+test/test_membership.ml: Alcotest Cliffedge_baseline Cliffedge_graph Cliffedge_net Graph List Node_id Node_set Topology

@@ -1,0 +1,1 @@
+test/test_opinion.ml: Alcotest Cliffedge Cliffedge_graph Format Node_id Node_map Node_set String

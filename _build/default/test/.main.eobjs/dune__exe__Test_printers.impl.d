@@ -1,0 +1,1 @@
+test/test_printers.ml: Alcotest Cliffedge Cliffedge_graph Cliffedge_mcheck Fault_geometry Format Fun Graph Node_id Node_set Ranking String Topology

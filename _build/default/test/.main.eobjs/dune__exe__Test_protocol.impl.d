@@ -1,0 +1,1 @@
+test/test_protocol.ml: Alcotest Cliffedge Cliffedge_graph Format Fun Hashtbl List Node_id Node_map Node_set Option Queue Topology

@@ -1,0 +1,1 @@
+test/test_protocol_invariants.ml: Cliffedge Cliffedge_graph Cliffedge_prng Format Fun Graph List Node_id Node_set QCheck2 QCheck_alcotest Ranking String Topology

@@ -1,0 +1,1 @@
+test/test_ranking.ml: Alcotest Cliffedge_graph Cliffedge_prng Cliffedge_workload Graph Node_set QCheck2 QCheck_alcotest Ranking Topology

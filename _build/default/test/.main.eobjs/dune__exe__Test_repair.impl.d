@@ -1,0 +1,1 @@
+test/test_repair.ml: Alcotest Cliffedge Cliffedge_graph Cliffedge_prng Cliffedge_repair Format Graph List Node_id Node_set String Topology

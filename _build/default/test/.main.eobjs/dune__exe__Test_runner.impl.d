@@ -1,0 +1,1 @@
+test/test_runner.ml: Alcotest Cliffedge Cliffedge_graph Cliffedge_net Float List Node_id Node_set Topology

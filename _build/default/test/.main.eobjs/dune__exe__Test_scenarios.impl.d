@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest Cliffedge Cliffedge_graph Cliffedge_net Format Graph List Node_id Node_set String Topology

@@ -1,0 +1,1 @@
+test/test_stable_predicate.ml: Alcotest Cliffedge Cliffedge_graph Format Graph List Node_id Node_set Printf String Topology

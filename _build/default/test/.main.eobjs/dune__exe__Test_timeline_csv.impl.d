@@ -1,0 +1,1 @@
+test/test_timeline_csv.ml: Alcotest Cliffedge Cliffedge_graph Cliffedge_report Filename Float Format Fun List Node_set String Sys Topology

@@ -1,0 +1,1 @@
+test/test_topology.ml: Alcotest Cliffedge_graph Cliffedge_prng Format Graph List Node_id Node_set Printf Topology

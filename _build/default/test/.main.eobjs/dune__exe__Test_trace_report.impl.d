@@ -1,0 +1,1 @@
+test/test_trace_report.ml: Alcotest Cliffedge_report Cliffedge_sim List String

@@ -1,0 +1,104 @@
+The CLI is fully deterministic given a seed, so its output is testable
+verbatim.
+
+A small agreement with verification:
+
+  $ cliffedge-cli run --topology ring:8 --region-size 1 --seed 0
+  scenario "ring:8 seed=0" (seed 0)
+    t=    10.0  crash n7
+    t=    22.0  n0 decides "plan(n0,1)" on {n7}
+    t=    23.6  n6 decides "plan(n0,1)" on {n7}
+    messages: 2 sent (10 units), 2 delivered, 0 dropped, 2 node(s) involved
+    all properties hold (2 decision(s), 2 pair(s) checked)
+
+Graphviz export of a fault pattern:
+
+  $ cliffedge-cli dot --topology path:4 --region-size 1 --seed 0
+  graph cliffedge {
+    node [shape=circle, style=filled, fillcolor=white];
+    0 [label="n0", fillcolor="white"];
+    1 [label="n1", fillcolor="white"];
+    2 [label="n2", fillcolor="orange"];
+    3 [label="n3", fillcolor="indianred1"];
+    0 -- 1;
+    1 -- 2;
+    2 -- 3;
+  }
+
+Exhaustive model checking from the command line, both detector models:
+
+  $ cliffedge-cli mcheck --topology path:5 --crash 2,3,1
+  333 state(s), 596 transition(s), 11 leaf(ves), 0 violation(s)
+  $ cliffedge-cli mcheck --topology path:5 --crash 2,3 --raw-fd
+  90 state(s), 162 transition(s), 5 leaf(ves), 5 violation(s)
+    CD5 (uniform border agreement): n3 decided {n2} but border node n1 decided {n2, n3}
+    after: crash(2) ; notify(1 of 2) ; deliver(1->3) ; notify(3 of 2) ; crash(3) ; notify(1 of 3) ; deliver(1->4) ; deliver(3->1) ; notify(4 of 3) ; notify(4 of 2) ; deliver(4->1)
+    CD5 (uniform border agreement): n3 decided {n2} but border node n1 decided {n2, n3}
+    after: crash(2) ; notify(1 of 2) ; deliver(1->3) ; notify(3 of 2) ; crash(3) ; notify(1 of 3) ; deliver(1->4) ; notify(4 of 3) ; notify(4 of 2) ; deliver(4->1)
+    CD5 (uniform border agreement): n3 decided {n2} but border node n1 decided {n2, n3}
+    after: crash(2) ; notify(1 of 2) ; deliver(1->3) ; notify(3 of 2) ; crash(3) ; notify(1 of 3) ; deliver(3->1) ; notify(4 of 3) ; notify(4 of 2) ; deliver(4->1)
+    CD5 (uniform border agreement): n3 decided {n2} but border node n1 decided {n2, n3}
+    after: crash(2) ; notify(1 of 2) ; deliver(1->3) ; notify(3 of 2) ; crash(3) ; notify(1 of 3) ; notify(4 of 3) ; notify(4 of 2) ; deliver(4->1)
+    CD5 (uniform border agreement): n3 decided {n2} but border node n1 decided {n2, n3}
+    after: crash(2) ; notify(1 of 2) ; deliver(1->3) ; notify(3 of 2) ; crash(3) ; notify(4 of 3) ; notify(4 of 2) ; deliver(4->1) ; notify(1 of 3)
+  [1]
+
+A region-size sweep:
+
+  $ cliffedge-cli sweep --topology ring:24 --sizes 1,2 --seed 1
+  == region-size sweep on ring:24 ==
+  +---+--------+--------+------+-------+----+------+
+  | k | border | rounds | msgs | units | t  | ok   |
+  +===+========+========+======+=======+====+======+
+  | 1 | 2      | 1      | 2    | 10    | 24 | true |
+  | 2 | 2      | 1      | 6    | 30    | 35 | true |
+  +---+--------+--------+------+-------+----+------+
+  
+
+Unknown paper scenario names are rejected:
+
+  $ cliffedge-cli paper atlantis
+  unknown scenario "atlantis" (fig1a | fig1b | fig2)
+  [2]
+
+The paper's Fig. 2 scenario (arbitration leaves only the top-ranked
+domain decided):
+
+  $ cliffedge-cli paper fig2 --seed 0
+  scenario "fig2: cluster of four adjacent faulty domains" (seed 0)
+    t=    10.0  crash n1
+    t=    10.0  crash n2
+    t=    10.0  crash n4
+    t=    10.0  crash n5
+    t=    10.0  crash n7
+    t=    10.0  crash n8
+    t=    10.0  crash n10
+    t=    10.0  crash n11
+    t=    39.7  n12 decides "plan(n9,2)" on {n10, n11}
+    t=    47.0  n9 decides "plan(n9,2)" on {n10, n11}
+    messages: 18 sent (90 units), 8 delivered, 10 dropped, 10 node(s) involved
+    all properties hold (2 decision(s), 13 pair(s) checked)
+
+The timeline narrative:
+
+  $ cliffedge-cli run --topology ring:10 --region-size 2 --seed 0 --timeline
+  scenario "ring:10 seed=0" (seed 0)
+    t=    10.0  crash n2
+    t=    10.0  crash n3
+    t=    27.3  n1 decides "plan(n1,2)" on {n2, n3}
+    t=    35.1  n4 decides "plan(n1,2)" on {n2, n3}
+    messages: 6 sent (30 units), 2 delivered, 4 dropped, 4 node(s) involved
+    all properties hold (2 decision(s), 4 pair(s) checked)
+  
+  t=    10.00  n2         CRASHES
+  t=    10.00  n3         CRASHES
+  t=    13.87  n4         proposes {n3}
+  t=    16.25  n1         proposes {n2}
+  t=    22.79  n4         abandons attempt on {n3}
+  t=    22.79  n4         proposes {n2, n3}
+  t=    22.79  n4         rejects {n3}
+  t=    26.98  n1         abandons attempt on {n2}
+  t=    26.98  n1         proposes {n2, n3}
+  t=    26.98  n1         rejects {n2}
+  t=    27.27  n1         DECIDES "plan(n1,2)" on {n2, n3}
+  t=    35.07  n4         DECIDES "plan(n1,2)" on {n2, n3}

@@ -1,0 +1,88 @@
+(* Tests for the whole-system flooding baseline. *)
+
+open Cliffedge_graph
+module Flooding = Cliffedge_baseline.Flooding
+module Global_runner = Cliffedge_baseline.Global_runner
+
+let set = Node_set.of_ints
+
+let crash_all at region = List.map (fun p -> (at, p)) (Node_set.elements region)
+
+let run ?options graph crashes = Global_runner.run ?options ~graph ~crashes ()
+
+let test_everyone_decides_same_value () =
+  let graph = Topology.ring 12 in
+  let outcome = run graph (crash_all 5.0 (set [ 3; 4 ])) in
+  Alcotest.(check bool) "quiescent" true outcome.quiescent;
+  Alcotest.(check int) "all survivors decide" 10 (List.length outcome.decisions);
+  Alcotest.(check bool) "agreement" true (Global_runner.agreement_ok outcome);
+  (* The agreed value is the crashed set. *)
+  match outcome.decisions with
+  | d :: _ -> Alcotest.(check (list int)) "crashed set" [ 3; 4 ] (Node_set.to_ints d.value)
+  | [] -> Alcotest.fail "no decisions"
+
+let test_involves_whole_system () =
+  let graph = Topology.ring 30 in
+  let outcome = run graph (crash_all 5.0 (set [ 3; 4 ])) in
+  let involved = Cliffedge_net.Stats.communicating_nodes outcome.stats in
+  Alcotest.(check int) "everyone talks" 30 (Node_set.cardinal involved)
+
+let test_cost_scales_with_system_size () =
+  let cost n =
+    let outcome = run (Topology.ring n) (crash_all 5.0 (set [ 3; 4 ])) in
+    Cliffedge_net.Stats.sent outcome.stats
+  in
+  let small = cost 10 and big = cost 40 in
+  (* Quadratic-ish growth: 4x nodes should cost way more than 4x. *)
+  Alcotest.(check bool) "superlinear" true (big > 8 * small)
+
+let test_no_crash_no_consensus () =
+  let outcome = run (Topology.ring 10) [] in
+  Alcotest.(check int) "no decisions" 0 (List.length outcome.decisions);
+  Alcotest.(check int) "no messages" 0 (Cliffedge_net.Stats.sent outcome.stats)
+
+let test_deterministic () =
+  let graph = Topology.ring 10 in
+  let a = run graph (crash_all 5.0 (set [ 3 ])) in
+  let b = run graph (crash_all 5.0 (set [ 3 ])) in
+  Alcotest.(check int) "same cost" (Cliffedge_net.Stats.sent a.stats)
+    (Cliffedge_net.Stats.sent b.stats)
+
+let test_survives_cascades () =
+  let graph = Topology.ring 12 in
+  let crashes = crash_all 5.0 (set [ 3; 4 ]) @ [ (18.0, Node_id.of_int 7) ] in
+  let outcome = run graph crashes in
+  Alcotest.(check bool) "quiescent" true outcome.quiescent;
+  Alcotest.(check bool) "agreement under cascade" true
+    (Global_runner.agreement_ok outcome);
+  (* Every survivor decides. *)
+  Alcotest.(check int) "nine deciders" 9
+    (Node_set.cardinal (Global_runner.deciders outcome))
+
+let test_machine_units () =
+  let v = Node_map.of_list [ (Node_id.of_int 1, set [ 2; 3 ]) ] in
+  Alcotest.(check int) "flood units" (4 + 1 + 2)
+    (Flooding.msg_units (Flooding.Flood { round = 1; vector = v }));
+  Alcotest.(check int) "decision units" (4 + 2)
+    (Flooding.msg_units (Flooding.Decision (set [ 2; 3 ])))
+
+let test_machine_monitors_everyone () =
+  let graph = Topology.ring 6 in
+  let st = Flooding.init ~graph ~self:(Node_id.of_int 0) in
+  match Flooding.handle st Flooding.Init with
+  | _, [ Flooding.Monitor targets ] ->
+      Alcotest.(check int) "all others" 5 (Node_set.cardinal targets)
+  | _ -> Alcotest.fail "expected one Monitor action"
+
+let suite =
+  ( "baseline",
+    [
+      Alcotest.test_case "uniform decisions" `Quick test_everyone_decides_same_value;
+      Alcotest.test_case "whole system involved" `Quick test_involves_whole_system;
+      Alcotest.test_case "superlinear cost" `Quick test_cost_scales_with_system_size;
+      Alcotest.test_case "no crash, silent" `Quick test_no_crash_no_consensus;
+      Alcotest.test_case "deterministic" `Quick test_deterministic;
+      Alcotest.test_case "cascades" `Quick test_survives_cascades;
+      Alcotest.test_case "message units" `Quick test_machine_units;
+      Alcotest.test_case "monitors everyone" `Quick test_machine_monitors_everyone;
+    ] )

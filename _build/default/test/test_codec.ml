@@ -1,0 +1,376 @@
+(* Tests for the binary wire format and message codecs. *)
+
+open Cliffedge_graph
+module Wire = Cliffedge_codec.Wire
+module Codec = Cliffedge_codec.Codec
+module Message = Cliffedge.Message
+module Opinion = Cliffedge.Opinion
+
+let n = Node_id.of_int
+
+let set = Node_set.of_ints
+
+(* ---------------- wire primitives ---------------- *)
+
+let test_varint_roundtrip_edges () =
+  List.iter
+    (fun v ->
+      let w = Wire.writer () in
+      Wire.write_varint w v;
+      let r = Wire.reader (Wire.contents w) in
+      Alcotest.(check int) (string_of_int v) v (Wire.read_varint r);
+      Wire.expect_end r)
+    [ 0; 1; 127; 128; 129; 16383; 16384; 1 lsl 30; max_int ]
+
+let test_varint_rejects_negative () =
+  let w = Wire.writer () in
+  Alcotest.check_raises "negative" (Invalid_argument "Wire.write_varint: negative")
+    (fun () -> Wire.write_varint w (-1))
+
+let test_varint_compactness () =
+  let size v =
+    let w = Wire.writer () in
+    Wire.write_varint w v;
+    String.length (Wire.contents w)
+  in
+  Alcotest.(check int) "small is 1 byte" 1 (size 100);
+  Alcotest.(check int) "medium is 2 bytes" 2 (size 1000)
+
+let test_truncated_varint () =
+  let r = Wire.reader "\x80" in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Wire.read_varint r);
+       false
+     with Wire.Decode_error _ -> true)
+
+let test_string_roundtrip () =
+  let w = Wire.writer () in
+  Wire.write_string w "héllo\x00world";
+  let r = Wire.reader (Wire.contents w) in
+  Alcotest.(check string) "roundtrip" "héllo\x00world" (Wire.read_string r)
+
+let test_string_length_checked () =
+  (* Length prefix says 100 but only 2 bytes follow. *)
+  let w = Wire.writer () in
+  Wire.write_varint w 100;
+  let data = Wire.contents w ^ "ab" in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Wire.read_string (Wire.reader data));
+       false
+     with Wire.Decode_error _ -> true)
+
+let test_bool_roundtrip () =
+  let w = Wire.writer () in
+  Wire.write_bool w true;
+  Wire.write_bool w false;
+  let r = Wire.reader (Wire.contents w) in
+  Alcotest.(check bool) "true" true (Wire.read_bool r);
+  Alcotest.(check bool) "false" false (Wire.read_bool r)
+
+let test_bool_invalid () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Wire.read_bool (Wire.reader "\x07"));
+       false
+     with Wire.Decode_error _ -> true)
+
+let test_int_set_roundtrip () =
+  List.iter
+    (fun is ->
+      let w = Wire.writer () in
+      Wire.write_int_set w is;
+      let r = Wire.reader (Wire.contents w) in
+      Alcotest.(check (list int)) "roundtrip" is (Wire.read_int_set r);
+      Wire.expect_end r)
+    [ []; [ 0 ]; [ 0; 1; 2 ]; [ 5; 100; 10000 ]; [ 42 ] ]
+
+let test_int_set_rejects_unsorted () =
+  let w = Wire.writer () in
+  Alcotest.(check bool) "raises" true
+    (try
+       Wire.write_int_set w [ 3; 1 ];
+       false
+     with Invalid_argument _ -> true)
+
+let test_int_set_compact () =
+  (* 100 consecutive ids cost ~1 byte each. *)
+  let w = Wire.writer () in
+  Wire.write_int_set w (List.init 100 (fun i -> 1000 + i));
+  Alcotest.(check bool) "compact" true (String.length (Wire.contents w) <= 104)
+
+let test_trailing_garbage_rejected () =
+  let r = Wire.reader "\x01\x02" in
+  ignore (Wire.read_u8 r);
+  Alcotest.(check bool) "raises" true
+    (try
+       Wire.expect_end r;
+       false
+     with Wire.Decode_error _ -> true)
+
+(* ---------------- message codecs ---------------- *)
+
+let sample_round =
+  Message.Round
+    {
+      round = 3;
+      view = set [ 4; 5; 6 ];
+      border = set [ 3; 7 ];
+      opinions =
+        Node_map.of_list
+          [ (n 3, Opinion.Accept "plan-a"); (n 7, Opinion.Reject) ];
+    }
+
+let sample_outcome =
+  Message.Outcome
+    {
+      view = set [ 4; 5 ];
+      border = set [ 3; 6 ];
+      opinions =
+        Node_map.of_list
+          [ (n 3, Opinion.Accept "x"); (n 6, Opinion.Accept "y") ];
+    }
+
+let message_equal a b =
+  match (a, b) with
+  | ( Message.Round { round = r1; view = v1; border = b1; opinions = o1 },
+      Message.Round { round = r2; view = v2; border = b2; opinions = o2 } ) ->
+      r1 = r2 && Node_set.equal v1 v2 && Node_set.equal b1 b2
+      && Node_map.equal (Opinion.equal String.equal) o1 o2
+  | ( Message.Outcome { view = v1; border = b1; opinions = o1 },
+      Message.Outcome { view = v2; border = b2; opinions = o2 } ) ->
+      Node_set.equal v1 v2 && Node_set.equal b1 b2
+      && Node_map.equal (Opinion.equal String.equal) o1 o2
+  | _ -> false
+
+let test_message_roundtrip () =
+  List.iter
+    (fun msg ->
+      let encoded = Codec.encode Codec.string_value msg in
+      let decoded = Codec.decode Codec.string_value encoded in
+      Alcotest.(check bool) "roundtrip" true (message_equal msg decoded))
+    [ sample_round; sample_outcome ]
+
+let test_bad_magic () =
+  let encoded = Codec.encode Codec.string_value sample_round in
+  let corrupted = "\x00" ^ String.sub encoded 1 (String.length encoded - 1) in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Codec.decode Codec.string_value corrupted);
+       false
+     with Wire.Decode_error _ -> true)
+
+let test_bad_version () =
+  let encoded = Codec.encode Codec.string_value sample_round in
+  let bytes = Bytes.of_string encoded in
+  Bytes.set bytes 1 '\x63';
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Codec.decode Codec.string_value (Bytes.to_string bytes));
+       false
+     with Wire.Decode_error _ -> true)
+
+let test_truncation_rejected () =
+  let encoded = Codec.encode Codec.string_value sample_round in
+  for cut = 0 to String.length encoded - 1 do
+    let prefix = String.sub encoded 0 cut in
+    let raises =
+      try
+        ignore (Codec.decode Codec.string_value prefix);
+        false
+      with Wire.Decode_error _ -> true
+    in
+    if not raises then Alcotest.failf "prefix of %d bytes decoded" cut
+  done
+
+let test_trailing_bytes_rejected () =
+  let encoded = Codec.encode Codec.string_value sample_round in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Codec.decode Codec.string_value (encoded ^ "z"));
+       false
+     with Wire.Decode_error _ -> true)
+
+let test_int_value_codec () =
+  let msg =
+    Message.Round
+      {
+        round = 1;
+        view = set [ 2 ];
+        border = set [ 1; 3 ];
+        opinions = Node_map.of_list [ (n 1, Opinion.Accept 42) ];
+      }
+  in
+  let decoded = Codec.decode Codec.int_value (Codec.encode Codec.int_value msg) in
+  match decoded with
+  | Message.Round { opinions; _ } -> (
+      match Node_map.find_opt (n 1) opinions with
+      | Some (Opinion.Accept 42) -> ()
+      | _ -> Alcotest.fail "value lost")
+  | _ -> Alcotest.fail "wrong shape"
+
+let test_golden_bytes_stable () =
+  (* Wire stability: this exact encoding is part of the format contract;
+     update [Codec.version] if it ever has to change. *)
+  let msg =
+    Message.Round
+      {
+        round = 1;
+        view = set [ 2 ];
+        border = set [ 1; 3 ];
+        opinions = Node_map.of_list [ (n 1, Opinion.Accept "d") ];
+      }
+  in
+  let encoded = Codec.encode Codec.string_value msg in
+  let hex =
+    String.concat ""
+      (List.init (String.length encoded) (fun i ->
+           Printf.sprintf "%02x" (Char.code encoded.[i])))
+  in
+  Alcotest.(check string) "golden" "ce01000101020201010101010164" hex
+
+(* Property: random messages roundtrip. *)
+let gen_message =
+  QCheck2.Gen.(
+    let* view_ids = list_size (int_range 1 6) (int_range 0 200) in
+    let* border_ids = list_size (int_range 1 6) (int_range 0 200) in
+    let view = Node_set.of_ints view_ids in
+    let border = Node_set.of_ints border_ids in
+    let* ops =
+      list_size (int_range 0 6)
+        (pair (int_range 0 200) (oneof [ return None; map Option.some string_printable ]))
+    in
+    let opinions =
+      List.fold_left
+        (fun acc (i, v) ->
+          Node_map.add (Node_id.of_int i)
+            (match v with None -> Opinion.Reject | Some s -> Opinion.Accept s)
+            acc)
+        Node_map.empty ops
+    in
+    let* round = int_range 1 50 in
+    let* outcome = bool in
+    if outcome then return (Message.Outcome { view; border; opinions })
+    else return (Message.Round { round; view; border; opinions }))
+
+let prop_roundtrip =
+  QCheck2.Test.make ~name:"codec roundtrips random messages" ~count:500 gen_message
+    (fun msg ->
+      message_equal msg
+        (Codec.decode Codec.string_value (Codec.encode Codec.string_value msg)))
+
+let prop_random_bytes_never_crash =
+  QCheck2.Test.make ~name:"decoder rejects random bytes gracefully" ~count:500
+    QCheck2.Gen.(string_size ~gen:char (int_range 0 40))
+    (fun data ->
+      try
+        ignore (Codec.decode Codec.string_value data);
+        true (* a random string decoding successfully is astronomically
+                unlikely but not wrong *)
+      with
+      | Wire.Decode_error _ -> true
+      | _ -> false)
+
+let suite =
+  ( "codec",
+    [
+      Alcotest.test_case "varint edges" `Quick test_varint_roundtrip_edges;
+      Alcotest.test_case "varint negative" `Quick test_varint_rejects_negative;
+      Alcotest.test_case "varint compactness" `Quick test_varint_compactness;
+      Alcotest.test_case "varint truncated" `Quick test_truncated_varint;
+      Alcotest.test_case "string roundtrip" `Quick test_string_roundtrip;
+      Alcotest.test_case "string length checked" `Quick test_string_length_checked;
+      Alcotest.test_case "bool roundtrip" `Quick test_bool_roundtrip;
+      Alcotest.test_case "bool invalid" `Quick test_bool_invalid;
+      Alcotest.test_case "int set roundtrip" `Quick test_int_set_roundtrip;
+      Alcotest.test_case "int set unsorted" `Quick test_int_set_rejects_unsorted;
+      Alcotest.test_case "int set compact" `Quick test_int_set_compact;
+      Alcotest.test_case "trailing garbage" `Quick test_trailing_garbage_rejected;
+      Alcotest.test_case "message roundtrip" `Quick test_message_roundtrip;
+      Alcotest.test_case "bad magic" `Quick test_bad_magic;
+      Alcotest.test_case "bad version" `Quick test_bad_version;
+      Alcotest.test_case "all truncations rejected" `Quick test_truncation_rejected;
+      Alcotest.test_case "trailing bytes rejected" `Quick test_trailing_bytes_rejected;
+      Alcotest.test_case "int value codec" `Quick test_int_value_codec;
+      Alcotest.test_case "golden bytes" `Quick test_golden_bytes_stable;
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+      QCheck_alcotest.to_alcotest prop_random_bytes_never_crash;
+    ] )
+
+(* ---------------- stream framing ---------------- *)
+
+module Framing = Cliffedge_codec.Framing
+
+let test_framing_single () =
+  let d = Framing.decoder () in
+  Alcotest.(check (list string)) "one frame" [ "hello" ]
+    (Framing.feed d (Framing.frame "hello"));
+  Alcotest.(check int) "drained" 0 (Framing.pending_bytes d)
+
+let test_framing_batch () =
+  let d = Framing.decoder () in
+  let stream = Framing.frame "a" ^ Framing.frame "" ^ Framing.frame "ccc" in
+  Alcotest.(check (list string)) "three frames incl. empty" [ "a"; ""; "ccc" ]
+    (Framing.feed d stream)
+
+let test_framing_byte_by_byte () =
+  let d = Framing.decoder () in
+  let stream = Framing.frame "chunky" ^ Framing.frame "bacon" in
+  let got = ref [] in
+  String.iter
+    (fun c -> got := !got @ Framing.feed d (String.make 1 c))
+    stream;
+  Alcotest.(check (list string)) "reassembled" [ "chunky"; "bacon" ] !got
+
+let test_framing_split_inside_prefix () =
+  (* A 200-byte payload has a 2-byte varint prefix; split between the
+     prefix bytes. *)
+  let payload = String.make 200 'x' in
+  let stream = Framing.frame payload in
+  let d = Framing.decoder () in
+  Alcotest.(check (list string)) "first byte only" []
+    (Framing.feed d (String.sub stream 0 1));
+  Alcotest.(check (list string)) "rest" [ payload ]
+    (Framing.feed d (String.sub stream 1 (String.length stream - 1)))
+
+let test_framing_oversize_rejected () =
+  let w = Cliffedge_codec.Wire.writer () in
+  Cliffedge_codec.Wire.write_varint w (Framing.max_frame_length + 1);
+  let d = Framing.decoder () in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Framing.feed d (Cliffedge_codec.Wire.contents w));
+       false
+     with Wire.Decode_error _ -> true)
+
+let prop_framing_random_chunking =
+  QCheck2.Test.make ~name:"framing survives arbitrary chunking" ~count:300
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 8) (string_size ~gen:char (int_range 0 50)))
+        (int_range 1 7))
+    (fun (payloads, chunk_size) ->
+      let stream = String.concat "" (List.map Framing.frame payloads) in
+      let d = Framing.decoder () in
+      let got = ref [] in
+      let i = ref 0 in
+      while !i < String.length stream do
+        let len = min chunk_size (String.length stream - !i) in
+        got := !got @ Framing.feed d (String.sub stream !i len);
+        i := !i + len
+      done;
+      !got = payloads && Framing.pending_bytes d = 0)
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [
+        Alcotest.test_case "framing single" `Quick test_framing_single;
+        Alcotest.test_case "framing batch" `Quick test_framing_batch;
+        Alcotest.test_case "framing byte-by-byte" `Quick test_framing_byte_by_byte;
+        Alcotest.test_case "framing split prefix" `Quick test_framing_split_inside_prefix;
+        Alcotest.test_case "framing oversize" `Quick test_framing_oversize_rejected;
+        QCheck_alcotest.to_alcotest prop_framing_random_chunking;
+      ] )

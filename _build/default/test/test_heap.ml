@@ -1,0 +1,82 @@
+(* Unit tests for the binary min-heap. *)
+
+module Heap = Cliffedge_sim.Heap
+
+let drain h =
+  let rec loop acc = match Heap.pop h with None -> List.rev acc | Some x -> loop (x :: acc) in
+  loop []
+
+let test_empty () =
+  let h = Heap.create ~compare:Int.compare in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "size" 0 (Heap.size h);
+  Alcotest.(check (option int)) "peek" None (Heap.peek h);
+  Alcotest.(check (option int)) "pop" None (Heap.pop h)
+
+let test_singleton () =
+  let h = Heap.create ~compare:Int.compare in
+  Heap.push h 42;
+  Alcotest.(check (option int)) "peek" (Some 42) (Heap.peek h);
+  Alcotest.(check int) "size" 1 (Heap.size h);
+  Alcotest.(check (option int)) "pop" (Some 42) (Heap.pop h);
+  Alcotest.(check bool) "empty after" true (Heap.is_empty h)
+
+let test_sorts () =
+  let h = Heap.create ~compare:Int.compare in
+  List.iter (Heap.push h) [ 5; 3; 8; 1; 9; 2; 7; 4; 6; 0 ];
+  Alcotest.(check (list int)) "heap sort" [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] (drain h)
+
+let test_duplicates () =
+  let h = Heap.create ~compare:Int.compare in
+  List.iter (Heap.push h) [ 2; 1; 2; 1; 2 ];
+  Alcotest.(check (list int)) "dups kept" [ 1; 1; 2; 2; 2 ] (drain h)
+
+let test_peek_does_not_remove () =
+  let h = Heap.create ~compare:Int.compare in
+  Heap.push h 3;
+  Heap.push h 1;
+  ignore (Heap.peek h);
+  Alcotest.(check int) "size unchanged" 2 (Heap.size h)
+
+let test_interleaved () =
+  let h = Heap.create ~compare:Int.compare in
+  Heap.push h 5;
+  Heap.push h 1;
+  Alcotest.(check (option int)) "min first" (Some 1) (Heap.pop h);
+  Heap.push h 0;
+  Heap.push h 9;
+  Alcotest.(check (option int)) "new min" (Some 0) (Heap.pop h);
+  Alcotest.(check (list int)) "rest" [ 5; 9 ] (drain h)
+
+let test_custom_compare () =
+  let h = Heap.create ~compare:(fun a b -> Int.compare b a) in
+  List.iter (Heap.push h) [ 3; 1; 2 ];
+  Alcotest.(check (list int)) "max-heap via flipped compare" [ 3; 2; 1 ] (drain h)
+
+let test_to_list_preserves () =
+  let h = Heap.create ~compare:Int.compare in
+  List.iter (Heap.push h) [ 4; 2; 6 ];
+  let l = List.sort compare (Heap.to_list h) in
+  Alcotest.(check (list int)) "contents" [ 2; 4; 6 ] l;
+  Alcotest.(check int) "still populated" 3 (Heap.size h)
+
+let prop_heap_sorts =
+  QCheck2.Test.make ~name:"heap drains in sorted order" ~count:200
+    (QCheck2.Gen.list QCheck2.Gen.int) (fun xs ->
+      let h = Heap.create ~compare:Int.compare in
+      List.iter (Heap.push h) xs;
+      drain h = List.sort Int.compare xs)
+
+let suite =
+  ( "heap",
+    [
+      Alcotest.test_case "empty" `Quick test_empty;
+      Alcotest.test_case "singleton" `Quick test_singleton;
+      Alcotest.test_case "sorts" `Quick test_sorts;
+      Alcotest.test_case "duplicates" `Quick test_duplicates;
+      Alcotest.test_case "peek keeps" `Quick test_peek_does_not_remove;
+      Alcotest.test_case "interleaved" `Quick test_interleaved;
+      Alcotest.test_case "custom compare" `Quick test_custom_compare;
+      Alcotest.test_case "to_list" `Quick test_to_list_preserves;
+      QCheck_alcotest.to_alcotest prop_heap_sorts;
+    ] )

@@ -1,0 +1,115 @@
+(* Tests for latency models, message stats and DOT export. *)
+
+open Cliffedge_graph
+module Latency = Cliffedge_net.Latency
+module Stats = Cliffedge_net.Stats
+module Prng = Cliffedge_prng.Prng
+
+let test_constant () =
+  let rng = Prng.create 1 in
+  Alcotest.(check (float 0.0)) "constant" 5.0 (Latency.sample (Latency.Constant 5.0) rng)
+
+let test_uniform_bounds () =
+  let rng = Prng.create 2 in
+  let model = Latency.Uniform { min = 2.0; max = 4.0 } in
+  for _ = 1 to 1000 do
+    let d = Latency.sample model rng in
+    if d < 2.0 || d > 4.0 then Alcotest.failf "out of bounds %f" d
+  done
+
+let test_exponential_min () =
+  let rng = Prng.create 3 in
+  let model = Latency.Exponential { min = 1.0; mean = 2.0 } in
+  for _ = 1 to 1000 do
+    let d = Latency.sample model rng in
+    if d < 1.0 then Alcotest.failf "below min %f" d
+  done
+
+let test_negative_clamped () =
+  let rng = Prng.create 4 in
+  Alcotest.(check (float 0.0)) "clamped" 0.0 (Latency.sample (Latency.Constant (-3.0)) rng)
+
+let test_latency_parse () =
+  (match Latency.of_string "const:5" with
+  | Ok (Latency.Constant 5.0) -> ()
+  | _ -> Alcotest.fail "const:5");
+  (match Latency.of_string "uniform:1:10" with
+  | Ok (Latency.Uniform { min = 1.0; max = 10.0 }) -> ()
+  | _ -> Alcotest.fail "uniform:1:10");
+  (match Latency.of_string "exp:1:5" with
+  | Ok (Latency.Exponential { min = 1.0; mean = 5.0 }) -> ()
+  | _ -> Alcotest.fail "exp:1:5");
+  (match Latency.of_string "uniform:10:1" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "inverted uniform should fail");
+  match Latency.of_string "garbage" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage should fail"
+
+let test_latency_pp_roundtrip () =
+  List.iter
+    (fun s ->
+      match Latency.of_string s with
+      | Ok m -> Alcotest.(check string) "roundtrip" s (Format.asprintf "%a" Latency.pp m)
+      | Error e -> Alcotest.fail e)
+    [ "const:5"; "uniform:1:10"; "exp:1:5" ]
+
+let n = Node_id.of_int
+
+let test_stats_counters () =
+  let s = Stats.create () in
+  Stats.record_send s ~src:(n 1) ~dst:(n 2) ~units:3;
+  Stats.record_send s ~src:(n 1) ~dst:(n 2) ~units:2;
+  Stats.record_send s ~src:(n 2) ~dst:(n 1) ~units:1;
+  Stats.record_delivery s;
+  Stats.record_delivery s;
+  Stats.record_drop s;
+  Alcotest.(check int) "sent" 3 (Stats.sent s);
+  Alcotest.(check int) "units" 6 (Stats.units_sent s);
+  Alcotest.(check int) "delivered" 2 (Stats.delivered s);
+  Alcotest.(check int) "dropped" 1 (Stats.dropped s);
+  Alcotest.(check int) "pair 1->2" 2 (Stats.pair_count s ~src:(n 1) ~dst:(n 2));
+  Alcotest.(check int) "pair 2->1" 1 (Stats.pair_count s ~src:(n 2) ~dst:(n 1));
+  Alcotest.(check int) "pair 1->3" 0 (Stats.pair_count s ~src:(n 1) ~dst:(n 3));
+  Alcotest.(check int) "pairs" 2 (List.length (Stats.pairs s));
+  Alcotest.(check (list int)) "communicating" [ 1; 2 ]
+    (Node_set.to_ints (Stats.communicating_nodes s))
+
+let test_dot_output () =
+  let g = Graph.of_edges [ (0, 1); (1, 2) ] in
+  let style =
+    {
+      Dot.crashed = Node_set.of_ints [ 1 ];
+      border = Node_set.of_ints [ 0; 2 ];
+      names = Node_id.Names.of_list [ (n 0, "alpha") ];
+    }
+  in
+  let s = Dot.to_string ~style g in
+  let mem sub = Alcotest.(check bool) sub true
+    (let len = String.length sub in
+     let rec scan i =
+       if i + len > String.length s then false
+       else if String.sub s i len = sub then true
+       else scan (i + 1)
+     in
+     scan 0)
+  in
+  mem "graph cliffedge";
+  mem "0 -- 1";
+  mem "1 -- 2";
+  mem "alpha";
+  mem "indianred1";
+  mem "orange"
+
+let suite =
+  ( "latency/stats/dot",
+    [
+      Alcotest.test_case "constant" `Quick test_constant;
+      Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+      Alcotest.test_case "exponential min" `Quick test_exponential_min;
+      Alcotest.test_case "negative clamped" `Quick test_negative_clamped;
+      Alcotest.test_case "parse" `Quick test_latency_parse;
+      Alcotest.test_case "pp roundtrip" `Quick test_latency_pp_roundtrip;
+      Alcotest.test_case "stats counters" `Quick test_stats_counters;
+      Alcotest.test_case "dot output" `Quick test_dot_output;
+    ] )

@@ -1,0 +1,100 @@
+(* Tests for the group-membership comparison service. *)
+
+open Cliffedge_graph
+module Membership = Cliffedge_baseline.Membership
+module Membership_runner = Cliffedge_baseline.Membership_runner
+
+let set = Node_set.of_ints
+
+let crash_all at region = List.map (fun p -> (at, p)) (Node_set.elements region)
+
+let test_machine_initial_view () =
+  let graph = Topology.ring 6 in
+  let st = Membership.init ~graph ~self:(Node_id.of_int 0) in
+  Alcotest.(check int) "initial view is everyone" 6
+    (Node_set.cardinal (Membership.current_view st));
+  Alcotest.(check int) "one install" 1 (Membership.installs st)
+
+let test_machine_crash_installs () =
+  let graph = Topology.ring 6 in
+  let st = Membership.init ~graph ~self:(Node_id.of_int 0) in
+  let st, actions = Membership.handle st (Membership.Crash (Node_id.of_int 3)) in
+  Alcotest.(check int) "two installs" 2 (Membership.installs st);
+  Alcotest.(check bool) "view shrank" true
+    (not (Node_set.mem (Node_id.of_int 3) (Membership.current_view st)));
+  let installs =
+    List.filter (function Membership.Install _ -> true | _ -> false) actions
+  in
+  let gossips = List.filter (function Membership.Send _ -> true | _ -> false) actions in
+  Alcotest.(check int) "one install action" 1 (List.length installs);
+  Alcotest.(check int) "gossip to survivors" 4 (List.length gossips)
+
+let test_machine_duplicate_view_no_install () =
+  let graph = Topology.ring 6 in
+  let st = Membership.init ~graph ~self:(Node_id.of_int 0) in
+  let st, _ = Membership.handle st (Membership.Crash (Node_id.of_int 3)) in
+  let view = Membership.current_view st in
+  let st, actions =
+    Membership.handle st (Membership.Deliver { src = Node_id.of_int 1; view })
+  in
+  Alcotest.(check int) "no new install" 2 (Membership.installs st);
+  Alcotest.(check int) "no actions" 0 (List.length actions)
+
+let test_machine_intersection () =
+  let graph = Topology.ring 6 in
+  let st = Membership.init ~graph ~self:(Node_id.of_int 0) in
+  let smaller = Node_set.diff (Graph.nodes graph) (set [ 4; 5 ]) in
+  let st, _ =
+    Membership.handle st (Membership.Deliver { src = Node_id.of_int 1; view = smaller })
+  in
+  Alcotest.(check bool) "adopted intersection" true
+    (Node_set.equal smaller (Membership.current_view st))
+
+let test_runner_converges () =
+  let graph = Topology.ring 12 in
+  let outcome =
+    Membership_runner.run ~graph ~crashes:(crash_all 5.0 (set [ 3; 4 ])) ()
+  in
+  Alcotest.(check bool) "quiescent" true outcome.quiescent;
+  Alcotest.(check bool) "converged" true (Membership_runner.converged outcome);
+  (* Every survivor installed at least one new view; churn is at least
+     one install per survivor and typically more. *)
+  Alcotest.(check bool) "churn counted" true
+    (Membership_runner.total_installs outcome >= 10)
+
+let test_runner_cascade_converges () =
+  let graph = Topology.ring 12 in
+  let crashes = crash_all 5.0 (set [ 3; 4 ]) @ [ (30.0, Node_id.of_int 5) ] in
+  let outcome = Membership_runner.run ~graph ~crashes () in
+  Alcotest.(check bool) "converged" true (Membership_runner.converged outcome);
+  (* The cascade forces a second wave of installs. *)
+  Alcotest.(check bool) "more churn" true
+    (Membership_runner.total_installs outcome > 10)
+
+let test_runner_no_crash_silent () =
+  let outcome = Membership_runner.run ~graph:(Topology.ring 8) ~crashes:[] () in
+  Alcotest.(check int) "no messages" 0 (Cliffedge_net.Stats.sent outcome.stats);
+  Alcotest.(check int) "no churn" 0 (Membership_runner.total_installs outcome)
+
+let test_runner_whole_system_involved () =
+  let graph = Topology.ring 20 in
+  let outcome =
+    Membership_runner.run ~graph ~crashes:(crash_all 5.0 (set [ 7 ])) ()
+  in
+  (* Non-locality: every survivor participates. *)
+  Alcotest.(check int) "everyone talks" 20
+    (Node_set.cardinal (Cliffedge_net.Stats.communicating_nodes outcome.stats) + 1)
+
+let suite =
+  ( "membership",
+    [
+      Alcotest.test_case "initial view" `Quick test_machine_initial_view;
+      Alcotest.test_case "crash installs" `Quick test_machine_crash_installs;
+      Alcotest.test_case "duplicate view" `Quick test_machine_duplicate_view_no_install;
+      Alcotest.test_case "intersection" `Quick test_machine_intersection;
+      Alcotest.test_case "runner converges" `Quick test_runner_converges;
+      Alcotest.test_case "runner cascade" `Quick test_runner_cascade_converges;
+      Alcotest.test_case "runner silent" `Quick test_runner_no_crash_silent;
+      Alcotest.test_case "whole system involved" `Quick
+        test_runner_whole_system_involved;
+    ] )

@@ -1,0 +1,222 @@
+(* Tests for the FIFO network and the perfect failure detector. *)
+
+open Cliffedge_graph
+module Engine = Cliffedge_sim.Engine
+module Prng = Cliffedge_prng.Prng
+module Latency = Cliffedge_net.Latency
+module Network = Cliffedge_net.Network
+module Stats = Cliffedge_net.Stats
+module Fd = Cliffedge_detector.Failure_detector
+
+let n = Node_id.of_int
+
+let make_net ?(latency = Latency.Uniform { min = 1.0; max = 10.0 }) ?(seed = 1) () =
+  let engine = Engine.create () in
+  let net = Network.create ~engine ~rng:(Prng.create seed) ~latency () in
+  (engine, net)
+
+let test_delivery () =
+  let engine, net = make_net () in
+  let got = ref [] in
+  Network.on_deliver net (fun ~src ~dst payload ->
+      got := (Node_id.to_int src, Node_id.to_int dst, payload) :: !got);
+  Network.send net ~src:(n 1) ~dst:(n 2) "hello";
+  Engine.run engine;
+  Alcotest.(check (list (triple int int string))) "delivered" [ (1, 2, "hello") ] !got
+
+let test_fifo_per_channel () =
+  (* An adversarial latency model that would reorder without the FIFO
+     floor: draws alternate between huge and tiny. *)
+  let engine = Engine.create () in
+  let net =
+    Network.create ~engine ~rng:(Prng.create 3)
+      ~latency:(Latency.Uniform { min = 0.1; max = 50.0 })
+      ()
+  in
+  let got = ref [] in
+  Network.on_deliver net (fun ~src:_ ~dst:_ payload -> got := payload :: !got);
+  for i = 1 to 50 do
+    Network.send net ~src:(n 1) ~dst:(n 2) i
+  done;
+  Engine.run engine;
+  Alcotest.(check (list int)) "in order" (List.init 50 (fun i -> i + 1)) (List.rev !got)
+
+let test_no_cross_channel_order () =
+  (* FIFO is per ordered pair only: messages on different channels may
+     interleave arbitrarily — just assert they all arrive. *)
+  let engine, net = make_net ~seed:7 () in
+  let count = ref 0 in
+  Network.on_deliver net (fun ~src:_ ~dst:_ _ -> incr count);
+  for i = 1 to 10 do
+    Network.send net ~src:(n 1) ~dst:(n 2) i;
+    Network.send net ~src:(n 3) ~dst:(n 2) i
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "all arrive" 20 !count
+
+let test_crashed_destination_drops () =
+  let engine, net = make_net () in
+  let got = ref 0 in
+  Network.on_deliver net (fun ~src:_ ~dst:_ _ -> incr got);
+  Network.send net ~src:(n 1) ~dst:(n 2) "in-flight";
+  Network.crash net (n 2);
+  Engine.run engine;
+  Alcotest.(check int) "dropped at delivery" 0 !got;
+  Alcotest.(check int) "counted as drop" 1 (Stats.dropped (Network.stats net))
+
+let test_crashed_source_ignored () =
+  let engine, net = make_net () in
+  let got = ref 0 in
+  Network.on_deliver net (fun ~src:_ ~dst:_ _ -> incr got);
+  Network.crash net (n 1);
+  Network.send net ~src:(n 1) ~dst:(n 2) "never";
+  Engine.run engine;
+  Alcotest.(check int) "not delivered" 0 !got;
+  Alcotest.(check int) "not even sent" 0 (Stats.sent (Network.stats net))
+
+let test_sent_before_crash_still_delivered () =
+  (* Asynchronous model: messages already in flight from a node that
+     subsequently crashes are delivered. *)
+  let engine, net = make_net () in
+  let got = ref 0 in
+  Network.on_deliver net (fun ~src:_ ~dst:_ _ -> incr got);
+  Network.send net ~src:(n 1) ~dst:(n 2) "flying";
+  ignore (Engine.schedule engine ~delay:0.01 (fun () -> Network.crash net (n 1)));
+  Engine.run engine;
+  Alcotest.(check int) "delivered" 1 !got
+
+let test_multicast () =
+  let engine, net = make_net () in
+  let got = ref [] in
+  Network.on_deliver net (fun ~src:_ ~dst _ -> got := Node_id.to_int dst :: !got);
+  Network.multicast net ~src:(n 0) ~dsts:(Node_set.of_ints [ 1; 2; 3 ]) "m";
+  Engine.run engine;
+  Alcotest.(check (list int)) "all recipients" [ 1; 2; 3 ] (List.sort compare !got)
+
+let test_units_accounting () =
+  let engine, net = make_net () in
+  Network.on_deliver net (fun ~src:_ ~dst:_ _ -> ());
+  Network.send net ~units:7 ~src:(n 1) ~dst:(n 2) "x";
+  Network.send net ~src:(n 1) ~dst:(n 2) "y";
+  Engine.run engine;
+  Alcotest.(check int) "units" 8 (Stats.units_sent (Network.stats net))
+
+(* ---------------- failure detector ---------------- *)
+
+let make_fd ?(latency = Latency.Constant 2.0) () =
+  let engine = Engine.create () in
+  let fd = Fd.create ~engine ~rng:(Prng.create 5) ~latency () in
+  (engine, fd)
+
+let test_fd_notifies_subscriber () =
+  let engine, fd = make_fd () in
+  let got = ref [] in
+  Fd.on_crash_notification fd (fun ~observer ~crashed ->
+      got := (Node_id.to_int observer, Node_id.to_int crashed) :: !got);
+  Fd.monitor fd ~observer:(n 1) ~targets:(Node_set.of_ints [ 2 ]);
+  ignore (Engine.schedule engine ~delay:1.0 (fun () -> Fd.inject_crash fd (n 2)));
+  Engine.run engine;
+  Alcotest.(check (list (pair int int))) "notified" [ (1, 2) ] !got
+
+let test_fd_strong_accuracy () =
+  (* No crash, no notification; unsubscribed observers hear nothing. *)
+  let engine, fd = make_fd () in
+  let got = ref 0 in
+  Fd.on_crash_notification fd (fun ~observer:_ ~crashed:_ -> incr got);
+  Fd.monitor fd ~observer:(n 1) ~targets:(Node_set.of_ints [ 2 ]);
+  ignore (Engine.schedule engine ~delay:1.0 (fun () -> Fd.inject_crash fd (n 3)));
+  Engine.run engine;
+  Alcotest.(check int) "no spurious notification" 0 !got
+
+let test_fd_late_subscription () =
+  (* Strong completeness also for subscriptions after the crash. *)
+  let engine, fd = make_fd () in
+  let got = ref [] in
+  Fd.on_crash_notification fd (fun ~observer ~crashed ->
+      got := (Node_id.to_int observer, Node_id.to_int crashed) :: !got);
+  Fd.inject_crash fd (n 9);
+  Fd.monitor fd ~observer:(n 1) ~targets:(Node_set.of_ints [ 9 ]);
+  Engine.run engine;
+  Alcotest.(check (list (pair int int))) "late notified" [ (1, 9) ] !got
+
+let test_fd_no_duplicate () =
+  let engine, fd = make_fd () in
+  let got = ref 0 in
+  Fd.on_crash_notification fd (fun ~observer:_ ~crashed:_ -> incr got);
+  Fd.monitor fd ~observer:(n 1) ~targets:(Node_set.of_ints [ 2 ]);
+  Fd.monitor fd ~observer:(n 1) ~targets:(Node_set.of_ints [ 2 ]);
+  Fd.inject_crash fd (n 2);
+  Fd.inject_crash fd (n 2);
+  Engine.run engine;
+  Alcotest.(check int) "once" 1 !got
+
+let test_fd_dead_observer_not_notified () =
+  let engine, fd = make_fd () in
+  let got = ref 0 in
+  Fd.on_crash_notification fd (fun ~observer:_ ~crashed:_ -> incr got);
+  Fd.monitor fd ~observer:(n 1) ~targets:(Node_set.of_ints [ 2 ]);
+  Fd.inject_crash fd (n 1);
+  Fd.inject_crash fd (n 2);
+  Engine.run engine;
+  Alcotest.(check int) "dead observers stay silent" 0 !got
+
+let test_fd_self_subscription_ignored () =
+  let engine, fd = make_fd () in
+  let got = ref 0 in
+  Fd.on_crash_notification fd (fun ~observer:_ ~crashed:_ -> incr got);
+  Fd.monitor fd ~observer:(n 1) ~targets:(Node_set.of_ints [ 1 ]);
+  Fd.inject_crash fd (n 1);
+  Engine.run engine;
+  Alcotest.(check int) "no self notification" 0 !got
+
+let test_fd_crash_time () =
+  let engine, fd = make_fd () in
+  ignore (Engine.schedule engine ~delay:4.0 (fun () -> Fd.inject_crash fd (n 2)));
+  Engine.run engine;
+  Alcotest.(check (option (float 1e-9))) "crash time" (Some 4.0) (Fd.crash_time fd (n 2));
+  Alcotest.(check (option (float 1e-9))) "alive" None (Fd.crash_time fd (n 1));
+  Alcotest.(check bool) "is_crashed" true (Fd.is_crashed fd (n 2));
+  Alcotest.(check (list int)) "crashed set" [ 2 ] (Node_set.to_ints (Fd.crashed_nodes fd))
+
+let suite =
+  ( "network/detector",
+    [
+      Alcotest.test_case "delivery" `Quick test_delivery;
+      Alcotest.test_case "fifo per channel" `Quick test_fifo_per_channel;
+      Alcotest.test_case "cross-channel" `Quick test_no_cross_channel_order;
+      Alcotest.test_case "crashed dst drops" `Quick test_crashed_destination_drops;
+      Alcotest.test_case "crashed src ignored" `Quick test_crashed_source_ignored;
+      Alcotest.test_case "in-flight survives src crash" `Quick
+        test_sent_before_crash_still_delivered;
+      Alcotest.test_case "multicast" `Quick test_multicast;
+      Alcotest.test_case "units accounting" `Quick test_units_accounting;
+      Alcotest.test_case "fd notifies" `Quick test_fd_notifies_subscriber;
+      Alcotest.test_case "fd strong accuracy" `Quick test_fd_strong_accuracy;
+      Alcotest.test_case "fd late subscription" `Quick test_fd_late_subscription;
+      Alcotest.test_case "fd no duplicate" `Quick test_fd_no_duplicate;
+      Alcotest.test_case "fd dead observer" `Quick test_fd_dead_observer_not_notified;
+      Alcotest.test_case "fd self subscription" `Quick test_fd_self_subscription_ignored;
+      Alcotest.test_case "fd crash time" `Quick test_fd_crash_time;
+    ] )
+
+let test_flush_time_tracks_last_delivery () =
+  let engine, net = make_net ~latency:(Latency.Constant 5.0) () in
+  Network.on_deliver net (fun ~src:_ ~dst:_ _ -> ());
+  Alcotest.(check bool) "no traffic yet" true
+    (Network.flush_time net ~src:(n 1) ~dst:(n 2) = neg_infinity);
+  Network.send net ~src:(n 1) ~dst:(n 2) "a";
+  Network.send net ~src:(n 1) ~dst:(n 2) "b";
+  let flush = Network.flush_time net ~src:(n 1) ~dst:(n 2) in
+  Alcotest.(check bool) "covers both sends" true (flush >= 5.0);
+  Engine.run engine;
+  Alcotest.(check bool) "delivery completed by flush time" true
+    (Engine.now engine <= flush +. 1e-6);
+  (* Independent per ordered pair. *)
+  Alcotest.(check bool) "reverse channel untouched" true
+    (Network.flush_time net ~src:(n 2) ~dst:(n 1) = neg_infinity)
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [ Alcotest.test_case "flush_time" `Quick test_flush_time_tracks_last_delivery ] )

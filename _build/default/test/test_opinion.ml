@@ -1,0 +1,108 @@
+(* Tests for opinions, vectors and messages. *)
+
+open Cliffedge_graph
+module Opinion = Cliffedge.Opinion
+module Message = Cliffedge.Message
+module Vector = Cliffedge.Opinion.Vector
+
+let n = Node_id.of_int
+
+let set = Node_set.of_ints
+
+let test_equal () =
+  Alcotest.(check bool) "accept eq" true
+    (Opinion.equal String.equal (Opinion.Accept "x") (Opinion.Accept "x"));
+  Alcotest.(check bool) "accept neq" false
+    (Opinion.equal String.equal (Opinion.Accept "x") (Opinion.Accept "y"));
+  Alcotest.(check bool) "reject eq" true (Opinion.equal String.equal Opinion.Reject Opinion.Reject);
+  Alcotest.(check bool) "mixed" false
+    (Opinion.equal String.equal Opinion.Reject (Opinion.Accept "x"))
+
+let test_merge_fills_only_bottom () =
+  let a = Vector.singleton (n 1) (Opinion.Accept "mine") in
+  let incoming =
+    Node_map.of_list [ (n 1, Opinion.Reject); (n 2, Opinion.Accept "theirs") ]
+  in
+  let merged = Vector.merge a ~incoming in
+  (* Line 24 of Algorithm 1: the existing accept is NOT overwritten. *)
+  (match Vector.get merged (n 1) with
+  | Some (Opinion.Accept "mine") -> ()
+  | _ -> Alcotest.fail "existing opinion overwritten");
+  match Vector.get merged (n 2) with
+  | Some (Opinion.Accept "theirs") -> ()
+  | _ -> Alcotest.fail "⊥ slot not filled"
+
+let test_rejectors () =
+  let v =
+    Node_map.of_list
+      [ (n 1, Opinion.Accept "a"); (n 2, Opinion.Reject); (n 3, Opinion.Reject) ]
+  in
+  Alcotest.(check (list int)) "rejectors" [ 2; 3 ] (Node_set.to_ints (Vector.rejectors v))
+
+let test_is_full () =
+  let border = set [ 1; 2 ] in
+  let partial = Vector.singleton (n 1) (Opinion.Accept "a") in
+  Alcotest.(check bool) "partial" false (Vector.is_full ~border partial);
+  let full = Vector.merge partial ~incoming:(Vector.singleton (n 2) Opinion.Reject) in
+  Alcotest.(check bool) "full" true (Vector.is_full ~border full);
+  Alcotest.(check bool) "empty border is full" true
+    (Vector.is_full ~border:Node_set.empty Vector.empty)
+
+let test_accepts () =
+  let border = set [ 1; 2 ] in
+  let all =
+    Node_map.of_list [ (n 1, Opinion.Accept "a"); (n 2, Opinion.Accept "b") ]
+  in
+  (match Vector.accepts ~border all with
+  | Some [ (p1, "a"); (p2, "b") ] ->
+      Alcotest.(check int) "sorted" 1 (Node_id.to_int p1);
+      Alcotest.(check int) "sorted2" 2 (Node_id.to_int p2)
+  | _ -> Alcotest.fail "expected unanimous accepts");
+  let with_reject = Node_map.add (n 2) Opinion.Reject all in
+  Alcotest.(check bool) "reject voids" true (Vector.accepts ~border with_reject = None);
+  let partial = Vector.singleton (n 1) (Opinion.Accept "a") in
+  Alcotest.(check bool) "bottom voids" true (Vector.accepts ~border partial = None)
+
+let test_known () =
+  Alcotest.(check int) "known" 1 (Vector.known (Vector.singleton (n 1) Opinion.Reject));
+  Alcotest.(check int) "empty" 0 (Vector.known Vector.empty)
+
+let test_message_view_and_units () =
+  let opinions =
+    Node_map.of_list [ (n 1, Opinion.Accept "a"); (n 2, Opinion.Reject) ]
+  in
+  let round =
+    Message.Round { round = 2; view = set [ 5 ]; border = set [ 1; 2 ]; opinions }
+  in
+  let outcome = Message.Outcome { view = set [ 5 ]; border = set [ 1; 2 ]; opinions } in
+  Alcotest.(check (list int)) "round view" [ 5 ] (Node_set.to_ints (Message.view round));
+  Alcotest.(check (list int)) "outcome view" [ 5 ]
+    (Node_set.to_ints (Message.view outcome));
+  Alcotest.(check int) "units grow with vector" (4 + 2) (Message.units round);
+  Alcotest.(check int) "empty vector units"
+    4
+    (Message.units
+       (Message.Round
+          { round = 1; view = set [ 5 ]; border = set [ 1 ]; opinions = Vector.empty }))
+
+let test_pp_smoke () =
+  let opinions = Vector.singleton (n 1) (Opinion.Accept "a") in
+  let s =
+    Format.asprintf "%a"
+      (Message.pp Format.pp_print_string)
+      (Message.Round { round = 1; view = set [ 2 ]; border = set [ 1 ]; opinions })
+  in
+  Alcotest.(check bool) "mentions round" true (String.length s > 10)
+
+let suite =
+  ( "opinion/message",
+    [
+      Alcotest.test_case "equal" `Quick test_equal;
+      Alcotest.test_case "merge fills only ⊥" `Quick test_merge_fills_only_bottom;
+      Alcotest.test_case "rejectors" `Quick test_rejectors;
+      Alcotest.test_case "is_full" `Quick test_is_full;
+      Alcotest.test_case "accepts" `Quick test_accepts;
+      Alcotest.test_case "known" `Quick test_known;
+      Alcotest.test_case "message view/units" `Quick test_message_view_and_units;
+      Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+    ] )

@@ -1,0 +1,443 @@
+(* Unit tests for the pure Algorithm 1 state machine.
+
+   Machines are driven by hand (no simulator): a tiny synchronous
+   executor delivers Send actions in FIFO order, which makes every
+   intermediate state inspectable. *)
+
+open Cliffedge_graph
+module Protocol = Cliffedge.Protocol
+module Message = Cliffedge.Message
+module Opinion = Cliffedge.Opinion
+
+let n = Node_id.of_int
+
+let set = Node_set.of_ints
+
+(* Path 0-1-2-3-4. *)
+let path5 = Topology.path 5
+
+let cfg ?early_stopping graph =
+  Protocol.config ?early_stopping ~graph
+    ~propose_value:(fun p v ->
+      Format.asprintf "plan(%a,%d)" Node_id.pp p (Node_set.cardinal v))
+    ()
+
+(* Synchronous executor: delivers every Send in FIFO order until
+   quiescence.  Returns all Decide / Note actions seen, tagged by node. *)
+type 'v harness = {
+  config : 'v Protocol.config;
+  states : (int, 'v Protocol.state ref) Hashtbl.t;
+  mutable log : (Node_id.t * 'v Protocol.action) list;  (* reversed *)
+  queue : (Node_id.t * Node_id.t * 'v Message.t) Queue.t;
+  mutable dead : Node_set.t;
+}
+
+let harness config nodes =
+  let states = Hashtbl.create 8 in
+  List.iter
+    (fun p -> Hashtbl.replace states (Node_id.to_int p) (ref (Protocol.init ~self:p)))
+    nodes;
+  { config; states; log = []; queue = Queue.create (); dead = Node_set.empty }
+
+let state h p = !(Hashtbl.find h.states (Node_id.to_int p))
+
+let feed h p event =
+  if not (Node_set.mem p h.dead) then begin
+    let cell = Hashtbl.find h.states (Node_id.to_int p) in
+    let st, actions = Protocol.handle h.config !cell event in
+    cell := st;
+    List.iter
+      (fun a ->
+        h.log <- (p, a) :: h.log;
+        match a with
+        | Protocol.Send { dst; msg } -> Queue.add (p, dst, msg) h.queue
+        | _ -> ())
+      actions
+  end
+
+let rec drain h =
+  match Queue.take_opt h.queue with
+  | None -> ()
+  | Some (src, dst, msg) ->
+      if not (Node_set.mem dst h.dead) then
+        feed h dst (Protocol.Deliver { src; msg });
+      drain h
+
+let kill h p victims =
+  (* Tells [p] (via its FD) that [victims] crashed. *)
+  h.dead <- Node_set.union h.dead victims;
+  Node_set.iter (fun q -> feed h p (Protocol.Crash q)) victims
+
+let decisions h =
+  List.rev_map
+    (function
+      | p, Protocol.Decide { view; value } -> Some (p, view, value)
+      | _ -> None)
+    h.log
+  |> List.filter_map Fun.id
+
+let notes h =
+  List.rev_map (function p, Protocol.Note note -> Some (p, note) | _ -> None) h.log
+  |> List.filter_map Fun.id
+
+(* ------------------------------------------------------------------ *)
+
+let test_init_monitors_neighbours () =
+  let st = Protocol.init ~self:(n 2) in
+  let _, actions = Protocol.handle (cfg path5) st Protocol.Init in
+  match actions with
+  | [ Protocol.Monitor targets ] ->
+      Alcotest.(check bool) "monitors neighbours" true
+        (Node_set.equal (set [ 1; 3 ]) targets)
+  | _ -> Alcotest.fail "expected exactly one Monitor action"
+
+let test_crash_extends_monitoring () =
+  let st = Protocol.init ~self:(n 1) in
+  let st, _ = Protocol.handle (cfg path5) st Protocol.Init in
+  let st, actions = Protocol.handle (cfg path5) st (Protocol.Crash (n 2)) in
+  let monitors =
+    List.filter_map
+      (function Protocol.Monitor t -> Some t | _ -> None)
+      actions
+  in
+  (* border(2) \ {2} = {1, 3}: transitive widening of the subscription. *)
+  Alcotest.(check bool) "monitor border of crashed" true
+    (List.exists (fun t -> Node_set.mem (n 3) t) monitors);
+  Alcotest.(check bool) "crashed recorded" true
+    (Node_set.mem (n 2) (Protocol.locally_crashed st))
+
+let test_crash_duplicate_ignored () =
+  let st = Protocol.init ~self:(n 1) in
+  let st, _ = Protocol.handle (cfg path5) st Protocol.Init in
+  let st, _ = Protocol.handle (cfg path5) st (Protocol.Crash (n 2)) in
+  let round_before = Protocol.current_round st in
+  let st', actions = Protocol.handle (cfg path5) st (Protocol.Crash (n 2)) in
+  Alcotest.(check int) "round unchanged" round_before (Protocol.current_round st');
+  Alcotest.(check int) "no actions" 0 (List.length actions)
+
+let test_crash_triggers_proposal () =
+  let st = Protocol.init ~self:(n 1) in
+  let st, _ = Protocol.handle (cfg path5) st Protocol.Init in
+  let st, actions = Protocol.handle (cfg path5) st (Protocol.Crash (n 2)) in
+  (* Proposal of view {2} with border {1, 3}: round-1 message to 3. *)
+  Alcotest.(check bool) "has live proposal" true (Protocol.has_live_proposal st);
+  Alcotest.(check (option (list int))) "current view" (Some [ 2 ])
+    (Option.map Node_set.to_ints (Protocol.current_view st));
+  let sends =
+    List.filter_map
+      (function
+        | Protocol.Send { dst; msg = Message.Round { round; view; _ } } ->
+            Some (Node_id.to_int dst, round, Node_set.to_ints view)
+        | _ -> None)
+      actions
+  in
+  Alcotest.(check (list (triple int int (list int)))) "round-1 to peer"
+    [ (3, 1, [ 2 ]) ]
+    sends
+
+let test_view_construction_takes_max_component () =
+  let st = Protocol.init ~self:(n 1) in
+  let st, _ = Protocol.handle (cfg path5) st Protocol.Init in
+  (* Node 1 learns of 2, 3: one growing component {2,3}. *)
+  let st, _ = Protocol.handle (cfg path5) st (Protocol.Crash (n 2)) in
+  let st, _ = Protocol.handle (cfg path5) st (Protocol.Crash (n 3)) in
+  Alcotest.(check (list int)) "max view" [ 2; 3 ] (Node_set.to_ints (Protocol.max_view st));
+  (* The {2} attempt failed on the spot (peer 3 of border {1,3} is now
+     crashed) and the richer candidate was immediately proposed. *)
+  Alcotest.(check (option (list int))) "candidate consumed" None
+    (Option.map Node_set.to_ints (Protocol.candidate_view st));
+  Alcotest.(check (option (list int))) "now proposing the component" (Some [ 2; 3 ])
+    (Option.map Node_set.to_ints (Protocol.current_view st))
+
+let test_two_border_nodes_decide () =
+  let h = harness (cfg path5) [ n 0; n 1; n 3; n 4 ] in
+  List.iter (fun p -> feed h p Protocol.Init) [ n 0; n 1; n 3; n 4 ];
+  kill h (n 1) (set [ 2 ]);
+  kill h (n 3) (set [ 2 ]);
+  drain h;
+  let ds = decisions h in
+  Alcotest.(check int) "two decisions" 2 (List.length ds);
+  List.iter
+    (fun (_, view, value) ->
+      Alcotest.(check (list int)) "view" [ 2 ] (Node_set.to_ints view);
+      (* default_pick takes the smallest border node's value: node 1. *)
+      Alcotest.(check string) "agreed value" "plan(n1,1)" value)
+    ds
+
+let test_sole_border_node_decides_alone () =
+  (* Path 0-1: node 0 is the entire border of {1}. *)
+  let g = Topology.path 2 in
+  let h = harness (cfg g) [ n 0 ] in
+  feed h (n 0) Protocol.Init;
+  kill h (n 0) (set [ 1 ]);
+  drain h;
+  match decisions h with
+  | [ (p, view, _) ] ->
+      Alcotest.(check int) "decider" 0 (Node_id.to_int p);
+      Alcotest.(check (list int)) "view" [ 1 ] (Node_set.to_ints view)
+  | ds -> Alcotest.failf "expected exactly one decision, got %d" (List.length ds)
+
+let test_deterministic_pick_is_min_node () =
+  Alcotest.(check string) "default pick" "a"
+    (Protocol.default_pick [ (n 1, "a"); (n 2, "b") ])
+
+let test_reject_lower_ranked_view () =
+  (* Path 0-1-2-3-4-5.  Node 3 detects 2 and 4 crashed: components {2}
+     and {4} have equal size and border size, the lexicographic tiebreak
+     ranks {4} above {2}, so node 3 proposes {4}.  Node 1's incoming
+     proposal for {2} is strictly lower-ranked and must be rejected,
+     with the reject vector multicast to border({2}) \ {3} = {1}. *)
+  let g = Topology.path 6 in
+  let st = Protocol.init ~self:(n 3) in
+  let c = cfg g in
+  let st, _ = Protocol.handle c st Protocol.Init in
+  let st, _ = Protocol.handle c st (Protocol.Crash (n 4)) in
+  let st, _ = Protocol.handle c st (Protocol.Crash (n 2)) in
+  Alcotest.(check (option (list int))) "proposing {4}" (Some [ 4 ])
+    (Option.map Node_set.to_ints (Protocol.current_view st));
+  let msg =
+    Message.Round
+      {
+        round = 1;
+        view = set [ 2 ];
+        border = set [ 1; 3 ];
+        opinions = Opinion.Vector.singleton (n 1) (Opinion.Accept "x");
+      }
+  in
+  let st', actions = Protocol.handle c st (Protocol.Deliver { src = n 1; msg }) in
+  Alcotest.(check bool) "rejected" true
+    (List.exists (fun v -> Node_set.equal v (set [ 2 ])) (Protocol.rejected_views st'));
+  let reject_sent =
+    List.exists
+      (function
+        | Protocol.Send { dst; msg = Message.Round { view; opinions; _ } } ->
+            Node_id.equal dst (n 1)
+            && Node_set.equal view (set [ 2 ])
+            && Node_set.mem (n 3) (Opinion.Vector.rejectors opinions)
+        | _ -> false)
+      actions
+  in
+  Alcotest.(check bool) "reject multicast to peer" true reject_sent
+
+let test_messages_for_rejected_view_ignored () =
+  let st = Protocol.init ~self:(n 3) in
+  let c = cfg path5 in
+  let st, _ = Protocol.handle c st Protocol.Init in
+  let st, _ = Protocol.handle c st (Protocol.Crash (n 2)) in
+  let lower =
+    Message.Round
+      {
+        round = 1;
+        view = set [ 4 ];
+        border = set [ 3 ];
+        opinions = Opinion.Vector.singleton (n 4) (Opinion.Accept "x");
+      }
+  in
+  let st, _ = Protocol.handle c st (Protocol.Deliver { src = n 4; msg = lower }) in
+  let views_before = Protocol.known_views st in
+  let st', actions = Protocol.handle c st (Protocol.Deliver { src = n 4; msg = lower }) in
+  Alcotest.(check int) "no actions" 0 (List.length actions);
+  Alcotest.(check int) "no new instance" (List.length views_before)
+    (List.length (Protocol.known_views st'))
+
+let test_rejection_fails_proposers_attempt () =
+  (* Ring of 5: crash {1} and {3}: border({1}) = {0,2},
+     border({3}) = {2,4}.  Node 2 borders both, proposes the max;
+     the other proposal gets rejected and its proposer must reset
+     (Attempt_failed) without deciding. *)
+  let g = Topology.ring 5 in
+  let h = harness (cfg g) [ n 0; n 2; n 4 ] in
+  List.iter (fun p -> feed h p Protocol.Init) [ n 0; n 2; n 4 ];
+  (* Node 2 hears of 3 first and proposes {3} (the higher-ranked of the
+     two singleton regions it borders); node 0 proposes {1}. *)
+  kill h (n 2) (set [ 3 ]);
+  kill h (n 0) (set [ 1 ]);
+  kill h (n 2) (set [ 1 ]);
+  kill h (n 4) (set [ 3 ]);
+  drain h;
+  let failed_attempts =
+    List.filter (function _, Protocol.Attempt_failed _ -> true | _ -> false) (notes h)
+  in
+  Alcotest.(check bool) "some attempt failed" true (failed_attempts <> []);
+  (* CD6 on the final outcome: decided views never overlap. *)
+  let ds = decisions h in
+  List.iter
+    (fun (_, v, _) ->
+      List.iter
+        (fun (_, w, _) ->
+          if not (Node_set.equal v w) then
+            Alcotest.(check bool) "disjoint" true
+              (Node_set.is_empty (Node_set.inter v w)))
+        ds)
+    ds
+
+let test_crashed_peer_is_excused () =
+  (* Border {1,3} of {2}; peer 3 crashes before answering: node 1 learns
+     3 crashed, completes its round alone with a ⊥ slot, and the attempt
+     fails (no unanimity), it does not decide. *)
+  let st = Protocol.init ~self:(n 1) in
+  let c = cfg path5 in
+  let st, _ = Protocol.handle c st Protocol.Init in
+  let st, _ = Protocol.handle c st (Protocol.Crash (n 2)) in
+  Alcotest.(check bool) "waiting on 3" true
+    (match Protocol.waiting_on st with
+    | Some w -> Node_set.mem (n 3) w
+    | None -> false);
+  let st, actions = Protocol.handle c st (Protocol.Crash (n 3)) in
+  Alcotest.(check bool) "attempt failed, no decision" true
+    (Protocol.decided st = None);
+  Alcotest.(check bool) "noted failure" true
+    (List.exists
+       (function Protocol.Note (Protocol.Attempt_failed _) -> true | _ -> false)
+       actions);
+  (* ...and the bigger candidate {2,3} is immediately proposed. *)
+  Alcotest.(check bool) "reproposed bigger view" true
+    (List.exists
+       (function Protocol.Note (Protocol.Proposed v) -> Node_set.equal v (set [ 2; 3 ])
+         | _ -> false)
+       actions)
+
+let test_round_message_out_of_range_ignored () =
+  let st = Protocol.init ~self:(n 1) in
+  let c = cfg path5 in
+  let st, _ = Protocol.handle c st Protocol.Init in
+  let bogus =
+    Message.Round
+      {
+        round = 99;
+        view = set [ 2 ];
+        border = set [ 1; 3 ];
+        opinions = Opinion.Vector.singleton (n 3) (Opinion.Accept "x");
+      }
+  in
+  let _, actions = Protocol.handle c st (Protocol.Deliver { src = n 3; msg = bogus }) in
+  Alcotest.(check int) "ignored" 0 (List.length actions)
+
+let test_no_proposal_after_decide () =
+  (* After deciding, later crash notifications must not spawn a new
+     proposal (a node decides once). *)
+  let g = Topology.path 4 in
+  (* 0-1-2-3; crash 1: border {0,2}. *)
+  let h = harness (cfg g) [ n 0; n 2; n 3 ] in
+  List.iter (fun p -> feed h p Protocol.Init) [ n 0; n 2; n 3 ];
+  kill h (n 0) (set [ 1 ]);
+  kill h (n 2) (set [ 1 ]);
+  drain h;
+  Alcotest.(check int) "both decided" 2 (List.length (decisions h));
+  (* Now 2 learns of a second crashed region {3}. *)
+  kill h (n 2) (set [ 3 ]);
+  drain h;
+  let proposals_for_3 =
+    List.filter
+      (function _, Protocol.Proposed v -> Node_set.equal v (set [ 3 ]) | _ -> false)
+      (notes h)
+  in
+  Alcotest.(check int) "no proposal after decide" 0 (List.length proposals_for_3)
+
+let test_lemma2_views_strictly_increase () =
+  (* Drive node 1 through a cascade and record its proposals: the
+     sequence must be strictly increasing in rank (Lemma 2). *)
+  let g = Topology.path 6 in
+  let c = cfg g in
+  let st = Protocol.init ~self:(n 1) in
+  let st, _ = Protocol.handle c st Protocol.Init in
+  let proposals = ref [] in
+  let feed st ev =
+    let st, actions = Protocol.handle c st ev in
+    List.iter
+      (function
+        | Protocol.Note (Protocol.Proposed v) -> proposals := v :: !proposals
+        | _ -> ())
+      actions;
+    st
+  in
+  let st = feed st (Protocol.Crash (n 2)) in
+  let st = feed st (Protocol.Crash (n 3)) in
+  let st = feed st (Protocol.Crash (n 4)) in
+  ignore st;
+  let seq = List.rev !proposals in
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) ->
+        Cliffedge_graph.Ranking.lower g a b && strictly_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "at least one proposal" true (seq <> []);
+  Alcotest.(check bool) "strictly increasing" true (strictly_increasing seq)
+
+let test_outcome_message_decides () =
+  let c = cfg ~early_stopping:true path5 in
+  let st = Protocol.init ~self:(n 1) in
+  let st, _ = Protocol.handle c st Protocol.Init in
+  let full =
+    Node_map.of_list
+      [ (n 1, Opinion.Accept "v1"); (n 3, Opinion.Accept "v3") ]
+  in
+  let msg = Message.Outcome { view = set [ 2 ]; border = set [ 1; 3 ]; opinions = full } in
+  let st, actions = Protocol.handle c st (Protocol.Deliver { src = n 3; msg }) in
+  Alcotest.(check bool) "decided" true (Protocol.decided st <> None);
+  Alcotest.(check bool) "decide action" true
+    (List.exists (function Protocol.Decide _ -> true | _ -> false) actions);
+  (match Protocol.decided st with
+  | Some (_, v) -> Alcotest.(check string) "picked min node's value" "v1" v
+  | None -> ())
+
+let test_outcome_message_with_reject_fails_attempt () =
+  let c = cfg ~early_stopping:true path5 in
+  let st = Protocol.init ~self:(n 1) in
+  let st, _ = Protocol.handle c st Protocol.Init in
+  let st, _ = Protocol.handle c st (Protocol.Crash (n 2)) in
+  Alcotest.(check bool) "proposing" true (Protocol.has_live_proposal st);
+  let vec = Node_map.of_list [ (n 1, Opinion.Accept "v1"); (n 3, Opinion.Reject) ] in
+  let msg = Message.Outcome { view = set [ 2 ]; border = set [ 1; 3 ]; opinions = vec } in
+  let st, _ = Protocol.handle c st (Protocol.Deliver { src = n 3; msg }) in
+  Alcotest.(check bool) "not decided" true (Protocol.decided st = None);
+  Alcotest.(check bool) "attempt aborted" false (Protocol.has_live_proposal st)
+
+let test_early_stopping_three_node_border () =
+  (* Star hub 0 with leaves 1, 2, 3: crashing the hub leaves a border of
+     three, i.e. R = 2 rounds normally.  With early stopping the leaves
+     finish after the full round 1 and broadcast Outcome messages. *)
+  let g = Topology.star 4 in
+  let h = harness (cfg ~early_stopping:true g) [ n 1; n 2; n 3 ] in
+  List.iter (fun p -> feed h p Protocol.Init) [ n 1; n 2; n 3 ];
+  kill h (n 1) (set [ 0 ]);
+  kill h (n 2) (set [ 0 ]);
+  kill h (n 3) (set [ 0 ]);
+  drain h;
+  Alcotest.(check int) "all three decide" 3 (List.length (decisions h));
+  let outcomes =
+    List.filter
+      (function _, Protocol.Early_outcome _ -> true | _ -> false)
+      (notes h)
+  in
+  Alcotest.(check bool) "early outcome noted" true (outcomes <> [])
+
+let suite =
+  ( "protocol",
+    [
+      Alcotest.test_case "init monitors" `Quick test_init_monitors_neighbours;
+      Alcotest.test_case "crash extends monitoring" `Quick test_crash_extends_monitoring;
+      Alcotest.test_case "duplicate crash ignored" `Quick test_crash_duplicate_ignored;
+      Alcotest.test_case "crash triggers proposal" `Quick test_crash_triggers_proposal;
+      Alcotest.test_case "view construction max component" `Quick
+        test_view_construction_takes_max_component;
+      Alcotest.test_case "two border nodes decide" `Quick test_two_border_nodes_decide;
+      Alcotest.test_case "sole border node" `Quick test_sole_border_node_decides_alone;
+      Alcotest.test_case "default pick" `Quick test_deterministic_pick_is_min_node;
+      Alcotest.test_case "reject lower view" `Quick test_reject_lower_ranked_view;
+      Alcotest.test_case "rejected view ignored" `Quick
+        test_messages_for_rejected_view_ignored;
+      Alcotest.test_case "rejection fails proposer" `Quick
+        test_rejection_fails_proposers_attempt;
+      Alcotest.test_case "crashed peer excused" `Quick test_crashed_peer_is_excused;
+      Alcotest.test_case "bogus round ignored" `Quick
+        test_round_message_out_of_range_ignored;
+      Alcotest.test_case "no proposal after decide" `Quick test_no_proposal_after_decide;
+      Alcotest.test_case "lemma 2: proposals increase" `Quick
+        test_lemma2_views_strictly_increase;
+      Alcotest.test_case "outcome decides" `Quick test_outcome_message_decides;
+      Alcotest.test_case "outcome with reject aborts" `Quick
+        test_outcome_message_with_reject_fails_attempt;
+      Alcotest.test_case "early stopping end-to-end" `Quick
+        test_early_stopping_three_node_border;
+    ] )

@@ -1,0 +1,90 @@
+(* Tests for the region ranking relation (§3.1). *)
+
+open Cliffedge_graph
+
+let set = Node_set.of_ints
+
+(* Path 0-1-2-3-4-5-6 plus a hub 7 linked to 2 and 3: lets us build
+   same-size regions with different border sizes. *)
+let g = Graph.of_edges [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 6); (7, 2); (7, 3) ]
+
+let test_size_dominates () =
+  Alcotest.(check bool) "bigger wins" true (Ranking.lower g (set [ 1 ]) (set [ 2; 3 ]));
+  Alcotest.(check bool) "order strict" false (Ranking.lower g (set [ 2; 3 ]) (set [ 1 ]))
+
+let test_border_breaks_ties () =
+  (* |{2}| = |{0}| = 1; border({2}) = {1,3,7} (3 nodes) vs border({0}) =
+     {1} (1 node): {0} ≺ {2}. *)
+  Alcotest.(check bool) "bigger border wins" true (Ranking.lower g (set [ 0 ]) (set [ 2 ]));
+  Alcotest.(check bool) "reverse is false" false (Ranking.lower g (set [ 2 ]) (set [ 0 ]))
+
+let test_lexicographic_final_tiebreak () =
+  (* {0} and {6} have size 1 and border size 1; the set order decides
+     and must be antisymmetric. *)
+  let a = set [ 0 ] and b = set [ 6 ] in
+  let lower_ab = Ranking.lower g a b and lower_ba = Ranking.lower g b a in
+  Alcotest.(check bool) "exactly one direction" true (lower_ab <> lower_ba)
+
+let test_irreflexive () =
+  let r = set [ 2; 3 ] in
+  Alcotest.(check int) "compare self" 0 (Ranking.compare g r r);
+  Alcotest.(check bool) "not lower than self" false (Ranking.lower g r r)
+
+let test_subsumes_inclusion () =
+  (* The progress proof needs R ⊂ S ⇒ R ≺ S (size strictly grows). *)
+  Alcotest.(check bool) "subset is lower" true
+    (Ranking.lower g (set [ 2; 3 ]) (set [ 2; 3; 4 ]))
+
+let test_empty_is_bottom () =
+  Alcotest.(check bool) "empty below singleton" true
+    (Ranking.lower g Node_set.empty (set [ 0 ]));
+  Alcotest.(check bool) "nothing below empty" false
+    (Ranking.lower g (set [ 0 ]) Node_set.empty)
+
+let test_max_ranked_region () =
+  let best = Ranking.max_ranked_region g [ set [ 0 ]; set [ 2; 3 ]; set [ 4 ] ] in
+  Alcotest.(check bool) "max" true (Node_set.equal (set [ 2; 3 ]) best)
+
+let test_max_ranked_empty_rejected () =
+  Alcotest.check_raises "empty collection"
+    (Invalid_argument "Ranking.max_ranked_region: empty collection") (fun () ->
+      ignore (Ranking.max_ranked_region g []))
+
+(* Total strict order properties on random regions. *)
+
+let gen_regions =
+  QCheck2.Gen.(
+    let* seed = int_range 0 100_000 in
+    let rng = Cliffedge_prng.Prng.create seed in
+    let graph = Topology.torus 5 5 in
+    let region () =
+      Cliffedge_workload.Fault_gen.connected_region rng graph
+        ~size:(1 + Cliffedge_prng.Prng.int rng 8)
+    in
+    return (graph, region (), region (), region ()))
+
+let prop_trichotomy =
+  QCheck2.Test.make ~name:"ranking is a strict total order (trichotomy)" ~count:200
+    gen_regions (fun (g, a, b, _) ->
+      let ab = Ranking.compare g a b and ba = Ranking.compare g b a in
+      (ab = 0) = Node_set.equal a b && compare ab 0 = compare 0 ba)
+
+let prop_transitive =
+  QCheck2.Test.make ~name:"ranking is transitive" ~count:200 gen_regions
+    (fun (g, a, b, c) ->
+      (not (Ranking.lower g a b && Ranking.lower g b c)) || Ranking.lower g a c)
+
+let suite =
+  ( "ranking",
+    [
+      Alcotest.test_case "size dominates" `Quick test_size_dominates;
+      Alcotest.test_case "border tiebreak" `Quick test_border_breaks_ties;
+      Alcotest.test_case "lexicographic tiebreak" `Quick test_lexicographic_final_tiebreak;
+      Alcotest.test_case "irreflexive" `Quick test_irreflexive;
+      Alcotest.test_case "subsumes inclusion" `Quick test_subsumes_inclusion;
+      Alcotest.test_case "empty is bottom" `Quick test_empty_is_bottom;
+      Alcotest.test_case "max ranked" `Quick test_max_ranked_region;
+      Alcotest.test_case "max ranked empty" `Quick test_max_ranked_empty_rejected;
+      QCheck_alcotest.to_alcotest prop_trichotomy;
+      QCheck_alcotest.to_alcotest prop_transitive;
+    ] )

@@ -1,0 +1,160 @@
+(* Tests for the scenario driver and the paper's figure scenarios. *)
+
+open Cliffedge_graph
+module Scenario = Cliffedge.Scenario
+module Checker = Cliffedge.Checker
+module Runner = Cliffedge.Runner
+module P = Cliffedge.Paper_scenarios
+
+let test_world_graph_shape () =
+  let graph, names = P.fig1_world in
+  Alcotest.(check int) "15 cities" 15 (Graph.node_count graph);
+  Alcotest.(check bool) "connected" true (Graph.is_connected graph);
+  Alcotest.(check (option string)) "paris named" (Some "paris")
+    (Node_id.Names.find names (P.city "paris"));
+  (* border(F1) per the paper *)
+  let border = Graph.border graph P.f1 in
+  let expected =
+    Node_set.of_list [ P.city "paris"; P.city "london"; P.city "madrid"; P.city "roma" ]
+  in
+  Alcotest.(check bool) "border(F1)" true (Node_set.equal expected border);
+  (* border(F3) gains berlin, loses paris *)
+  let border3 = Graph.border graph P.f3 in
+  let expected3 =
+    Node_set.of_list [ P.city "berlin"; P.city "london"; P.city "madrid"; P.city "roma" ]
+  in
+  Alcotest.(check bool) "border(F3)" true (Node_set.equal expected3 border3)
+
+let test_city_lookup () =
+  Alcotest.(check int) "paris id" 0 (Node_id.to_int (P.city "paris"));
+  Alcotest.check_raises "unknown" Not_found (fun () -> ignore (P.city "atlantis"))
+
+let test_fig1a_two_agreements () =
+  let outcome, report = Scenario.execute P.fig1a in
+  Alcotest.(check bool) "ok" true (Checker.ok report);
+  let views = Runner.decided_views outcome in
+  Alcotest.(check int) "two regions agreed" 2 (List.length views);
+  Alcotest.(check bool) "F1 agreed" true (List.exists (Node_set.equal P.f1) views);
+  Alcotest.(check bool) "F2 agreed" true (List.exists (Node_set.equal P.f2) views)
+
+let test_fig1a_locality () =
+  let outcome, _ = Scenario.execute P.fig1a in
+  let madrid = P.city "madrid" and vancouver = P.city "vancouver" in
+  Alcotest.(check int) "no cross traffic" 0
+    (Cliffedge_net.Stats.pair_count outcome.stats ~src:madrid ~dst:vancouver)
+
+let test_fig1b_converges_on_f3 () =
+  let outcome, report = Scenario.execute (P.fig1b ()) in
+  Alcotest.(check bool) "ok" true (Checker.ok report);
+  (* With the default timing paris dies mid-agreement: survivors decide
+     F3, berlin among them. *)
+  let views = Runner.decided_views outcome in
+  Alcotest.(check bool) "F3 agreed" true (List.exists (Node_set.equal P.f3) views);
+  Alcotest.(check bool) "berlin decided" true
+    (Node_set.mem (P.city "berlin") (Runner.deciders outcome))
+
+let test_fig1b_late_crash_is_separate_region () =
+  (* If paris dies long after the F1 agreement completed, F1 is decided
+     by its original border and {paris} becomes a separate story; all
+     properties still hold. *)
+  let outcome, report = Scenario.execute (P.fig1b ~paris_crash_time:500.0 ()) in
+  Alcotest.(check bool) "ok" true (Checker.ok report);
+  let views = Runner.decided_views outcome in
+  Alcotest.(check bool) "F1 agreed before cascade" true
+    (List.exists (Node_set.equal P.f1) views)
+
+let test_fig2_progress_and_arbitration () =
+  let outcome, report = Scenario.execute P.fig2 in
+  Alcotest.(check bool) "ok" true (Checker.ok report);
+  let deciders = Runner.deciders outcome in
+  (* CD7: someone decides. *)
+  Alcotest.(check bool) "progress" true (not (Node_set.is_empty deciders));
+  (* The ranking makes the lexicographically-largest domain {10,11} win;
+     its border is {9,12}. *)
+  let winning = List.nth P.fig2_domains 3 in
+  List.iter
+    (fun (d : string Runner.decision) ->
+      Alcotest.(check bool) "only the top domain is decided" true
+        (Node_set.equal d.view winning))
+    outcome.decisions
+
+let test_all_scenarios_pass_many_seeds () =
+  List.iter
+    (fun scenario ->
+      List.iter
+        (fun seed ->
+          let outcome, report = Scenario.execute (Scenario.with_seed scenario seed) in
+          if not (Checker.ok report) then
+            Alcotest.failf "scenario %s seed %d: %s (quiescent=%b)" scenario.Scenario.name
+              seed
+              (Format.asprintf "%a" Checker.pp_report report)
+              outcome.Runner.quiescent)
+        [ 0; 1; 2; 3; 4; 5; 6; 7 ])
+    (P.all ())
+
+let test_with_seed () =
+  let s = Scenario.with_seed P.fig1a 42 in
+  Alcotest.(check int) "seed set" 42 s.Scenario.options.Runner.seed
+
+let test_pp_result_smoke () =
+  let outcome, report = Scenario.execute P.fig1a in
+  let s = Format.asprintf "%a" Scenario.pp_result (P.fig1a, outcome, report) in
+  Alcotest.(check bool) "mentions madrid" true
+    (let sub = "madrid" in
+     let len = String.length sub in
+     let rec scan i =
+       if i + len > String.length s then false
+       else if String.sub s i len = sub then true
+       else scan (i + 1)
+     in
+     scan 0)
+
+let suite =
+  ( "paper scenarios",
+    [
+      Alcotest.test_case "world graph shape" `Quick test_world_graph_shape;
+      Alcotest.test_case "city lookup" `Quick test_city_lookup;
+      Alcotest.test_case "fig1a agreements" `Quick test_fig1a_two_agreements;
+      Alcotest.test_case "fig1a locality" `Quick test_fig1a_locality;
+      Alcotest.test_case "fig1b cascade" `Quick test_fig1b_converges_on_f3;
+      Alcotest.test_case "fig1b late crash" `Quick test_fig1b_late_crash_is_separate_region;
+      Alcotest.test_case "fig2 arbitration" `Quick test_fig2_progress_and_arbitration;
+      Alcotest.test_case "all scenarios x seeds" `Slow test_all_scenarios_pass_many_seeds;
+      Alcotest.test_case "with_seed" `Quick test_with_seed;
+      Alcotest.test_case "pp_result" `Quick test_pp_result_smoke;
+    ] )
+
+(* execute_with: custom decision-value types flow through runner and
+   checker. *)
+let test_execute_with_custom_values () =
+  let graph = Topology.ring 10 in
+  let crashes = List.map (fun i -> (5.0, Node_id.of_int i)) [ 4; 5 ] in
+  let scenario = Scenario.make ~name:"custom" ~graph ~crashes () in
+  let outcome, report =
+    Scenario.execute_with
+      ~propose_value:(fun p view ->
+        (Node_id.to_int p, Node_set.cardinal view) (* a tuple value *))
+      ~value_equal:( = ) scenario
+  in
+  Alcotest.(check bool) "ok" true (Checker.ok report);
+  List.iter
+    (fun (d : (int * int) Runner.decision) ->
+      (* default_pick: the smallest border node's tuple. *)
+      Alcotest.(check (pair int int)) "agreed tuple" (3, 2) d.value)
+    outcome.decisions
+
+let test_default_propose_distinct_per_node () =
+  let a = Scenario.default_propose (Node_id.of_int 1) (Node_set.of_ints [ 9 ]) in
+  let b = Scenario.default_propose (Node_id.of_int 2) (Node_set.of_ints [ 9 ]) in
+  Alcotest.(check bool) "distinct" false (String.equal a b)
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [
+        Alcotest.test_case "execute_with custom values" `Quick
+          test_execute_with_custom_values;
+        Alcotest.test_case "default_propose distinct" `Quick
+          test_default_propose_distinct_per_node;
+      ] )

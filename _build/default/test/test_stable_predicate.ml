@@ -1,0 +1,71 @@
+(* Tests for the stable-predicate generalization (§5). *)
+
+open Cliffedge_graph
+module Sp = Cliffedge.Stable_predicate
+
+let set = Node_set.of_ints
+
+let flags_at at region = List.map (fun p -> (at, p)) (Node_set.elements region)
+
+let test_detects_flagged_region () =
+  let graph = Topology.grid 5 5 in
+  let hot = set [ 11; 12 ] in
+  let outcome = Sp.detect ~graph ~flags:(flags_at 10.0 hot) () in
+  Alcotest.(check bool) "ok" true (Sp.ok outcome);
+  match outcome.regions with
+  | [ r ] ->
+      Alcotest.(check bool) "region" true (Node_set.equal hot r.region);
+      Alcotest.(check bool) "deciders are the healthy border" true
+        (Node_set.equal (Graph.border graph hot) r.deciders)
+  | rs -> Alcotest.failf "expected one region, got %d" (List.length rs)
+
+let test_custom_mitigation_value () =
+  let graph = Topology.ring 8 in
+  let hot = set [ 3 ] in
+  let outcome =
+    Sp.detect
+      ~propose_mitigation:(fun _ v ->
+        Printf.sprintf "throttle-%d" (Node_set.cardinal v))
+      ~graph ~flags:(flags_at 5.0 hot) ()
+  in
+  Alcotest.(check bool) "ok" true (Sp.ok outcome);
+  match outcome.regions with
+  | [ r ] -> Alcotest.(check string) "value" "throttle-1" r.value
+  | _ -> Alcotest.fail "expected one region"
+
+let test_gradual_spread_converges () =
+  (* The hot spot spreads node by node: stale small-region agreements
+     must converge on the final extent (same dynamics as Fig. 1(b)). *)
+  let graph = Topology.grid 6 6 in
+  let spread = [ (10.0, 14); (40.0, 15); (70.0, 21) ] in
+  let flags = List.map (fun (t, i) -> (t, Node_id.of_int i)) spread in
+  let outcome = Sp.detect ~graph ~flags () in
+  Alcotest.(check bool) "ok" true (Sp.ok outcome);
+  (* Whatever the race outcomes, regions never overlap (CD6) and the
+     final region agreed contains the last flagged node or the run ended
+     with earlier complete agreements. *)
+  List.iter
+    (fun (r : Sp.flagged_region) ->
+      Alcotest.(check bool) "region valid" true (Graph.is_region graph r.region))
+    outcome.regions
+
+let test_no_flags () =
+  let outcome = Sp.detect ~graph:(Topology.ring 6) ~flags:[] () in
+  Alcotest.(check bool) "ok" true (Sp.ok outcome);
+  Alcotest.(check int) "no regions" 0 (List.length outcome.regions)
+
+let test_pp_smoke () =
+  let graph = Topology.ring 8 in
+  let outcome = Sp.detect ~graph ~flags:(flags_at 5.0 (set [ 3 ])) () in
+  let s = Format.asprintf "%a" Sp.pp outcome in
+  Alcotest.(check bool) "non-trivial output" true (String.length s > 20)
+
+let suite =
+  ( "stable predicate",
+    [
+      Alcotest.test_case "detects flagged region" `Quick test_detects_flagged_region;
+      Alcotest.test_case "custom mitigation" `Quick test_custom_mitigation_value;
+      Alcotest.test_case "gradual spread" `Quick test_gradual_spread_converges;
+      Alcotest.test_case "no flags" `Quick test_no_flags;
+      Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+    ] )

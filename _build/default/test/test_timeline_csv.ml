@@ -1,0 +1,119 @@
+(* Tests for the timeline narrative and CSV export. *)
+
+open Cliffedge_graph
+module Timeline = Cliffedge.Timeline
+module Runner = Cliffedge.Runner
+module Scenario = Cliffedge.Scenario
+module Csv = Cliffedge_report.Csv
+
+let run_ring () =
+  let graph = Topology.ring 10 in
+  let region = Node_set.of_ints [ 3; 4 ] in
+  let crashes = List.map (fun p -> (10.0, p)) (Node_set.elements region) in
+  Runner.run ~graph ~crashes ~propose_value:Scenario.default_propose ()
+
+let test_timeline_ordered_and_complete () =
+  let outcome = run_ring () in
+  let entries = Timeline.of_outcome ~value_to_string:Fun.id outcome in
+  (* Time-ordered. *)
+  let times = List.map (fun (e : Timeline.entry) -> e.time) entries in
+  Alcotest.(check bool) "sorted" true (times = List.sort Float.compare times);
+  (* Crashes, proposals and decisions all appear. *)
+  let count p = List.length (List.filter p entries) in
+  Alcotest.(check int) "crashes" 2
+    (count (fun e -> e.Timeline.event = Timeline.Crashed));
+  Alcotest.(check bool) "has proposals" true
+    (count (fun e -> match e.Timeline.event with Timeline.Proposed _ -> true | _ -> false)
+     > 0);
+  Alcotest.(check int) "decisions" 2
+    (count (fun e ->
+         match e.Timeline.event with Timeline.Decided _ -> true | _ -> false))
+
+let test_timeline_pp_mentions_nodes () =
+  let outcome = run_ring () in
+  let entries = Timeline.of_outcome ~value_to_string:Fun.id outcome in
+  let s = Format.asprintf "%a" (Timeline.pp ?names:None) entries in
+  Alcotest.(check bool) "mentions CRASH" true
+    (let sub = "CRASHES" in
+     let len = String.length sub in
+     let rec scan i =
+       if i + len > String.length s then false
+       else if String.sub s i len = sub then true
+       else scan (i + 1)
+     in
+     scan 0)
+
+let test_decision_latency_positive () =
+  let outcome = run_ring () in
+  match Timeline.decision_latency outcome with
+  | [ (view, latency) ] ->
+      Alcotest.(check (list int)) "view" [ 3; 4 ] (Node_set.to_ints view);
+      Alcotest.(check bool) "positive and plausible" true
+        (latency > 0.0 && latency < 200.0)
+  | other -> Alcotest.failf "expected one view, got %d" (List.length other)
+
+let test_csv_render () =
+  let csv = Csv.create ~columns:[ "a"; "b" ] in
+  Csv.add_row csv [ "1"; "x" ];
+  Csv.add_row csv [ "2"; "y" ];
+  Alcotest.(check string) "render" "a,b\n1,x\n2,y\n" (Csv.render csv)
+
+let test_csv_escaping () =
+  Alcotest.(check string) "plain" "abc" (Csv.escape "abc");
+  Alcotest.(check string) "comma" "\"a,b\"" (Csv.escape "a,b");
+  Alcotest.(check string) "quote" "\"a\"\"b\"" (Csv.escape "a\"b");
+  Alcotest.(check string) "newline" "\"a\nb\"" (Csv.escape "a\nb")
+
+let test_csv_row_width_checked () =
+  let csv = Csv.create ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Csv.add_row: row width mismatches header") (fun () ->
+      Csv.add_row csv [ "only" ])
+
+let test_csv_write_file () =
+  let csv = Csv.create ~columns:[ "n" ] in
+  Csv.add_row csv [ "7" ];
+  let path = Filename.temp_file "cliffedge" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Csv.write_file csv path;
+      let ic = open_in path in
+      let content = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "file content" "n\n7\n" content)
+
+let suite =
+  ( "timeline/csv",
+    [
+      Alcotest.test_case "timeline ordered" `Quick test_timeline_ordered_and_complete;
+      Alcotest.test_case "timeline pp" `Quick test_timeline_pp_mentions_nodes;
+      Alcotest.test_case "decision latency" `Quick test_decision_latency_positive;
+      Alcotest.test_case "csv render" `Quick test_csv_render;
+      Alcotest.test_case "csv escaping" `Quick test_csv_escaping;
+      Alcotest.test_case "csv row width" `Quick test_csv_row_width_checked;
+      Alcotest.test_case "csv write file" `Quick test_csv_write_file;
+    ] )
+
+(* Table -> CSV bridge. *)
+let test_table_to_csv () =
+  let module Table = Cliffedge_report.Table in
+  let t = Table.create ~title:"demo table" ~columns:[ "a"; "b" ] in
+  Table.add_row t [ "1"; "x,y" ];
+  Alcotest.(check string) "csv" "a,b\n1,\"x,y\"\n" (Csv.render (Table.to_csv t));
+  Alcotest.(check string) "title" "demo table" (Table.title t)
+
+let test_table_slug () =
+  let module Table = Cliffedge_report.Table in
+  Alcotest.(check string) "slug" "x4-locality-claim-n-2"
+    (Table.slug "X4 (locality claim): N^2!");
+  Alcotest.(check string) "collapse" "a-b" (Table.slug "a   b")
+
+let suite =
+  let name, cases = suite in
+  ( name,
+    cases
+    @ [
+        Alcotest.test_case "table to csv" `Quick test_table_to_csv;
+        Alcotest.test_case "table slug" `Quick test_table_slug;
+      ] )

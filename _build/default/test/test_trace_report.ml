@@ -1,0 +1,94 @@
+(* Tests for the trace recorder and the report library. *)
+
+module Trace = Cliffedge_sim.Trace
+module Summary = Cliffedge_report.Summary
+module Table = Cliffedge_report.Table
+
+let test_trace_roundtrip () =
+  let t = Trace.create () in
+  Trace.record t ~time:1.0 "a";
+  Trace.record t ~time:2.0 "b";
+  Alcotest.(check int) "length" 2 (Trace.length t);
+  Alcotest.(check (list string)) "events" [ "a"; "b" ] (Trace.events t);
+  let entries = Trace.to_list t in
+  Alcotest.(check (float 0.0)) "first time" 1.0 (List.hd entries).Trace.time
+
+let test_trace_filter_map () =
+  let t = Trace.create () in
+  List.iter (fun (time, e) -> Trace.record t ~time e) [ (1.0, 1); (2.0, 2); (3.0, 3) ];
+  let odd = Trace.filter_map (fun e -> if e.Trace.event mod 2 = 1 then Some e.Trace.event else None) t in
+  Alcotest.(check (list int)) "filtered" [ 1; 3 ] odd
+
+let test_summary_singleton () =
+  let s = Summary.of_list [ 5.0 ] in
+  Alcotest.(check (float 0.0)) "mean" 5.0 s.Summary.mean;
+  Alcotest.(check (float 0.0)) "stddev" 0.0 s.Summary.stddev;
+  Alcotest.(check (float 0.0)) "median" 5.0 s.Summary.median
+
+let test_summary_known_values () =
+  let s = Summary.of_list [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ] in
+  Alcotest.(check (float 1e-9)) "mean" 5.0 s.Summary.mean;
+  Alcotest.(check (float 1e-9)) "min" 2.0 s.Summary.min;
+  Alcotest.(check (float 1e-9)) "max" 9.0 s.Summary.max;
+  Alcotest.(check int) "count" 8 s.Summary.count;
+  (* sample stddev of this classic set is ~2.138 *)
+  Alcotest.(check bool) "stddev" true (abs_float (s.Summary.stddev -. 2.138) < 0.01)
+
+let test_summary_percentiles () =
+  let s = Summary.of_list (List.init 100 (fun i -> float_of_int (i + 1))) in
+  Alcotest.(check (float 0.0)) "median" 50.0 s.Summary.median;
+  Alcotest.(check (float 0.0)) "p90" 90.0 s.Summary.p90
+
+let test_summary_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Summary.of_list: empty sample")
+    (fun () -> ignore (Summary.of_list []))
+
+let test_summary_of_ints () =
+  let s = Summary.of_ints [ 1; 2; 3 ] in
+  Alcotest.(check (float 1e-9)) "mean" 2.0 s.Summary.mean
+
+let test_table_renders () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "long column" ] in
+  Table.add_row t [ "1"; "x" ];
+  Table.add_rows t [ [ "2"; "y" ]; [ "3"; "zzzz" ] ];
+  let s = Table.render t in
+  let mem sub =
+    let len = String.length sub in
+    let rec scan i =
+      if i + len > String.length s then false
+      else if String.sub s i len = sub then true
+      else scan (i + 1)
+    in
+    Alcotest.(check bool) sub true (scan 0)
+  in
+  mem "== demo ==";
+  mem "| a ";
+  mem "| long column ";
+  mem "| zzzz";
+  (* All lines of the body share the same width. *)
+  let widths =
+    String.split_on_char '\n' s
+    |> List.filter (fun l -> String.length l > 0 && l.[0] <> '=')
+    |> List.map String.length
+  in
+  Alcotest.(check int) "uniform line width" 1 (List.length (List.sort_uniq compare widths))
+
+let test_table_row_mismatch () =
+  let t = Table.create ~title:"demo" ~columns:[ "a"; "b" ] in
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Table.add_row: row width mismatches columns") (fun () ->
+      Table.add_row t [ "only one" ])
+
+let suite =
+  ( "trace/report",
+    [
+      Alcotest.test_case "trace roundtrip" `Quick test_trace_roundtrip;
+      Alcotest.test_case "trace filter_map" `Quick test_trace_filter_map;
+      Alcotest.test_case "summary singleton" `Quick test_summary_singleton;
+      Alcotest.test_case "summary known values" `Quick test_summary_known_values;
+      Alcotest.test_case "summary percentiles" `Quick test_summary_percentiles;
+      Alcotest.test_case "summary empty" `Quick test_summary_empty;
+      Alcotest.test_case "summary of ints" `Quick test_summary_of_ints;
+      Alcotest.test_case "table renders" `Quick test_table_renders;
+      Alcotest.test_case "table row mismatch" `Quick test_table_row_mismatch;
+    ] )
