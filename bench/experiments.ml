@@ -189,17 +189,22 @@ let x4 () =
           "CE units";
           "CE nodes involved";
           "CE t";
+          "CE wall ms";
           "BL msgs";
           "BL units";
           "BL nodes involved";
           "BL t";
+          "BL wall ms";
         ]
   in
   List.iter
     (fun n ->
       let graph = Topology.ring n in
       let crashes = Fault_gen.crash_at 10.0 (ring_region n) in
-      let ce = Runner.run ~graph ~crashes ~propose_value:Scenario.default_propose () in
+      let ce, ce_ms =
+        Json_out.time_ms (fun () ->
+            Runner.run ~graph ~crashes ~propose_value:Scenario.default_propose ())
+      in
       assert (Checker.ok (Checker.check ce));
       let ce_row =
         [
@@ -207,20 +212,40 @@ let x4 () =
           cell "%d" (Stats.units_sent ce.stats);
           cell "%d" (Node_set.cardinal (Stats.communicating_nodes ce.stats));
           cell "%.0f" ce.duration;
+          cell "%.1f" ce_ms;
         ]
+      in
+      let json_fields =
+        ref
+          [
+            ("ce_wall_ms", Cliffedge_report.Json.Float ce_ms);
+            ("ce_msgs", Cliffedge_report.Json.Int (Stats.sent ce.stats));
+            ( "ce_nodes",
+              Cliffedge_report.Json.Int
+                (Node_set.cardinal (Stats.communicating_nodes ce.stats)) );
+          ]
       in
       let bl_row =
         if n <= 512 then begin
-          let bl = Global_runner.run ~graph ~crashes () in
+          let bl, bl_ms = Json_out.time_ms (fun () -> Global_runner.run ~graph ~crashes ()) in
+          json_fields :=
+            !json_fields
+            @ [
+                ("bl_wall_ms", Cliffedge_report.Json.Float bl_ms);
+                ("bl_msgs", Cliffedge_report.Json.Int (Stats.sent bl.stats));
+              ];
           [
             cell "%d" (Stats.sent bl.stats);
             cell "%d" (Stats.units_sent bl.stats);
             cell "%d" (Node_set.cardinal (Stats.communicating_nodes bl.stats));
             cell "%.0f" bl.duration;
+            cell "%.1f" bl_ms;
           ]
         end
-        else [ "-"; "-"; "-"; "-" ]
+        else [ "-"; "-"; "-"; "-"; "-" ]
       in
+      Json_out.record ~section:"x4"
+        [ (Printf.sprintf "N=%d" n, Cliffedge_report.Json.Obj !json_fields) ];
       Table.add_row t ((cell "%d" n :: ce_row) @ bl_row))
     [ 64; 128; 256; 512; 1024; 2048 ];
   Table.print t

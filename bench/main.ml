@@ -7,8 +7,10 @@
 
    Each experiment regenerates one table of EXPERIMENTS.md. *)
 
+module Json = Cliffedge_report.Json
+
 let usage () =
-  print_endline "usage: main.exe [x1 .. x8 | micro | all]";
+  print_endline "usage: main.exe [x1 .. x8 | micro | smoke | all]";
   print_endline "  x1  Fig. 1(a): disjoint regions, independent agreements";
   print_endline "  x2  Fig. 1(b): cascade race F1 -> F3";
   print_endline "  x3  Fig. 2: adjacent faulty domains, progress";
@@ -25,15 +27,40 @@ let usage () =
   print_endline "  x14 lifecycle churn: repeated waves over a self-healing overlay";
   print_endline "  x15 reaction time vs detection latency";
   print_endline "  micro  bechamel micro-benchmarks";
+  print_endline "  smoke  one tiny micro-bench; with --json, validates the output file";
   print_endline "options:";
-  print_endline "  --csv DIR   also write every table to DIR/<slug>.csv"
+  print_endline "  --csv DIR    also write every table to DIR/<slug>.csv";
+  print_endline "  --json FILE  merge machine-readable timings into FILE (see BENCH_PR1.json)"
+
+(* Re-reads the --json output and checks that it is well-formed JSON
+   with the sections the harness just claimed to write.  This is the
+   @bench-smoke guard against the emitter and parser drifting apart. *)
+let validate_json file sections =
+  match Json.of_file file with
+  | Error message ->
+      Printf.eprintf "bench: %s does not parse: %s\n" file message;
+      exit 1
+  | Ok root ->
+      let missing =
+        List.filter (fun section -> Json.member section root = None) sections
+      in
+      if missing <> [] then begin
+        Printf.eprintf "bench: %s is missing section(s): %s\n" file
+          (String.concat ", " missing);
+        exit 1
+      end;
+      Printf.printf "json ok: %s (%s)\n" file (String.concat ", " sections)
 
 let run_experiment name =
   match List.assoc_opt name Experiments.all with
   | Some f ->
       Format.printf "@.";
-      f ()
+      let (), wall_ms = Json_out.time_ms f in
+      Json_out.record ~section:name [ ("wall_ms", Json.Float wall_ms) ]
   | None when String.equal name "micro" -> Micro.run ()
+  | None when String.equal name "smoke" ->
+      Micro.run ~quota:0.05 ~stabilize:false ~only:"graph: border" ();
+      Option.iter (fun file -> validate_json file [ "micro" ]) !Json_out.path
   | None when String.equal name "all" ->
       Experiments.run_all ();
       Micro.run ()
@@ -41,12 +68,18 @@ let run_experiment name =
       usage ();
       exit 1
 
-(* Strips a leading [--csv DIR] option, configuring table CSV export. *)
+(* Strips [--csv DIR] / [--json FILE] wherever they appear, configuring
+   table CSV export and machine-readable timing output; returns the
+   remaining (command) arguments. *)
 let rec parse_options = function
   | "--csv" :: dir :: rest ->
       Cliffedge_report.Table.set_csv_dir (Some dir);
       parse_options rest
-  | args -> args
+  | "--json" :: file :: rest ->
+      Json_out.set_path file;
+      parse_options rest
+  | arg :: rest -> arg :: parse_options rest
+  | [] -> []
 
 let () =
   match parse_options (List.tl (Array.to_list Sys.argv)) with

@@ -145,11 +145,23 @@ let pp_ns ppf ns =
   else if ns < 1_000_000.0 then Format.fprintf ppf "%.2f us" (ns /. 1_000.0)
   else Format.fprintf ppf "%.2f ms" (ns /. 1_000_000.0)
 
-let run () =
-  let instance = Toolkit.Instance.monotonic_clock in
-  let cfg =
-    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+(* [only] restricts to tests whose name contains the given substring
+   (used by the [smoke] command to keep `dune runtest` fast); [quota]
+   and [stabilize] are exposed for the same reason. *)
+let run ?(quota = 0.5) ?(stabilize = true) ?only () =
+  let contains hay needle =
+    let lh = String.length hay and ln = String.length needle in
+    let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+    go 0
   in
+  let selected =
+    match only with
+    | None -> tests
+    | Some fragment ->
+        List.filter (fun t -> contains (Test.name t) fragment) tests
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize () in
   let table = Table.create ~title:"micro-benchmarks (bechamel, OLS time/run)"
       ~columns:[ "benchmark"; "time/run"; "r^2" ]
   in
@@ -162,17 +174,30 @@ let run () =
       let results = Analyze.all ols instance raw in
       Hashtbl.iter
         (fun name ols_result ->
+          let estimate = match Analyze.OLS.estimates ols_result with
+            | Some [ t ] -> Some t
+            | _ -> None
+          in
+          let r_square = Analyze.OLS.r_square ols_result in
           let time =
-            match Analyze.OLS.estimates ols_result with
-            | Some [ t ] -> Table.cell "%a" pp_ns t
-            | _ -> "?"
+            match estimate with Some t -> Table.cell "%a" pp_ns t | None -> "?"
           in
           let r2 =
-            match Analyze.OLS.r_square ols_result with
-            | Some r -> Table.cell "%.4f" r
-            | None -> "-"
+            match r_square with Some r -> Table.cell "%.4f" r | None -> "-"
           in
-          Table.add_row table [ name; time; r2 ])
+          Table.add_row table [ name; time; r2 ];
+          match estimate with
+          | Some t ->
+              let fields =
+                ("ns_per_run", Cliffedge_report.Json.Float t)
+                ::
+                (match r_square with
+                | Some r -> [ ("r2", Cliffedge_report.Json.Float r) ]
+                | None -> [])
+              in
+              Json_out.record ~section:"micro"
+                [ (name, Cliffedge_report.Json.Obj fields) ]
+          | None -> ())
         results)
-    tests;
+    selected;
   Table.print table

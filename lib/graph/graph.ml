@@ -1,22 +1,56 @@
+module Set_tbl = Hashtbl.Make (struct
+  type t = Node_set.t
+
+  let equal = Node_set.equal
+
+  let hash = Node_set.hash
+end)
+
+(* Query-acceleration structures, built lazily on first geometric query
+   and dropped on every structural update: adjacency as a plain array
+   indexed by node id (the ids are dense), the vertex set as one bitset,
+   and a memo table for [border] keyed by set fingerprint — the protocol
+   recomputes [border cfg.graph view] on every message delivery and the
+   checker on every decision/property pair, almost always on a handful
+   of distinct views. *)
+type dense = {
+  adj : Node_set.t array;
+  all : Node_set.t;
+  border_cache : Node_set.t Set_tbl.t;
+}
+
 type t = {
   adjacency : Node_set.t Node_map.t;
   edge_count : int;
+  mutable dense : dense option;
 }
 
-let empty = { adjacency = Node_map.empty; edge_count = 0 }
+(* Bound on memoized borders; past it the cache is reset wholesale.  A
+   run only ever touches a few dozen distinct views per graph, so this
+   is a safety valve, not a tuning knob. *)
+let border_cache_cap = 8192
+
+let mk adjacency edge_count = { adjacency; edge_count; dense = None }
+
+let empty = mk Node_map.empty 0
 
 let mem_node p t = Node_map.mem p t.adjacency
 
 let neighbours t p =
-  match Node_map.find_opt p t.adjacency with
-  | Some s -> s
-  | None -> Node_set.empty
+  match t.dense with
+  | Some d ->
+      let i = Node_id.to_int p in
+      if i < Array.length d.adj then d.adj.(i) else Node_set.empty
+  | None -> (
+      match Node_map.find_opt p t.adjacency with
+      | Some s -> s
+      | None -> Node_set.empty)
 
 let mem_edge p q t = Node_set.mem q (neighbours t p)
 
 let add_node p t =
   if mem_node p t then t
-  else { t with adjacency = Node_map.add p Node_set.empty t.adjacency }
+  else mk (Node_map.add p Node_set.empty t.adjacency) t.edge_count
 
 let add_edge p q t =
   if Node_id.equal p q then invalid_arg "Graph.add_edge: self-loop";
@@ -26,18 +60,42 @@ let add_edge p q t =
     let link a b adjacency =
       Node_map.add a (Node_set.add b (Node_map.find a adjacency)) adjacency
     in
-    { adjacency = link p q (link q p t.adjacency); edge_count = t.edge_count + 1 }
+    mk (link p q (link q p t.adjacency)) (t.edge_count + 1)
 
 let of_edge_ids l = List.fold_left (fun g (p, q) -> add_edge p q g) empty l
 
 let of_edges l =
   of_edge_ids (List.map (fun (i, j) -> (Node_id.of_int i, Node_id.of_int j)) l)
 
-let nodes t = Node_map.keys t.adjacency
+let dense_of t =
+  match t.dense with
+  | Some d -> d
+  | None ->
+      let width =
+        Node_map.fold
+          (fun p _ acc -> max acc (Node_id.to_int p + 1))
+          t.adjacency 0
+      in
+      let adj = Array.make width Node_set.empty in
+      Node_map.iter (fun p s -> adj.(Node_id.to_int p) <- s) t.adjacency;
+      let all = Node_map.keys t.adjacency in
+      let d = { adj; all; border_cache = Set_tbl.create 64 } in
+      t.dense <- Some d;
+      d
+
+let adj d p =
+  let i = Node_id.to_int p in
+  if i < Array.length d.adj then d.adj.(i) else Node_set.empty
+
+let nodes t = (dense_of t).all
 
 let node_count t = Node_map.cardinal t.adjacency
 
 let edge_count t = t.edge_count
+
+let compare_edge (p1, q1) (p2, q2) =
+  let c = Node_id.compare p1 p2 in
+  if c <> 0 then c else Node_id.compare q1 q2
 
 let edges t =
   Node_map.fold
@@ -46,17 +104,30 @@ let edges t =
         (fun q acc -> if Node_id.compare p q < 0 then (p, q) :: acc else acc)
         neigh acc)
     t.adjacency []
-  |> List.sort compare
+  |> List.sort compare_edge
 
 let degree t p = Node_set.cardinal (neighbours t p)
 
 let max_degree t =
   Node_map.fold (fun _ neigh acc -> max acc (Node_set.cardinal neigh)) t.adjacency 0
 
+let border_uncached d s =
+  Node_set.diff
+    (Node_set.fold (fun p acc -> Node_set.union acc (adj d p)) s Node_set.empty)
+    s
+
 let border t s =
-  Node_set.fold
-    (fun p acc -> Node_set.union acc (Node_set.diff (neighbours t p) s))
-    s Node_set.empty
+  if Node_set.is_empty s then Node_set.empty
+  else
+    let d = dense_of t in
+    match Set_tbl.find_opt d.border_cache s with
+    | Some b -> b
+    | None ->
+        let b = border_uncached d s in
+        if Set_tbl.length d.border_cache >= border_cache_cap then
+          Set_tbl.reset d.border_cache;
+        Set_tbl.add d.border_cache s b;
+        b
 
 let closed_neighbourhood t s = Node_set.union s (border t s)
 
@@ -69,16 +140,16 @@ let induced t s =
   let doubled =
     Node_map.fold (fun _ neigh acc -> acc + Node_set.cardinal neigh) adjacency 0
   in
-  { adjacency; edge_count = doubled / 2 }
+  mk adjacency (doubled / 2)
 
 (* Breadth-first exploration of the component of [start] inside [s]. *)
-let component_of t s start =
+let component_of d s start =
   let rec grow frontier seen =
     if Node_set.is_empty frontier then seen
     else
       let next =
         Node_set.fold
-          (fun p acc -> Node_set.union acc (Node_set.inter (neighbours t p) s))
+          (fun p acc -> Node_set.union acc (Node_set.inter (adj d p) s))
           frontier Node_set.empty
       in
       let next = Node_set.diff next seen in
@@ -88,14 +159,15 @@ let component_of t s start =
   grow start_set start_set
 
 let connected_components t s =
+  let d = dense_of t in
   let rec loop remaining acc =
     match Node_set.min_elt_opt remaining with
     | None -> List.rev acc
     | Some start ->
-        let comp = component_of t s start in
+        let comp = component_of d s start in
         loop (Node_set.diff remaining comp) (comp :: acc)
   in
-  loop (Node_set.inter s (nodes t)) []
+  loop (Node_set.inter s d.all) []
 
 let is_connected_subset t s =
   (not (Node_set.is_empty s))
@@ -103,20 +175,20 @@ let is_connected_subset t s =
   &&
   match Node_set.min_elt_opt s with
   | None -> false
-  | Some start -> Node_set.equal (component_of t s start) s
+  | Some start -> Node_set.equal (component_of (dense_of t) s start) s
 
 let is_region = is_connected_subset
 
 let is_connected t = is_connected_subset t (nodes t)
 
 let bfs_distances t source =
+  let d = dense_of t in
   let rec grow frontier dist acc =
     if Node_set.is_empty frontier then acc
     else
       let next =
-        Node_set.fold
-          (fun p acc -> Node_set.union acc (neighbours t p))
-          frontier Node_set.empty
+        Node_set.fold (fun p acc -> Node_set.union acc (adj d p)) frontier
+          Node_set.empty
       in
       let next = Node_set.filter (fun p -> not (Node_map.mem p acc)) next in
       let acc = Node_set.fold (fun p acc -> Node_map.add p (dist + 1) acc) next acc in

@@ -1,6 +1,8 @@
 include Map.Make (Node_id)
 
-let keys t = fold (fun k _ acc -> Node_set.add k acc) t Node_set.empty
+(* Collect then build in one shot: [Node_set.of_list] allocates the
+   bitset once instead of copying it per [add]. *)
+let keys t = Node_set.of_list (fold (fun k _ acc -> k :: acc) t [])
 
 let of_list l = List.fold_left (fun acc (k, v) -> add k v acc) empty l
 

@@ -2,12 +2,26 @@
 
     Node sets are the currency of the whole system: crashed regions,
     borders, waiting sets and proposed views are all values of this type.
-    The module extends the standard functorial set with the helpers the
-    protocol and its checker need.  [compare] is a strict total order on
-    sets, used as the final tie-break of the region ranking (§3.1 of the
-    paper leaves that order free). *)
+    The module exposes the full [Set.S] interface of the standard
+    functorial set (plus the helpers the protocol and its checker need),
+    but is backed by an immutable chunked bitset — an [int array] of
+    63-bit words in canonical form — so [union], [inter], [diff],
+    [subset], [cardinal] and friends are word-parallel loops instead of
+    AVL-tree walks.  Identifiers are dense small integers throughout the
+    repository, which makes this representation both compact and fast.
+
+    [compare] is a strict total order on sets, used as the final
+    tie-break of the region ranking (§3.1 of the paper leaves that order
+    free); it implements exactly the lexicographic element order of
+    [Set.Make(Node_id).compare], and all iteration is in ascending
+    element order, so the swap is observationally equivalent to the old
+    tree-backed module. *)
 
 include Set.S with type elt = Node_id.t
+
+val hash : t -> int
+(** A fingerprint of the set contents (FNV-1a over the canonical words);
+    equal sets hash equally.  Used to key memoized border geometry. *)
 
 val of_ints : int list -> t
 (** [of_ints is] builds a set from raw integer identifiers. *)

@@ -72,58 +72,67 @@ let pp_move = function
 
 let sorted_insert x l = List.sort_uniq compare (x :: l)
 
-(* Canonical rendering for state hashing. *)
+(* Canonical state fingerprints.
 
-let message_fp msg =
-  let set_fp s = String.concat "," (List.map string_of_int (Node_set.to_ints s)) in
-  let vec_fp vec =
-    String.concat ";"
-      (List.map
-         (fun (p, op) ->
-           Printf.sprintf "%d=%s" (Node_id.to_int p)
-             (match op with Opinion.Accept v -> "A(" ^ v ^ ")" | Opinion.Reject -> "R"))
-         (Node_map.bindings vec))
-  in
+   The visited-state table used to key on an MD5 digest of a formatted
+   rendering of the whole world (~a kilobyte of intermediate string per
+   state).  It now streams every state component through a 64-bit FNV-1a
+   accumulator truncated to OCaml's immediate-int range: no buffers, no
+   digest, and visited entries are unboxed ints.  At the X10 scope
+   (< 10^6 states) the 63-bit collision odds are ~10^-7, far below any
+   practical concern for deduplication. *)
+
+let fnv_prime = 0x100000001B3L
+
+let mix h x = Int64.mul (Int64.logxor h (Int64.of_int x)) fnv_prime
+
+let mix_string h s =
+  let h = ref (mix h (String.length s)) in
+  String.iter (fun c -> h := mix !h (Char.code c)) s;
+  !h
+
+let mix_set h s =
+  Node_set.fold (fun p h -> mix h (Node_id.to_int p)) s (mix h (Node_set.cardinal s))
+
+let mix_opinions h vec =
+  Node_map.fold
+    (fun p op h ->
+      let h = mix h (Node_id.to_int p) in
+      match op with
+      | Opinion.Accept v -> mix_string (mix h 1) v
+      | Opinion.Reject -> mix h 2)
+    vec h
+
+let mix_message h msg =
   match msg with
   | Message.Round { round; view; border = _; opinions } ->
-      Printf.sprintf "r%d{%s}%s" round (set_fp view) (vec_fp opinions)
+      mix_opinions (mix_set (mix (mix h 3) round) view) opinions
   | Message.Outcome { view; opinions; _ } ->
-      Printf.sprintf "out{%s}%s" (set_fp view) (vec_fp opinions)
+      mix_opinions (mix_set (mix h 4) view) opinions
 
 let world_fp w =
-  let buffer = Buffer.create 1024 in
+  let h = ref 0xcbf29ce484222325L in
   Node_map.iter
     (fun p st ->
-      Buffer.add_string buffer (string_of_int (Node_id.to_int p));
-      Buffer.add_char buffer ':';
-      Buffer.add_string buffer (Protocol.fingerprint Fun.id st);
-      Buffer.add_char buffer '\n')
+      h := mix_string (mix !h (Node_id.to_int p)) (Protocol.fingerprint Fun.id st))
     w.alive;
-  Buffer.add_string buffer (Node_set.to_string w.crashed);
+  h := mix_set (mix !h 5) w.crashed;
   Channel_map.iter
     (fun (s, d) msgs ->
-      Buffer.add_string buffer (Printf.sprintf "|%d>%d:" s d);
-      List.iter
-        (fun m ->
-          Buffer.add_string buffer (message_fp m);
-          Buffer.add_char buffer '!')
-        msgs)
+      h := mix (mix (mix !h 6) s) d;
+      List.iter (fun m -> h := mix_message !h m) msgs)
     w.channels;
-  Buffer.add_string buffer "|pc:";
+  h := mix !h 7;
+  List.iter (fun q -> h := mix !h (Node_id.to_int q)) w.pending_crashes;
+  h := mix !h 8;
+  List.iter (fun (o, c) -> h := mix (mix !h o) c) w.pending_notifs;
+  h := mix !h 9;
+  List.iter (fun (o, t) -> h := mix (mix !h o) t) w.subs;
+  h := mix !h 10;
   List.iter
-    (fun q -> Buffer.add_string buffer (string_of_int (Node_id.to_int q) ^ ","))
-    w.pending_crashes;
-  Buffer.add_string buffer "|pn:";
-  List.iter (fun (o, c) -> Buffer.add_string buffer (Printf.sprintf "%d/%d," o c)) w.pending_notifs;
-  Buffer.add_string buffer "|s:";
-  List.iter (fun (o, t) -> Buffer.add_string buffer (Printf.sprintf "%d/%d," o t)) w.subs;
-  Buffer.add_string buffer "|d:";
-  List.iter
-    (fun (p, v, d) ->
-      Buffer.add_string buffer
-        (Printf.sprintf "%d@%s=%s," (Node_id.to_int p) (Node_set.to_string v) d))
+    (fun (p, v, d) -> h := mix_string (mix_set (mix !h (Node_id.to_int p)) v) d)
     (List.sort compare w.decisions);
-  Digest.string (Buffer.contents buffer)
+  Int64.to_int !h land max_int
 
 (* ------------------------------------------------------------------ *)
 (* Exploration                                                         *)
@@ -136,7 +145,7 @@ let explore ?(fd = `Channel_consistent) ?(mode = Exhaustive)
         Printf.sprintf "plan(%d,%d)" (Node_id.to_int p) (Node_set.cardinal v))
       ()
   in
-  let visited : (string, unit) Hashtbl.t = Hashtbl.create 4096 in
+  let visited : (int, unit) Hashtbl.t = Hashtbl.create 4096 in
   let states = ref 0
   and transitions = ref 0
   and leaves = ref 0

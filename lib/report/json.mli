@@ -1,0 +1,36 @@
+(** Minimal JSON values, printer and parser.
+
+    The benchmark harness emits machine-readable timing series
+    ([BENCH_PR1.json] and successors) so later PRs can gate on
+    performance regressions; the repository carries no JSON dependency,
+    so this is a small self-contained implementation.  The printer emits
+    pretty, 2-space-indented documents; the parser accepts any standard
+    JSON text (it is not limited to what the printer produces). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Render with a trailing newline. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; [Error] carries a message with the
+    offending offset. *)
+
+val member : string -> t -> t option
+(** Field lookup on an object; [None] on other constructors. *)
+
+val set : string -> t -> t -> t
+(** [set key value obj] replaces or appends a field, preserving the
+    order of existing fields.  On a non-object it returns a fresh
+    one-field object. *)
+
+val to_file : string -> t -> unit
+
+val of_file : string -> (t, string) result

@@ -8,6 +8,7 @@ let () =
       Test_engine.suite;
       Test_trace_report.suite;
       Test_node_modules.suite;
+      Test_node_set_bitset.suite;
       Test_graph.suite;
       Test_ranking.suite;
       Test_topology.suite;
