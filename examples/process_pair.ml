@@ -10,6 +10,11 @@
 
    Run with: dune exec examples/process_pair.exe *)
 
+(* This example exists to cross a real kernel boundary, so the
+   determinism rule's [Unix] ban is suspended for the whole file: fork,
+   socketpair and pid-stamped output are the point, not an accident. *)
+[@@@lint.allow "determinism"]
+
 open Cliffedge_graph
 module Protocol = Cliffedge.Protocol
 module Codec = Cliffedge_codec.Codec

@@ -68,19 +68,20 @@ let encode value msg =
 let decode value data =
   let r = Wire.reader data in
   let m = Wire.read_u8 r in
-  if m <> magic then raise (Wire.Decode_error (Printf.sprintf "bad magic 0x%02x" m));
+  if not (Int.equal m magic) then
+    raise (Wire.Decode_error (Printf.sprintf "bad magic 0x%02x" m));
   let v = Wire.read_u8 r in
-  if v <> version then
+  if not (Int.equal v version) then
     raise (Wire.Decode_error (Printf.sprintf "unsupported version %d" v));
   let msg =
     match Wire.read_u8 r with
-    | k when k = kind_round ->
+    | k when Int.equal k kind_round ->
         let round = Wire.read_varint r in
         let view = read_node_set r in
         let border = read_node_set r in
         let opinions = read_vector value r in
         Message.Round { round; view; border; opinions }
-    | k when k = kind_outcome ->
+    | k when Int.equal k kind_outcome ->
         let view = read_node_set r in
         let border = read_node_set r in
         let opinions = read_vector value r in

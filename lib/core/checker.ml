@@ -201,7 +201,11 @@ let check_cd7 geometry correct ~quiescent by_node =
                "no correct node decided in cluster bordered by %a" Node_set.pp border))
       clusters
 
-let check ?(value_equal = ( = )) (outcome : 'v Runner.outcome) =
+(* The default decision-value equality is the one intentional use of
+   polymorphic [=] in lib/: ['v] is caller-supplied and opaque here, so
+   there is no monomorphic comparator to name. *)
+let check ?(value_equal = (( = ) [@lint.allow "no-poly-compare"]))
+    (outcome : 'v Runner.outcome) =
   let graph = outcome.graph in
   let geometry = Fault_geometry.compute graph ~faulty:outcome.crashed in
   let correct = Node_set.diff (Graph.nodes graph) outcome.crashed in

@@ -159,8 +159,8 @@ let max_round outcome =
   List.fold_left
     (fun acc (_, _, note) ->
       match note with
-      | Protocol.Advanced_round { round; _ } -> max acc round
-      | Protocol.Proposed _ -> max acc 1
+      | Protocol.Advanced_round { round; _ } -> Int.max acc round
+      | Protocol.Proposed _ -> Int.max acc 1
       | _ -> acc)
     0 outcome.notes
 

@@ -12,7 +12,7 @@ let create () = { parent = Array.make 8 absent; rank = Array.make 8 0; count = 0
 let ensure_capacity t i =
   let capacity = Array.length t.parent in
   if i >= capacity then begin
-    let next = max (i + 1) (2 * capacity) in
+    let next = Int.max (i + 1) (2 * capacity) in
     let parent = Array.make next absent in
     let rank = Array.make next 0 in
     Array.blit t.parent 0 parent 0 capacity;
@@ -21,12 +21,12 @@ let ensure_capacity t i =
     t.rank <- rank
   end
 
-let mem t i = i >= 0 && i < Array.length t.parent && t.parent.(i) <> absent
+let mem t i = i >= 0 && i < Array.length t.parent && not (Int.equal t.parent.(i) absent)
 
 let add t i =
   if i < 0 then invalid_arg "Dsu.add: negative element";
   ensure_capacity t i;
-  if t.parent.(i) = absent then begin
+  if Int.equal t.parent.(i) absent then begin
     t.parent.(i) <- i;
     t.count <- t.count + 1;
     t.class_count <- t.class_count + 1
@@ -34,7 +34,7 @@ let add t i =
 
 let rec find_root t i =
   let p = t.parent.(i) in
-  if p = i then i
+  if Int.equal p i then i
   else begin
     let root = find_root t p in
     t.parent.(i) <- root;  (* path compression *)
@@ -47,7 +47,7 @@ let find t i =
 
 let union t i j =
   let ri = find t i and rj = find t j in
-  if ri <> rj then begin
+  if not (Int.equal ri rj) then begin
     t.class_count <- t.class_count - 1;
     if t.rank.(ri) < t.rank.(rj) then t.parent.(ri) <- rj
     else if t.rank.(ri) > t.rank.(rj) then t.parent.(rj) <- ri
@@ -57,7 +57,7 @@ let union t i j =
     end
   end
 
-let same t i j = find t i = find t j
+let same t i j = Int.equal (find t i) (find t j)
 
 let count t = t.count
 
@@ -67,14 +67,14 @@ let classes t =
   let by_root = Hashtbl.create 16 in
   Array.iteri
     (fun i p ->
-      if p <> absent then begin
+      if not (Int.equal p absent) then begin
         let root = find_root t i in
         let existing = Option.value ~default:[] (Hashtbl.find_opt by_root root) in
         Hashtbl.replace by_root root (i :: existing)
       end)
     t.parent;
   Hashtbl.fold (fun _ members acc -> List.rev members :: acc) by_root []
-  |> List.sort compare
+  |> List.sort (List.compare Int.compare)
 
 module Components = struct
   type dsu = t

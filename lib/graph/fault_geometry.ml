@@ -18,7 +18,7 @@ let group_clusters g domains =
   in
   List.fold_left merge_into [] domains
   |> List.map (List.sort Node_set.compare)
-  |> List.sort (fun a b -> compare a b)
+  |> List.sort (List.compare Node_set.compare)
 
 let compute graph ~faulty =
   let domains = Graph.connected_components graph faulty in

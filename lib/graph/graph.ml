@@ -73,7 +73,7 @@ let dense_of t =
   | None ->
       let width =
         Node_map.fold
-          (fun p _ acc -> max acc (Node_id.to_int p + 1))
+          (fun p _ acc -> Int.max acc (Node_id.to_int p + 1))
           t.adjacency 0
       in
       let adj = Array.make width Node_set.empty in
@@ -109,7 +109,7 @@ let edges t =
 let degree t p = Node_set.cardinal (neighbours t p)
 
 let max_degree t =
-  Node_map.fold (fun _ neigh acc -> max acc (Node_set.cardinal neigh)) t.adjacency 0
+  Node_map.fold (fun _ neigh acc -> Int.max acc (Node_set.cardinal neigh)) t.adjacency 0
 
 let border_uncached d s =
   Node_set.diff
@@ -206,7 +206,7 @@ let ball t source ~radius =
 let pp_stats ppf t =
   let min_degree =
     Node_map.fold
-      (fun _ neigh acc -> min acc (Node_set.cardinal neigh))
+      (fun _ neigh acc -> Int.min acc (Node_set.cardinal neigh))
       t.adjacency max_int
   in
   let min_degree = if node_count t = 0 then 0 else min_degree in

@@ -56,7 +56,7 @@ let bits_above b x = if b >= word_bits - 1 then 0 else (x lsr (b + 1)) lsl (b + 
 let trim a =
   let n = ref (Array.length a) in
   while !n > 0 && a.(!n - 1) = 0 do decr n done;
-  if !n = Array.length a then a else Array.sub a 0 !n
+  if Int.equal !n (Array.length a) then a else Array.sub a 0 !n
 
 let word t i = if i < Array.length t then t.(i) else 0
 
@@ -74,7 +74,7 @@ let add x t =
   let len = Array.length t in
   if w < len && (t.(w) lsr b) land 1 = 1 then t
   else begin
-    let r = Array.make (max len (w + 1)) 0 in
+    let r = Array.make (Int.max len (w + 1)) 0 in
     Array.blit t 0 r 0 len;
     r.(w) <- r.(w) lor (1 lsl b);
     r
@@ -128,7 +128,7 @@ let union a b =
 let inter a b =
   if a == b then a
   else
-    let l = min (Array.length a) (Array.length b) in
+    let l = Int.min (Array.length a) (Array.length b) in
     let n = ref l in
     while !n > 0 && a.(!n - 1) land b.(!n - 1) = 0 do decr n done;
     if !n = 0 then empty
@@ -158,8 +158,8 @@ let diff a b =
   end
 
 let disjoint a b =
-  let l = min (Array.length a) (Array.length b) in
-  let rec go i = i = l || (a.(i) land b.(i) = 0 && go (i + 1)) in
+  let l = Int.min (Array.length a) (Array.length b) in
+  let rec go i = Int.equal i l || (a.(i) land b.(i) = 0 && go (i + 1)) in
   go 0
 
 let subset a b =
@@ -168,7 +168,10 @@ let subset a b =
   let rec go i = i < 0 || (a.(i) land lnot b.(i) = 0 && go (i - 1)) in
   go (Array.length a - 1)
 
-let equal a b = a == b || (a : int array) = b
+(* Canonical form (trimmed last word) makes structural equality on the
+   word arrays coincide with set equality, so the polymorphic primitive
+   is correct here — and it is the flat-array fast path. *)
+let equal a b = a == b || (((a : int array) = b) [@lint.allow "no-poly-compare"])
 
 (* Lexicographic order on the ascending element sequences, matching
    [Set.Make(Node_id).compare] bit for bit — the region ranking uses it
@@ -181,12 +184,12 @@ let compare a b =
   if a == b then 0
   else
     let la = Array.length a and lb = Array.length b in
-    let l = max la lb in
+    let l = Int.max la lb in
     let rec go k =
-      if k = l then 0
+      if Int.equal k l then 0
       else
         let wa = word a k and wb = word b k in
-        if wa = wb then go (k + 1)
+        if Int.equal wa wb then go (k + 1)
         else
           let bit = let x = wa lxor wb in x land -x in
           let p = ntz bit in
@@ -275,7 +278,7 @@ let to_list = elements
 let min_elt_opt t =
   let len = Array.length t in
   let rec go w =
-    if w = len then None
+    if Int.equal w len then None
     else if t.(w) <> 0 then
       Some (Node_id.of_int ((w * word_bits) + ntz (t.(w) land -t.(w))))
     else go (w + 1)
@@ -306,7 +309,7 @@ let of_list l =
   match l with
   | [] -> empty
   | _ ->
-      let maxi = List.fold_left (fun acc x -> max acc (Node_id.to_int x)) 0 l in
+      let maxi = List.fold_left (fun acc x -> Int.max acc (Node_id.to_int x)) 0 l in
       let r = Array.make ((maxi / word_bits) + 1) 0 in
       List.iter
         (fun x ->

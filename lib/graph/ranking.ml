@@ -13,7 +13,9 @@ let compare_with ~tiebreak g r s =
 
 let compare g r s = compare_with ~tiebreak:default_tiebreak g r s
 
-let lower g r s = compare g r s < 0
+(* [compare] here is Ranking.compare just above, not Stdlib.compare —
+   the untyped lint rule cannot see the shadowing. *)
+let lower g r s = (compare [@lint.allow "no-poly-compare"]) g r s < 0
 
 let max_ranked_region g = function
   | [] -> invalid_arg "Ranking.max_ranked_region: empty collection"

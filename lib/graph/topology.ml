@@ -103,7 +103,7 @@ let watts_strogatz rng n ~k ~beta =
         (* Rewire to a uniform target, keeping the graph simple; fall back
            to the lattice edge when no valid target is drawn. *)
         let target = Prng.int rng n in
-        if target <> i && not (has i target) then add i target
+        if not (Int.equal target i) && not (has i target) then add i target
         else if not (has i j) then add i j
       end
       else if not (has i j) then add i j
@@ -169,7 +169,11 @@ let random_geometric rng n ~radius =
     (* Stitch along x-coordinate order: links each node to its spatial
        successor, keeping the geometric flavour of the backbone. *)
     let order = Array.init n (fun i -> i) in
-    Array.sort (fun a b -> compare points.(a) points.(b)) order;
+    let compare_xy (xa, ya) (xb, yb) =
+      let c = Float.compare xa xb in
+      if c <> 0 then c else Float.compare ya yb
+    in
+    Array.sort (fun a b -> compare_xy points.(a) points.(b)) order;
     let extra = List.init (n - 1) (fun i -> (order.(i), order.(i + 1))) in
     List.fold_left
       (fun g (i, j) -> Graph.add_edge (Node_id.of_int i) (Node_id.of_int j) g)

@@ -43,10 +43,19 @@ let pp_stats ppf stats =
 (* ------------------------------------------------------------------ *)
 (* World representation (immutable)                                    *)
 
+(* Ordered-pair comparisons appear all over the world representation
+   (channels, subscriptions, notifications); name them once instead of
+   reaching for the polymorphic primitives. *)
+let pair_compare (a1, a2) (b1, b2) =
+  let c = Int.compare a1 b1 in
+  if c <> 0 then c else Int.compare a2 b2
+
+let pair_equal (a1, a2) (b1, b2) = Int.equal a1 b1 && Int.equal a2 b2
+
 module Channel_map = Map.Make (struct
   type t = int * int
 
-  let compare = compare
+  let compare = pair_compare
 end)
 
 type world = {
@@ -70,7 +79,7 @@ let pp_move = function
   | Deliver (s, d) -> Printf.sprintf "deliver(%d->%d)" s d
   | Notify (o, c) -> Printf.sprintf "notify(%d of %d)" o c
 
-let sorted_insert x l = List.sort_uniq compare (x :: l)
+let sorted_insert x l = List.sort_uniq pair_compare (x :: l)
 
 (* Canonical state fingerprints.
 
@@ -131,7 +140,14 @@ let world_fp w =
   h := mix !h 10;
   List.iter
     (fun (p, v, d) -> h := mix_string (mix_set (mix !h (Node_id.to_int p)) v) d)
-    (List.sort compare w.decisions);
+    (List.sort
+       (fun (p1, v1, d1) (p2, v2, d2) ->
+         let c = Node_id.compare p1 p2 in
+         if c <> 0 then c
+         else
+           let c = Node_set.compare v1 v2 in
+           if c <> 0 then c else String.compare d1 d2)
+       w.decisions);
   Int64.to_int !h land max_int
 
 (* ------------------------------------------------------------------ *)
@@ -197,7 +213,7 @@ let explore ?(fd = `Channel_consistent) ?(mode = Exhaustive)
                 if Node_id.equal target p then w
                 else
                   let key = (Node_id.to_int p, Node_id.to_int target) in
-                  if List.mem key w.subs then w
+                  if List.exists (pair_equal key) w.subs then w
                   else
                     let w = { w with subs = sorted_insert key w.subs } in
                     if Node_set.mem target w.crashed then
@@ -268,17 +284,17 @@ let explore ?(fd = `Channel_consistent) ?(mode = Exhaustive)
             (* Queued messages to q can never be delivered: drop them. *)
             channels =
               Channel_map.filter
-                (fun (_, d) _ -> d <> Node_id.to_int q)
+                (fun (_, d) _ -> not (Int.equal d (Node_id.to_int q)))
                 w.channels;
             (* Notifications to q are void. *)
             pending_notifs =
-              List.filter (fun (o, _) -> o <> Node_id.to_int q) w.pending_notifs;
+              List.filter (fun (o, _) -> not (Int.equal o (Node_id.to_int q))) w.pending_notifs;
           }
         in
         let new_notifs =
           List.filter_map
             (fun (o, t) ->
-              if t = Node_id.to_int q && Node_map.mem (Node_id.of_int o) w.alive then
+              if Int.equal t (Node_id.to_int q) && Node_map.mem (Node_id.of_int o) w.alive then
                 Some (o, t)
               else None)
             w.subs
@@ -305,7 +321,7 @@ let explore ?(fd = `Channel_consistent) ?(mode = Exhaustive)
               (Protocol.Deliver { src = Node_id.of_int s; msg }))
     | Notify (o, c) ->
         let w =
-          { w with pending_notifs = List.filter (( <> ) (o, c)) w.pending_notifs }
+          { w with pending_notifs = List.filter (fun n -> not (pair_equal n (o, c))) w.pending_notifs }
         in
         step_node trace w (Node_id.of_int o) (Protocol.Crash (Node_id.of_int c))
   in

@@ -34,7 +34,10 @@ let pairs t =
   Hashtbl.fold
     (fun (src, dst) _ acc -> (Node_id.of_int src, Node_id.of_int dst) :: acc)
     t.per_pair []
-  |> List.sort compare
+  |> List.sort
+       (fun (s1, d1) (s2, d2) ->
+         let c = Node_id.compare s1 s2 in
+         if c <> 0 then c else Node_id.compare d1 d2)
 
 let pair_count t ~src ~dst =
   Option.value ~default:0

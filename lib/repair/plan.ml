@@ -11,11 +11,16 @@ let make edges =
     edges
     |> List.map orient
     |> List.filter (fun (a, b) -> not (Node_id.equal a b))
-    |> List.sort_uniq compare
+    |> List.sort_uniq
+         (fun (a1, b1) (a2, b2) ->
+           let c = Node_id.compare a1 a2 in
+           if c <> 0 then c else Node_id.compare b1 b2)
   in
   { edges }
 
-let equal a b = a.edges = b.edges
+let edge_equal (a1, b1) (a2, b2) = Node_id.equal a1 a2 && Node_id.equal b1 b2
+
+let equal a b = List.equal edge_equal a.edges b.edges
 
 let union a b = make (a.edges @ b.edges)
 

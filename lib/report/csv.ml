@@ -6,7 +6,7 @@ type t = {
 let create ~columns = { columns; rows = [] }
 
 let add_row t row =
-  if List.length row <> List.length t.columns then
+  if not (Int.equal (List.length row) (List.length t.columns)) then
     invalid_arg "Csv.add_row: row width mismatches header";
   t.rows <- row :: t.rows
 

@@ -81,6 +81,7 @@ let of_string s =
   let len = String.length s in
   let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt in
   let peek () = if !pos < len then Some s.[!pos] else None in
+  let peek_is c = !pos < len && Char.equal s.[!pos] c in
   let advance () = incr pos in
   let skip_ws () =
     while
@@ -91,12 +92,14 @@ let of_string s =
   in
   let expect c =
     match peek () with
-    | Some c' when c' = c -> advance ()
+    | Some c' when Char.equal c' c -> advance ()
     | Some c' -> fail "expected '%c' at offset %d, found '%c'" c !pos c'
     | None -> fail "expected '%c' at offset %d, found end of input" c !pos
   in
   let literal word value =
-    if !pos + String.length word <= len && String.sub s !pos (String.length word) = word
+    if
+      !pos + String.length word <= len
+      && String.equal (String.sub s !pos (String.length word)) word
     then begin
       pos := !pos + String.length word;
       value
@@ -160,7 +163,7 @@ let of_string s =
     | Some '{' ->
         advance ();
         skip_ws ();
-        if peek () = Some '}' then begin advance (); Obj [] end
+        if peek_is '}' then begin advance (); Obj [] end
         else
           let rec fields acc =
             skip_ws ();
@@ -178,7 +181,7 @@ let of_string s =
     | Some '[' ->
         advance ();
         skip_ws ();
-        if peek () = Some ']' then begin advance (); List [] end
+        if peek_is ']' then begin advance (); List [] end
         else
           let rec items acc =
             let v = parse_value () in
@@ -198,7 +201,7 @@ let of_string s =
   match
     let v = parse_value () in
     skip_ws ();
-    if !pos <> len then fail "trailing garbage at offset %d" !pos;
+    if not (Int.equal !pos len) then fail "trailing garbage at offset %d" !pos;
     v
   with
   | v -> Ok v
@@ -213,8 +216,11 @@ let member key = function
 
 let set key value = function
   | Obj fields ->
-      if List.mem_assoc key fields then
-        Obj (List.map (fun (k, v) -> if k = key then (k, value) else (k, v)) fields)
+      if List.exists (fun (k, _) -> String.equal k key) fields then
+        Obj
+          (List.map
+             (fun (k, v) -> if String.equal k key then (k, value) else (k, v))
+             fields)
       else Obj (fields @ [ (key, value) ])
   | _ -> Obj [ (key, value) ]
 

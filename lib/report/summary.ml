@@ -11,7 +11,7 @@ type t = {
 let percentile sorted q =
   let n = Array.length sorted in
   let rank = int_of_float (ceil (q *. float_of_int n)) in
-  sorted.(max 0 (min (n - 1) (rank - 1)))
+  sorted.(Int.max 0 (Int.min (n - 1) (rank - 1)))
 
 let of_list samples =
   if samples = [] then invalid_arg "Summary.of_list: empty sample";

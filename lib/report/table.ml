@@ -7,7 +7,7 @@ type t = {
 let create ~title ~columns = { title; columns; rows = [] }
 
 let add_row t row =
-  if List.length row <> List.length t.columns then
+  if not (Int.equal (List.length row) (List.length t.columns)) then
     invalid_arg "Table.add_row: row width mismatches columns";
   t.rows <- row :: t.rows
 
@@ -17,7 +17,7 @@ let render t =
   let rows = List.rev t.rows in
   let widths =
     List.fold_left
-      (fun widths row -> List.map2 (fun w cell -> max w (String.length cell)) widths row)
+      (fun widths row -> List.map2 (fun w cell -> Int.max w (String.length cell)) widths row)
       (List.map String.length t.columns)
       rows
   in

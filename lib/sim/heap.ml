@@ -4,7 +4,7 @@ type 'a t = {
   mutable size : int;
 }
 
-let create ~compare = { compare; store = [||]; size = 0 }
+let create ~compare:cmp = { compare = cmp; store = [||]; size = 0 }
 
 let size t = t.size
 
@@ -12,8 +12,8 @@ let is_empty t = t.size = 0
 
 let grow t element =
   let capacity = Array.length t.store in
-  if t.size = capacity then begin
-    let next = max 8 (2 * capacity) in
+  if Int.equal t.size capacity then begin
+    let next = Int.max 8 (2 * capacity) in
     let store = Array.make next element in
     Array.blit t.store 0 store 0 t.size;
     t.store <- store
@@ -40,7 +40,7 @@ let rec sift_down t i =
     smallest := left;
   if right < t.size && t.compare t.store.(right) t.store.(!smallest) < 0 then
     smallest := right;
-  if !smallest <> i then begin
+  if not (Int.equal !smallest i) then begin
     swap t i !smallest;
     sift_down t !smallest
   end

@@ -35,7 +35,7 @@ let sample_region rng graph ~size ~allowed ~admissible =
     else
       let seed_node = Node_set.random_element rng allowed in
       let region = grow rng graph ~seed_node ~size in
-      if Node_set.cardinal region = size && admissible region then Some region
+      if Int.equal (Node_set.cardinal region) size && admissible region then Some region
       else loop (k - 1)
   in
   loop attempts
@@ -118,7 +118,9 @@ let staggered rng ~start ~spread region =
   List.map
     (fun p -> (start +. Prng.float rng spread, p))
     (Node_set.elements region)
-  |> List.sort compare
+  |> List.sort (fun (t1, p1) (t2, p2) ->
+         let c = Float.compare t1 t2 in
+         if c <> 0 then c else Node_id.compare p1 p2)
 
 let cascade rng graph ~seed_region ~depth ~start ~interval =
   let nodes = Graph.node_count graph in

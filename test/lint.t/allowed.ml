@@ -1,0 +1,9 @@
+(* Fixture: both suppression forms.  The floating attribute covers the
+   rest of the file; the expression attribute covers one site (note the
+   grouping parens: without them the attribute would attach to [x]
+   alone, not the application). *)
+
+[@@@lint.allow "determinism"]
+
+let roll () = Random.int 6
+let coerce x = ((Obj.magic x) [@lint.allow "no-obj-magic"])

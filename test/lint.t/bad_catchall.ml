@@ -1,0 +1,3 @@
+(* Fixture: a catch-all handler that would swallow decode errors. *)
+
+let safe f = try Some (f ()) with _ -> None

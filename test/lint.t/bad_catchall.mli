@@ -1,0 +1,1 @@
+val safe : (unit -> 'a) -> 'a option

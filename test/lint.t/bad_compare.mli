@@ -1,0 +1,2 @@
+val same : 'a -> 'a -> bool
+val order : 'a list -> 'a list

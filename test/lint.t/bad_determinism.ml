@@ -1,0 +1,3 @@
+(* Fixture: ambient randomness outside lib/prng. *)
+
+let roll () = Random.int 6

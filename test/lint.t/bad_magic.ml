@@ -1,0 +1,3 @@
+(* Fixture: unsafe coercion. *)
+
+let coerce x = Obj.magic x

@@ -1,0 +1,3 @@
+(* Fixture: channel I/O inside the lib/core state machines. *)
+
+let trace round = Printf.printf "round %d\n" round

@@ -1,0 +1,1 @@
+val trace : int -> unit

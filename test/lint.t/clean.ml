@@ -1,0 +1,3 @@
+(* Fixture: nothing to report. *)
+
+let add a b = a + b

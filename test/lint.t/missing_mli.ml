@@ -1,0 +1,3 @@
+(* Fixture: an otherwise-clean lib module with no interface file. *)
+
+let id x = x

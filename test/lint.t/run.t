@@ -1,0 +1,193 @@
+cliffedge-lint is the repo's static invariant gate: it parses sources
+with ppxlib and checks the rule registry under the per-directory policy
+table (--component picks the policy row).  One known-bad fixture per
+rule, then the suppression machinery, then the machine-readable report.
+
+The registry:
+
+  $ cliffedge-lint --list-rules
+  determinism          no Stdlib.Random, Unix.* or Sys.time outside lib/prng and bench/ (seed-determinism)
+  no-poly-compare      no =, <>, compare, min/max, List.mem/assoc or Hashtbl.hash on non-immediate types in lib/
+  core-purity          no Printf/print_*/exit/mutable globals in lib/core's pure machine modules (effects live in runner/report)
+  no-obj-magic         no Obj.magic (or any other Obj escape hatch)
+  catch-all-exception  no 'with _ ->' exception swallowing in lib/codec's hardened decoder paths
+  mli-coverage         every lib/ module ships a documented .mli
+  unused-allow         every [@lint.allow] annotation must suppress something
+
+determinism: ambient randomness and wall clocks are banned outside
+lib/prng and bench (the fixture runs under an ordinary lib component):
+
+  $ cliffedge-lint --component lib/fixture bad_determinism.ml bad_determinism.mli
+  lib/fixture/bad_determinism.ml:3:14: [determinism] Random.int (OS-seeded randomness) breaks seed-determinism; randomness belongs to lib/prng, timing to bench/
+  
+  == cliffedge-lint summary ==
+  +-------------+------------+
+  | rule        | violations |
+  +=============+============+
+  | determinism | 1          |
+  +-------------+------------+
+  cliffedge-lint: 1 violation(s) in 2 file(s)
+  [1]
+
+no-poly-compare: structural =, compare & friends must name their type
+inside lib/:
+
+  $ cliffedge-lint --component lib/fixture bad_compare.ml bad_compare.mli
+  lib/fixture/bad_compare.ml:3:17: [no-poly-compare] =: polymorphic equality on protocol values diverges from the dedicated comparators; use a monomorphic equal/compare (Int.equal, Node_id.equal, Node_set.equal, View.equal, ...)
+  lib/fixture/bad_compare.ml:4:25: [no-poly-compare] compare: polymorphic compare as a function value on protocol values diverges from the dedicated comparators; use a monomorphic equal/compare (Int.equal, Node_id.equal, Node_set.equal, View.equal, ...)
+  
+  == cliffedge-lint summary ==
+  +-----------------+------------+
+  | rule            | violations |
+  +=================+============+
+  | no-poly-compare | 2          |
+  +-----------------+------------+
+  cliffedge-lint: 2 violation(s) in 2 file(s)
+  [1]
+
+core-purity: the lib/core state machines may not touch channels
+(policy scopes this rule to lib/core only):
+
+  $ cliffedge-lint --component lib/core bad_purity.ml bad_purity.mli
+  lib/core/bad_purity.ml:3:18: [core-purity] Printf.printf: printing primitive in a pure core module; effects belong in runner/report
+  
+  == cliffedge-lint summary ==
+  +-------------+------------+
+  | rule        | violations |
+  +=============+============+
+  | core-purity | 1          |
+  +-------------+------------+
+  cliffedge-lint: 1 violation(s) in 2 file(s)
+  [1]
+
+no-obj-magic applies everywhere, even outside lib/:
+
+  $ cliffedge-lint bad_magic.ml
+  bad_magic.ml:3:15: [no-obj-magic] Obj.magic: unsafe Obj primitive defeats the type system
+  
+  == cliffedge-lint summary ==
+  +--------------+------------+
+  | rule         | violations |
+  +==============+============+
+  | no-obj-magic | 1          |
+  +--------------+------------+
+  cliffedge-lint: 1 violation(s) in 1 file(s)
+  [1]
+
+catch-all-exception is scoped to the codec:
+
+  $ cliffedge-lint --component lib/codec bad_catchall.ml bad_catchall.mli
+  lib/codec/bad_catchall.ml:3:34: [catch-all-exception] catch-all exception handler swallows unexpected failures; name the exceptions the decoder expects
+  
+  == cliffedge-lint summary ==
+  +---------------------+------------+
+  | rule                | violations |
+  +=====================+============+
+  | catch-all-exception | 1          |
+  +---------------------+------------+
+  cliffedge-lint: 1 violation(s) in 2 file(s)
+  [1]
+
+mli-coverage: every lib module needs an interface file:
+
+  $ cliffedge-lint --component lib/fixture missing_mli.ml
+  lib/fixture/missing_mli.ml:1:0: [mli-coverage] module has no interface; add missing_mli.mli documenting the signature
+  
+  == cliffedge-lint summary ==
+  +--------------+------------+
+  | rule         | violations |
+  +==============+============+
+  | mli-coverage | 1          |
+  +--------------+------------+
+  cliffedge-lint: 1 violation(s) in 1 file(s)
+  [1]
+
+Suppression: a floating [@@@lint.allow] covers the rest of the file, an
+expression [@lint.allow] covers one site.  Both fire here, so the run
+is clean:
+
+  $ cliffedge-lint allowed.ml
+
+An annotation that suppresses nothing is itself a violation — removing
+a stale allow is enforced, not optional:
+
+  $ cliffedge-lint unused_allow.ml
+  unused_allow.ml:3:14: [unused-allow] [@lint.allow "no-obj-magic"] suppresses nothing; remove the stale annotation
+  
+  == cliffedge-lint summary ==
+  +--------------+------------+
+  | rule         | violations |
+  +==============+============+
+  | unused-allow | 1          |
+  +--------------+------------+
+  cliffedge-lint: 1 violation(s) in 1 file(s)
+  [1]
+
+A clean file is silent by default and reported with --verbose:
+
+  $ cliffedge-lint clean.ml
+  $ cliffedge-lint --verbose clean.ml
+  cliffedge-lint: clean (1 file(s), 7 rule(s))
+
+--json merges a report into the given file, keyed by component, with a
+stable schema:
+
+  $ cliffedge-lint --json report.json bad_magic.ml
+  bad_magic.ml:3:15: [no-obj-magic] Obj.magic: unsafe Obj primitive defeats the type system
+  
+  == cliffedge-lint summary ==
+  +--------------+------------+
+  | rule         | violations |
+  +==============+============+
+  | no-obj-magic | 1          |
+  +--------------+------------+
+  cliffedge-lint: 1 violation(s) in 1 file(s)
+  [1]
+  $ cliffedge-lint --json report.json --component lib/fixture missing_mli.ml
+  lib/fixture/missing_mli.ml:1:0: [mli-coverage] module has no interface; add missing_mli.mli documenting the signature
+  
+  == cliffedge-lint summary ==
+  +--------------+------------+
+  | rule         | violations |
+  +==============+============+
+  | mli-coverage | 1          |
+  +--------------+------------+
+  cliffedge-lint: 1 violation(s) in 1 file(s)
+  [1]
+  $ cat report.json
+  {
+    "schema": "cliffedge-lint/1",
+    ".": {
+      "files": 1,
+      "violations": 1,
+      "diagnostics": [
+        {
+          "rule": "no-obj-magic",
+          "file": "bad_magic.ml",
+          "line": 3,
+          "col": 15,
+          "message": "Obj.magic: unsafe Obj primitive defeats the type system"
+        }
+      ]
+    },
+    "lib/fixture": {
+      "files": 1,
+      "violations": 1,
+      "diagnostics": [
+        {
+          "rule": "mli-coverage",
+          "file": "lib/fixture/missing_mli.ml",
+          "line": 1,
+          "col": 0,
+          "message": "module has no interface; add missing_mli.mli documenting the signature"
+        }
+      ]
+    }
+  }
+
+No input files is a usage error, distinct from "violations found":
+
+  $ cliffedge-lint
+  cliffedge-lint: no input files
+  usage: cliffedge-lint [--component DIR] [--json FILE] FILE...
+  [2]

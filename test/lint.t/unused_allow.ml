@@ -1,0 +1,3 @@
+(* Fixture: an annotation that suppresses nothing. *)
+
+let id x = (x [@lint.allow "no-obj-magic"])

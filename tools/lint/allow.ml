@@ -1,0 +1,116 @@
+(* Suppression spans.
+
+   [[@@@lint.allow "rule-id"]] (floating, usually at the top of a file)
+   suppresses the rule from that point to the end of the file.
+   [[@lint.allow "rule-id"]] attached to an expression and
+   [[@@lint.allow "rule-id"]] attached to a binding / type / module
+   suppress the rule inside that node's span only.
+
+   Every span records whether it actually shielded a diagnostic: a
+   suppression that suppresses nothing is itself a violation
+   (unused-allow), so stale annotations cannot accumulate. *)
+
+open Ppxlib
+
+type span = {
+  rule : string;
+  start_cnum : int;
+  end_cnum : int;
+  attr_loc : Location.t;  (** where to report an unused annotation *)
+  mutable used : bool;
+}
+
+let span_of_attr ~start_cnum ~end_cnum (attr : attribute) rule =
+  { rule; start_cnum; end_cnum; attr_loc = attr.attr_loc; used = false }
+
+let collect (file : Rule.source_file) : span list =
+  let spans = ref [] in
+  (* [node_loc] scopes attached attributes; floating attributes run to
+     the end of the file. *)
+  let attach ~(node_loc : Location.t option) attrs =
+    List.iter
+      (fun attr ->
+        match Ast_util.allow_payload attr with
+        | None -> ()
+        | Some rule ->
+            let start_cnum, end_cnum =
+              match node_loc with
+              | Some loc ->
+                  (loc.loc_start.Lexing.pos_cnum, loc.loc_end.Lexing.pos_cnum)
+              | None -> (attr.attr_loc.loc_start.Lexing.pos_cnum, file.source_len)
+            in
+            spans := span_of_attr ~start_cnum ~end_cnum attr rule :: !spans)
+      attrs
+  in
+  let iter =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! structure_item item =
+        (match item.pstr_desc with
+        | Pstr_attribute attr -> attach ~node_loc:None [ attr ]
+        | Pstr_eval (_, attrs) -> attach ~node_loc:(Some item.pstr_loc) attrs
+        | _ -> ());
+        super#structure_item item
+
+      method! signature_item item =
+        (match item.psig_desc with
+        | Psig_attribute attr -> attach ~node_loc:None [ attr ]
+        | _ -> ());
+        super#signature_item item
+
+      method! expression e =
+        attach ~node_loc:(Some e.pexp_loc) e.pexp_attributes;
+        super#expression e
+
+      method! value_binding vb =
+        attach ~node_loc:(Some vb.pvb_loc) vb.pvb_attributes;
+        super#value_binding vb
+
+      method! type_declaration td =
+        attach ~node_loc:(Some td.ptype_loc) td.ptype_attributes;
+        super#type_declaration td
+
+      method! module_binding mb =
+        attach ~node_loc:(Some mb.pmb_loc) mb.pmb_attributes;
+        super#module_binding mb
+
+      method! value_description vd =
+        attach ~node_loc:(Some vd.pval_loc) vd.pval_attributes;
+        super#value_description vd
+    end
+  in
+  (match file.ast with
+  | Rule.Impl s -> iter#structure s
+  | Rule.Intf s -> iter#signature s);
+  List.rev !spans
+
+(* Drops the diagnostics of [file] covered by a matching span, marking
+   the spans that earned their keep. *)
+let filter spans (diags : Diagnostic.t list) =
+  List.filter
+    (fun (d : Diagnostic.t) ->
+      let covered =
+        List.filter
+          (fun s ->
+            String.equal s.rule d.rule
+            && s.start_cnum <= d.cnum
+            && d.cnum <= s.end_cnum)
+          spans
+      in
+      List.iter (fun s -> s.used <- true) covered;
+      covered = [])
+    diags
+
+let unused_diagnostics ~file spans =
+  List.filter_map
+    (fun s ->
+      if s.used then None
+      else
+        Some
+          (Diagnostic.make ~rule:"unused-allow" ~file ~loc:s.attr_loc
+             (Printf.sprintf
+                "[@lint.allow %S] suppresses nothing; remove the stale \
+                 annotation"
+                s.rule)))
+    spans

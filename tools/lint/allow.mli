@@ -1,0 +1,11 @@
+(** [[@lint.allow]] suppression spans and the unused-allow meta-rule. *)
+
+type span
+
+val collect : Rule.source_file -> span list
+
+val filter : span list -> Diagnostic.t list -> Diagnostic.t list
+(** Drops suppressed diagnostics, marking the spans that fired. *)
+
+val unused_diagnostics : file:string -> span list -> Diagnostic.t list
+(** One unused-allow diagnostic per span that never fired. *)

@@ -1,0 +1,60 @@
+(* Small syntactic helpers shared by the rules.  Everything here works
+   on the untyped parsetree: cliffedge-lint never type-checks, so rules
+   that conceptually depend on types ("non-immediate") use documented
+   syntactic approximations instead. *)
+
+open Ppxlib
+
+(* [Lapply] cannot appear in expression identifiers we care about; fold
+   it into a dotted spelling rather than raising. *)
+let rec flatten = function
+  | Lident s -> [ s ]
+  | Ldot (l, s) -> flatten l @ [ s ]
+  | Lapply (a, b) -> flatten a @ flatten b
+
+let lid_to_string lid = String.concat "." (flatten lid)
+
+(* Strips the [Stdlib] qualifier so rules match [Stdlib.compare] and
+   bare [compare] with one pattern. *)
+let unqualify lid =
+  match flatten lid with "Stdlib" :: rest -> rest | parts -> parts
+
+(* The escape hatch of the no-poly-compare rule: a comparison is let
+   through when one operand is a syntactic constant, because the
+   constant pins the compared type to a base type (int, char, string,
+   float, bool, or a constant constructor whose tag comparison never
+   recurses into a payload).  This is an approximation — the rule is
+   untyped — but it separates [round = 1] from [view_a = view_b], which
+   is the footgun the rule exists for. *)
+let rec syntactically_immediate e =
+  match e.pexp_desc with
+  | Pexp_constant _ -> true
+  | Pexp_construct (_, None) -> true (* (), [], None, true, Reject, ... *)
+  | Pexp_variant (_, None) -> true
+  | Pexp_apply
+      ( { pexp_desc = Pexp_ident { txt = Lident ("~-" | "~-." | "~+"); _ }; _ },
+        [ (Nolabel, arg) ] ) ->
+      syntactically_immediate arg (* negative literals parse as ~- *)
+  | _ -> false
+
+(* Extracts the ["rule-id"] payload of a [[@lint.allow "rule-id"]]
+   attribute; [None] when the payload is missing or not a string. *)
+let allow_payload (attr : attribute) =
+  if not (String.equal attr.attr_name.txt "lint.allow") then None
+  else
+    match attr.attr_payload with
+    | PStr
+        [
+          {
+            pstr_desc =
+              Pstr_eval
+                ( {
+                    pexp_desc = Pexp_constant (Pconst_string (rule, _, _));
+                    _;
+                  },
+                  _ );
+            _;
+          };
+        ] ->
+        Some rule
+    | _ -> None

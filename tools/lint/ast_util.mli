@@ -1,0 +1,17 @@
+(** Syntactic helpers shared by the rules (the linter never
+    type-checks; see the implementation for the approximations). *)
+
+val flatten : Ppxlib.longident -> string list
+
+val lid_to_string : Ppxlib.longident -> string
+
+val unqualify : Ppxlib.longident -> string list
+(** [flatten] with a leading [Stdlib] qualifier removed. *)
+
+val syntactically_immediate : Ppxlib.expression -> bool
+(** True for constants, constant constructors and negated literals: the
+    operands that let a polymorphic comparison through the
+    no-poly-compare rule. *)
+
+val allow_payload : Ppxlib.attribute -> string option
+(** The rule id carried by a [[\@lint.allow "rule-id"]] attribute. *)

@@ -1,0 +1,70 @@
+(* Parses the batch, runs the registry under the policy table, applies
+   suppression spans and returns the surviving diagnostics in report
+   order. *)
+
+let registry : Rule.t list =
+  [
+    Rules_determinism.rule;
+    Rules_poly_compare.rule;
+    Rules_purity.rule;
+    Rules_hygiene.obj_magic;
+    Rules_hygiene.catch_all;
+    Rules_hygiene.mli_coverage;
+  ]
+
+exception Parse_error of string
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_file ~component path : Rule.source_file =
+  let basename = Filename.basename path in
+  let rel =
+    if String.equal component "." then basename
+    else component ^ "/" ^ basename
+  in
+  let source = read_file path in
+  let lexbuf = Lexing.from_string source in
+  Lexing.set_filename lexbuf rel;
+  let ast =
+    try
+      if Filename.check_suffix path ".mli" then
+        Rule.Intf (Ppxlib.Parse.interface lexbuf)
+      else Rule.Impl (Ppxlib.Parse.implementation lexbuf)
+    with exn ->
+      raise
+        (Parse_error (Printf.sprintf "%s: %s" rel (Printexc.to_string exn)))
+  in
+  { path; rel; component; basename; ast; source_len = String.length source }
+
+let run (files : Rule.source_file list) : Diagnostic.t list =
+  let raw =
+    List.concat_map
+      (fun (rule : Rule.t) ->
+        let eligible =
+          List.filter
+            (fun (f : Rule.source_file) ->
+              Policy.applies ~rule:rule.id ~component:f.component
+                ~basename:f.basename)
+            files
+        in
+        rule.check eligible)
+      registry
+  in
+  let surviving =
+    List.concat_map
+      (fun (f : Rule.source_file) ->
+        let spans = Allow.collect f in
+        let own =
+          List.filter (fun (d : Diagnostic.t) -> String.equal d.file f.rel) raw
+        in
+        (* [filter] must run first: it marks the spans that fired, and
+           [unused_diagnostics] reports the ones that did not. *)
+        let kept = Allow.filter spans own in
+        kept @ Allow.unused_diagnostics ~file:f.rel spans)
+      files
+  in
+  List.sort_uniq Diagnostic.compare surviving

@@ -1,0 +1,10 @@
+(** Parse, run the registry under the policy table, suppress, sort. *)
+
+val registry : Rule.t list
+
+exception Parse_error of string
+
+val load_file : component:string -> string -> Rule.source_file
+(** @raise Parse_error on unparseable input. *)
+
+val run : Rule.source_file list -> Diagnostic.t list

@@ -1,0 +1,32 @@
+(* Machine-readable diagnostics, merged into the target file the same
+   way the bench harness accumulates BENCH_PR*.json: one top-level
+   section per component, written through immediately, so
+
+     cliffedge-lint --component lib/core  --json lint.json ...
+     cliffedge-lint --component lib/codec --json lint.json ...
+
+   build up a single document that later tooling can diff. *)
+
+module Json = Cliffedge_report.Json
+
+let schema = "cliffedge-lint/1"
+
+let load file =
+  if Sys.file_exists file then
+    match Json.of_file file with
+    | Ok (Json.Obj _ as o) -> o
+    | Ok _ | Error _ -> Json.Obj []
+  else Json.Obj []
+
+let record ~file ~component ~files_scanned (diags : Diagnostic.t list) =
+  let root = load file in
+  let root = Json.set "schema" (Json.String schema) root in
+  let section =
+    Json.Obj
+      [
+        ("files", Json.Int files_scanned);
+        ("violations", Json.Int (List.length diags));
+        ("diagnostics", Json.List (List.map Diagnostic.to_json diags));
+      ]
+  in
+  Json.to_file file (Json.set component section root)

@@ -1,0 +1,9 @@
+(** [--json FILE] output: one section per component, merged into an
+    existing document bench-harness style (schema [cliffedge-lint/1]). *)
+
+val record :
+  file:string ->
+  component:string ->
+  files_scanned:int ->
+  Diagnostic.t list ->
+  unit

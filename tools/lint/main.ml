@@ -1,0 +1,85 @@
+(* cliffedge-lint: the repo's static invariant gate.
+
+   Usage: cliffedge-lint [--component DIR] [--json FILE] [--verbose]
+                         [--list-rules] FILE...
+
+   Parses the given .ml/.mli files with ppxlib, runs the rule registry
+   under the per-directory policy table (keyed by --component), prints
+   compiler-style diagnostics plus a per-rule summary table, optionally
+   merges a JSON report, and exits 1 when violations remain.  The
+   per-directory dune stanzas attach this as the @lint alias, which
+   @runtest depends on: `dune runtest` fails on any new violation. *)
+
+let usage = "cliffedge-lint [--component DIR] [--json FILE] FILE..."
+
+let () =
+  let component = ref "." in
+  let json_file = ref None in
+  let verbose = ref false in
+  let list_rules = ref false in
+  let files = ref [] in
+  let spec =
+    [
+      ( "--component",
+        Arg.Set_string component,
+        "DIR policy key for the files (e.g. lib/core); default \".\"" );
+      ( "--json",
+        Arg.String (fun f -> json_file := Some f),
+        "FILE merge a machine-readable report into FILE" );
+      ("--verbose", Arg.Set verbose, " report clean runs too");
+      ("--list-rules", Arg.Set list_rules, " print the rule registry and exit");
+    ]
+  in
+  Arg.parse spec (fun f -> files := f :: !files) usage;
+  if !list_rules then begin
+    List.iter
+      (fun (r : Rule.t) -> Printf.printf "%-20s %s\n" r.id r.doc)
+      Engine.registry;
+    Printf.printf "%-20s %s\n" "unused-allow"
+      "every [@lint.allow] annotation must suppress something";
+    exit 0
+  end;
+  let paths = List.rev !files in
+  if paths = [] then begin
+    prerr_endline ("cliffedge-lint: no input files\nusage: " ^ usage);
+    exit 2
+  end;
+  let loaded =
+    try List.map (Engine.load_file ~component:!component) paths
+    with Engine.Parse_error msg ->
+      prerr_endline ("cliffedge-lint: parse error: " ^ msg);
+      exit 2
+  in
+  let diags = Engine.run loaded in
+  Option.iter
+    (fun file ->
+      Json_report.record ~file ~component:!component
+        ~files_scanned:(List.length loaded) diags)
+    !json_file;
+  match diags with
+  | [] ->
+      if !verbose then
+        Printf.printf "cliffedge-lint: clean (%d file(s), %d rule(s))\n"
+          (List.length loaded)
+          (List.length Engine.registry + 1)
+  | _ :: _ ->
+      List.iter (fun d -> print_endline (Diagnostic.to_string d)) diags;
+      print_newline ();
+      let table =
+        Cliffedge_report.Table.create ~title:"cliffedge-lint summary"
+          ~columns:[ "rule"; "violations" ]
+      in
+      let counts = Hashtbl.create 8 in
+      List.iter
+        (fun (d : Diagnostic.t) ->
+          let n = try Hashtbl.find counts d.rule with Not_found -> 0 in
+          Hashtbl.replace counts d.rule (n + 1))
+        diags;
+      Hashtbl.fold (fun rule n acc -> (rule, n) :: acc) counts []
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      |> List.iter (fun (rule, n) ->
+             Cliffedge_report.Table.add_row table [ rule; string_of_int n ]);
+      print_string (Cliffedge_report.Table.render table);
+      Printf.printf "cliffedge-lint: %d violation(s) in %d file(s)\n"
+        (List.length diags) (List.length loaded);
+      exit 1

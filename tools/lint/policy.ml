@@ -1,0 +1,38 @@
+(* The per-directory policy table: which rule applies to which
+   component.  A component is the directory a file lives in, as passed
+   via [--component] by the per-directory dune stanzas (e.g.
+   ["lib/core"]); fixture runs in the cram suite pick a component to
+   select the rule set under test.
+
+   Keep this table in sync with the README "Static checks" section. *)
+
+let has_prefix ~prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let in_lib component = has_prefix ~prefix:"lib" component
+
+(* Files inside a component that a rule deliberately skips.  [runner.ml]
+   is lib/core's effect boundary (trace printing, log sinks): the
+   core-purity rule guards the state machine modules, not the harness
+   that drives them. *)
+let file_exempt ~rule ~component ~basename =
+  match (rule, component, basename) with
+  | "core-purity", "lib/core", ("runner.ml" | "runner.mli") -> true
+  | _ -> false
+
+let applies ~rule ~component ~basename =
+  if file_exempt ~rule ~component ~basename then false
+  else
+    match rule with
+    (* PRNG owns the randomness; the bench harness owns the clock. *)
+    | "determinism" ->
+        not (String.equal component "lib/prng" || String.equal component "bench")
+    (* Protocol values live in lib/; tests and examples may compare
+       plainly. *)
+    | "no-poly-compare" -> in_lib component
+    | "core-purity" -> String.equal component "lib/core"
+    | "catch-all-exception" -> String.equal component "lib/codec"
+    | "mli-coverage" -> in_lib component
+    | "no-obj-magic" | "unused-allow" -> true
+    | _ -> true

@@ -1,0 +1,3 @@
+(** Per-directory policy: which rule applies to which component. *)
+
+val applies : rule:string -> component:string -> basename:string -> bool

@@ -1,0 +1,42 @@
+(* The rule registry's vocabulary.  A rule sees every parsed file of
+   the invocation at once: most rules fold over files one by one, but
+   directory-level rules (mli-coverage) need the whole batch to pair
+   [.ml] files with their interfaces. *)
+
+type ast =
+  | Impl of Ppxlib.Parsetree.structure
+  | Intf of Ppxlib.Parsetree.signature
+
+type source_file = {
+  path : string;  (** on-disk path, used to (re)open the file *)
+  rel : string;  (** reported path: [component ^ "/" ^ basename] *)
+  component : string;  (** policy key, e.g. ["lib/core"] *)
+  basename : string;
+  ast : ast;
+  source_len : int;  (** bytes; closes file-scoped suppression spans *)
+}
+
+type t = {
+  id : string;
+  doc : string;  (** one-line description for [--list-rules] and docs *)
+  check : source_file list -> Diagnostic.t list;
+}
+
+(* Convenience for the common shape: an implementation-only, per-file
+   expression walk.  [f] receives a sink and the structure. *)
+let impl_rule ~id ~doc f =
+  let check files =
+    List.concat_map
+      (fun file ->
+        match file.ast with
+        | Intf _ -> []
+        | Impl structure ->
+            let acc = ref [] in
+            let add ~loc message =
+              acc := Diagnostic.make ~rule:id ~file:file.rel ~loc message :: !acc
+            in
+            f ~add structure;
+            List.rev !acc)
+      files
+  in
+  { id; doc; check }

@@ -1,0 +1,29 @@
+(** The rule registry's vocabulary. *)
+
+type ast =
+  | Impl of Ppxlib.Parsetree.structure
+  | Intf of Ppxlib.Parsetree.signature
+
+type source_file = {
+  path : string;
+  rel : string;
+  component : string;
+  basename : string;
+  ast : ast;
+  source_len : int;
+}
+
+type t = {
+  id : string;
+  doc : string;
+  check : source_file list -> Diagnostic.t list;
+}
+
+val impl_rule :
+  id:string ->
+  doc:string ->
+  (add:(loc:Ppxlib.Location.t -> string -> unit) ->
+  Ppxlib.Parsetree.structure ->
+  unit) ->
+  t
+(** Builds the common shape: a per-file walk over implementations only. *)

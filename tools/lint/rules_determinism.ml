@@ -1,0 +1,65 @@
+(* determinism: every run must be a pure function of the seed.  Wall
+   clocks, OS randomness and anything else from [Unix] are banned
+   outside lib/prng (which owns the seeded generator) and bench/ (which
+   owns the stopwatch); see the policy table for the exemptions. *)
+
+open Ppxlib
+
+(* [Sys] is mostly benign (argv, file_exists); only its clock is
+   nondeterministic. *)
+let banned_sys = [ "time" ]
+
+let classify lid =
+  match Ast_util.unqualify lid with
+  | "Random" :: _ -> Some "OS-seeded randomness"
+  | ("Unix" | "UnixLabels") :: _ -> Some "wall clock / OS interface"
+  | [ "Sys"; f ] when List.mem f banned_sys -> Some "process clock"
+  | _ -> None
+
+let message what id =
+  Printf.sprintf
+    "%s (%s) breaks seed-determinism; randomness belongs to lib/prng, timing \
+     to bench/"
+    id what
+
+let rule =
+  Rule.impl_rule ~id:"determinism"
+    ~doc:
+      "no Stdlib.Random, Unix.* or Sys.time outside lib/prng and bench/ \
+       (seed-determinism)" (fun ~add structure ->
+      let iter =
+        object
+          inherit Ast_traverse.iter as super
+
+          method! expression e =
+            (match e.pexp_desc with
+            | Pexp_ident { txt; loc } -> (
+                match classify txt with
+                | Some what -> add ~loc (message what (Ast_util.lid_to_string txt))
+                | None -> ())
+            | Pexp_open
+                ( { popen_expr = { pmod_desc = Pmod_ident { txt; loc }; _ }; _ },
+                  _ ) -> (
+                match classify txt with
+                | Some what ->
+                    add ~loc
+                      (message what ("open " ^ Ast_util.lid_to_string txt))
+                | None -> ())
+            | _ -> ());
+            super#expression e
+
+          method! structure_item item =
+            (match item.pstr_desc with
+            | Pstr_open
+                { popen_expr = { pmod_desc = Pmod_ident { txt; loc }; _ }; _ }
+              -> (
+                match classify txt with
+                | Some what ->
+                    add ~loc
+                      (message what ("open " ^ Ast_util.lid_to_string txt))
+                | None -> ())
+            | _ -> ());
+            super#structure_item item
+        end
+      in
+      iter#structure structure)

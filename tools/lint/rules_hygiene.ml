@@ -1,0 +1,126 @@
+(* Three small hygiene rules.
+
+   no-obj-magic: [Obj.*] defeats the type system everywhere, not just
+   in the protocol; banned repo-wide.
+
+   catch-all-exception: lib/codec's decoder paths are hardened against
+   malformed input by *naming* the failures they expect
+   ([Invalid_argument], [Failure], decode errors).  A [with _ ->]
+   swallows typos, OOM and assertion failures alike and turns a codec
+   bug into silent frame loss.
+
+   mli-coverage: every lib/ module ships an interface; the signature is
+   where the purity and determinism contracts are documented. *)
+
+open Ppxlib
+
+let obj_magic =
+  Rule.impl_rule ~id:"no-obj-magic"
+    ~doc:"no Obj.magic (or any other Obj escape hatch)" (fun ~add structure ->
+      let iter =
+        object
+          inherit Ast_traverse.iter as super
+
+          method! expression e =
+            (match e.pexp_desc with
+            | Pexp_ident { txt; loc } -> (
+                match Ast_util.unqualify txt with
+                | "Obj" :: _ ->
+                    add ~loc
+                      (Ast_util.lid_to_string txt
+                      ^ ": unsafe Obj primitive defeats the type system")
+                | _ -> ())
+            | _ -> ());
+            super#expression e
+        end
+      in
+      iter#structure structure)
+
+let pattern_is_catch_all pat =
+  match pat.ppat_desc with
+  | Ppat_any -> true
+  | Ppat_alias ({ ppat_desc = Ppat_any; _ }, _) -> true
+  | _ -> false
+
+let catch_all =
+  Rule.impl_rule ~id:"catch-all-exception"
+    ~doc:
+      "no 'with _ ->' exception swallowing in lib/codec's hardened decoder \
+       paths" (fun ~add structure ->
+      let check_cases cases =
+        List.filter_map
+          (fun case ->
+            match case.pc_lhs.ppat_desc with
+            | Ppat_exception p when pattern_is_catch_all p ->
+                Some case.pc_lhs.ppat_loc
+            | _ when pattern_is_catch_all case.pc_lhs ->
+                Some case.pc_lhs.ppat_loc
+            | _ -> None)
+          cases
+      in
+      let iter =
+        object
+          inherit Ast_traverse.iter as super
+
+          method! expression e =
+            (match e.pexp_desc with
+            | Pexp_try (_, cases) ->
+                List.iter
+                  (fun loc ->
+                    add ~loc
+                      "catch-all exception handler swallows unexpected \
+                       failures; name the exceptions the decoder expects")
+                  (check_cases cases)
+            | Pexp_match (_, cases) ->
+                List.iter
+                  (fun loc ->
+                    add ~loc
+                      "catch-all 'exception _' case swallows unexpected \
+                       failures; name the exceptions the decoder expects")
+                  (List.filter_map
+                     (fun case ->
+                       match case.pc_lhs.ppat_desc with
+                       | Ppat_exception p when pattern_is_catch_all p ->
+                           Some case.pc_lhs.ppat_loc
+                       | _ -> None)
+                     cases)
+            | _ -> ());
+            super#expression e
+        end
+      in
+      iter#structure structure)
+
+(* Directory-level rule: pairs each [.ml] with its interface inside the
+   batch, so it only sees what the dune stanza (or the CLI caller)
+   passed — exactly the component's files. *)
+let mli_coverage =
+  let check files =
+    let mlis =
+      List.filter_map
+        (fun (f : Rule.source_file) ->
+          match f.ast with
+          | Rule.Intf _ -> Some (f.component, f.basename)
+          | Rule.Impl _ -> None)
+        files
+    in
+    List.filter_map
+      (fun (f : Rule.source_file) ->
+        match f.ast with
+        | Rule.Intf _ -> None
+        | Rule.Impl _ ->
+            let want = Filename.remove_extension f.basename ^ ".mli" in
+            if List.mem (f.component, want) mlis then None
+            else
+              Some
+                (Diagnostic.v ~rule:"mli-coverage" ~file:f.rel ~line:1 ~col:0
+                   (Printf.sprintf
+                      "module has no interface; add %s documenting the \
+                       signature"
+                      want)))
+      files
+  in
+  {
+    Rule.id = "mli-coverage";
+    doc = "every lib/ module ships a documented .mli";
+    check;
+  }

@@ -1,0 +1,90 @@
+(* no-poly-compare: the structural comparison primitives type-check on
+   everything, which is exactly the problem — after the bitset Node_set
+   rewrite, [Stdlib.compare] on a protocol value silently disagrees
+   with [Node_set.compare]'s documented lexicographic order, and
+   [Hashtbl.hash] on views is unstable across representations.  Inside
+   lib/ every comparison must name its type: [Int.equal],
+   [String.equal], [Node_id.equal], [Node_set.equal], [View.equal],
+   [Opinion.equal], ...
+
+   The rule is untyped, so [=]/[<>]/[min]/[max] escape when one operand
+   is a syntactic constant (the constant pins the type to a base type;
+   see [Ast_util.syntactically_immediate]).  [compare], [List.mem],
+   [List.assoc] and [Hashtbl.hash] have no such escape: they are
+   flagged at every use, including as a bare function value. *)
+
+open Ppxlib
+
+type verdict =
+  | Escapable of string  (** literal operand lets it through *)
+  | Always of string
+
+let classify lid =
+  match Ast_util.unqualify lid with
+  | [ ("=" | "<>") ] -> Some (Escapable "polymorphic equality")
+  | [ ("min" | "max") ] -> Some (Escapable "polymorphic ordering")
+  | [ "compare" ] -> Some (Always "polymorphic compare")
+  | [ "List"; ("mem" | "assoc" | "mem_assoc") ] ->
+      Some (Always "polymorphic-equality list search")
+  | [ "Hashtbl"; "hash" ] -> Some (Always "polymorphic hash")
+  | _ -> None
+
+let message what id =
+  Printf.sprintf
+    "%s: %s on protocol values diverges from the dedicated comparators; use a \
+     monomorphic equal/compare (Int.equal, Node_id.equal, Node_set.equal, \
+     View.equal, ...)"
+    id what
+
+let rule =
+  Rule.impl_rule ~id:"no-poly-compare"
+    ~doc:
+      "no =, <>, compare, min/max, List.mem/assoc or Hashtbl.hash on \
+       non-immediate types in lib/" (fun ~add structure ->
+      let iter =
+        object (self)
+          inherit Ast_traverse.iter as super
+
+          method! expression e =
+            match e.pexp_desc with
+            | Pexp_apply
+                ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args)
+              when Option.is_some (classify txt) ->
+                (match classify txt with
+                | Some (Always what) ->
+                    add ~loc (message what (Ast_util.lid_to_string txt))
+                | Some (Escapable what) ->
+                    let immediate_operand =
+                      List.exists
+                        (fun (_, a) -> Ast_util.syntactically_immediate a)
+                        args
+                    in
+                    if not immediate_operand then
+                      add ~loc (message what (Ast_util.lid_to_string txt))
+                | None -> ());
+                (* Visit the arguments, not the already-judged head. *)
+                List.iter (fun (_, a) -> self#expression a) args
+            | Pexp_ident { txt; loc } -> (
+                (* Outside application position only the unambiguous
+                   spellings are flagged: [compare]/[Hashtbl.hash] passed
+                   to a sort or a table, and operator sections like
+                   [( = )].  Bare [min]/[max] idents are NOT flagged —
+                   they are routinely shadowed by record fields and
+                   let-bindings (e.g. [Uniform { min; max }] punning). *)
+                match Ast_util.unqualify txt with
+                | [ "compare" ]
+                | [ ("=" | "<>") ]
+                | [ "Hashtbl"; "hash" ]
+                | [ "List"; ("mem" | "assoc" | "mem_assoc") ] -> (
+                    match classify txt with
+                    | Some (Always what | Escapable what) ->
+                        add ~loc
+                          (message
+                             (what ^ " as a function value")
+                             (Ast_util.lid_to_string txt))
+                    | None -> ())
+                | _ -> ())
+            | _ -> super#expression e
+        end
+      in
+      iter#structure structure)

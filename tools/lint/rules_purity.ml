@@ -1,0 +1,83 @@
+(* core-purity: lib/core's protocol modules are pure state machines —
+   the model checker enumerates them, the CD5 analysis in DESIGN.md §7
+   replays them, and both assume [handle : config -> state -> event ->
+   state * action list] has no side channel.  Printing, [exit] and
+   top-level mutable state are banned; effects belong in [runner] (the
+   exempted harness module, see the policy table) and lib/report. *)
+
+open Ppxlib
+
+let banned_print_fns =
+  [
+    "print_string"; "print_endline"; "print_newline"; "print_int";
+    "print_float"; "print_char"; "print_bytes"; "prerr_string";
+    "prerr_endline"; "prerr_newline"; "exit"; "stdout"; "stderr";
+  ]
+
+let banned_format = [ "printf"; "eprintf"; "print_string"; "print_newline";
+                      "std_formatter"; "err_formatter" ]
+
+let classify lid =
+  match Ast_util.unqualify lid with
+  | "Printf" :: _ -> Some "printing primitive"
+  | [ "Format"; f ] when List.exists (String.equal f) banned_format ->
+      Some "channel printing primitive"
+  | [ f ] when List.exists (String.equal f) banned_print_fns ->
+      Some (if String.equal f "exit" then "process exit" else "channel I/O")
+  | _ -> None
+
+(* Top-level [let] whose right-hand side allocates mutable state. *)
+let mutable_allocator lid =
+  match Ast_util.unqualify lid with
+  | [ "ref" ]
+  | [ ("Hashtbl" | "Buffer" | "Queue" | "Stack" | "Dynarray"); "create" ]
+  | [ ("Array" | "Bytes"); ("make" | "create" | "init") ] ->
+      true
+  | _ -> false
+
+let rule =
+  Rule.impl_rule ~id:"core-purity"
+    ~doc:
+      "no Printf/print_*/exit/mutable globals in lib/core's pure machine \
+       modules (effects live in runner/report)" (fun ~add structure ->
+      let iter =
+        object
+          inherit Ast_traverse.iter as super
+
+          method! expression e =
+            (match e.pexp_desc with
+            | Pexp_ident { txt; loc } -> (
+                match classify txt with
+                | Some what ->
+                    add ~loc
+                      (Printf.sprintf
+                         "%s: %s in a pure core module; effects belong in \
+                          runner/report"
+                         (Ast_util.lid_to_string txt) what)
+                | None -> ())
+            | _ -> ());
+            super#expression e
+        end
+      in
+      (* Mutable globals are a structure-level concern: a [ref] inside a
+         function body is just a local. *)
+      List.iter
+        (fun item ->
+          match item.pstr_desc with
+          | Pstr_value (_, bindings) ->
+              List.iter
+                (fun vb ->
+                  match vb.pvb_expr.pexp_desc with
+                  | Pexp_apply
+                      ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _)
+                    when mutable_allocator txt ->
+                      add ~loc
+                        (Printf.sprintf
+                           "top-level %s: mutable global state in a pure core \
+                            module"
+                           (Ast_util.lid_to_string txt))
+                  | _ -> ())
+                bindings
+          | _ -> ())
+        structure;
+      iter#structure structure)
