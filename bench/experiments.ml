@@ -12,6 +12,8 @@ module Fault_gen = Cliffedge_workload.Fault_gen
 module Global_runner = Cliffedge_baseline.Global_runner
 module Stats = Cliffedge_net.Stats
 module Latency = Cliffedge_net.Latency
+module Faults = Cliffedge_net.Faults
+module Transport = Cliffedge_net.Transport
 module Table = Cliffedge_report.Table
 module Summary = Cliffedge_report.Summary
 module Prng = Cliffedge_prng.Prng
@@ -896,6 +898,159 @@ let x15 () =
     [ 2.0; 10.0; 20.0; 50.0; 100.0 ];
   Table.print t
 
+(* ------------------------------------------------------------------ *)
+(* X16: what the reliable-channel assumption costs — ARQ over lossy    *)
+(* wires, drop rate x backoff policy, against the reliable baseline    *)
+
+let x16_policies =
+  [
+    ( "fast",
+      { Transport.rto = 10.0; backoff = 1.5; rto_cap = 50.0; max_retries = 40 } );
+    ("default", Transport.default_policy);
+    ( "slow",
+      { Transport.rto = 50.0; backoff = 3.0; rto_cap = 400.0; max_retries = 20 } );
+  ]
+
+(* One ring:32 / 3-node-region scenario per seed; the workload is fixed
+   across channel configurations so only the channel varies. *)
+let x16_outcome ~channel seed =
+  let rng = Prng.create (16_000 + seed) in
+  let graph = Topology.ring 32 in
+  let region = Fault_gen.connected_region rng graph ~size:3 in
+  let crashes = Fault_gen.crash_at 10.0 region in
+  let options = { Runner.default_options with seed; channel } in
+  let outcome =
+    Runner.run ~options ~graph ~crashes ~propose_value:Scenario.default_propose ()
+  in
+  (outcome, Checker.check ~value_equal:String.equal outcome)
+
+type x16_row = {
+  mean_latency : float;
+  mean_msgs : float;
+  retransmits : int;
+  dedups : int;
+  stalled : int;
+  bad : int;
+}
+
+let x16_collect ~channel seeds =
+  let latencies = ref [] and msgs = ref [] in
+  let retransmits = ref 0 and dedups = ref 0 and stalled = ref 0 and bad = ref 0 in
+  List.iter
+    (fun seed ->
+      let outcome, report = x16_outcome ~channel seed in
+      List.iter
+        (fun (_, latency) -> latencies := latency :: !latencies)
+        (Cliffedge.Timeline.decision_latency outcome);
+      msgs := float_of_int (Stats.sent outcome.stats) :: !msgs;
+      retransmits := !retransmits + Stats.retransmitted outcome.stats;
+      dedups := !dedups + Stats.deduped outcome.stats;
+      stalled := !stalled + List.length outcome.stalled_channels;
+      bad := !bad + violations report)
+    seeds;
+  {
+    mean_latency = (Summary.of_list !latencies).Summary.mean;
+    mean_msgs = (Summary.of_list !msgs).Summary.mean;
+    retransmits = !retransmits;
+    dedups = !dedups;
+    stalled = !stalled;
+    bad = !bad;
+  }
+
+let x16 ?(seeds = 10) ?(drop_rates = [ 0.0; 0.05; 0.1; 0.2; 0.3 ])
+    ?(policies = x16_policies) () =
+  let t =
+    Table.create
+      ~title:
+        "X16: decision latency and message overhead of the ARQ transport vs drop \
+         rate and backoff policy (ring:32, 3-node region, reliable baseline = \
+         ratio 1)"
+      ~columns:
+        [
+          "drop";
+          "policy";
+          "mean dec latency";
+          "latency ratio";
+          "mean msgs";
+          "msg ratio";
+          "retx";
+          "dedup";
+          "stalls";
+          "violations";
+        ]
+  in
+  let seed_list = List.init seeds Fun.id in
+  let base = x16_collect ~channel:Transport.Reliable seed_list in
+  let json = Cliffedge_report.Json.(fun f -> Float f) in
+  Json_out.record ~section:"x16"
+    [
+      ( "baseline",
+        Cliffedge_report.Json.Obj
+          [ ("mean_latency", json base.mean_latency); ("mean_msgs", json base.mean_msgs) ]
+      );
+    ];
+  Table.add_row t
+    [
+      "-";
+      "reliable";
+      cell "%.1f" base.mean_latency;
+      "1.00";
+      cell "%.1f" base.mean_msgs;
+      "1.00";
+      "0";
+      "0";
+      "0";
+      cell "%d" base.bad;
+    ];
+  List.iter
+    (fun drop ->
+      List.iter
+        (fun (label, policy) ->
+          let plan = { Faults.none with drop } in
+          let row =
+            x16_collect ~channel:(Transport.Arq_over_faulty (plan, policy)) seed_list
+          in
+          let latency_ratio = row.mean_latency /. base.mean_latency in
+          let msg_ratio = row.mean_msgs /. base.mean_msgs in
+          Json_out.record ~section:"x16"
+            [
+              ( Printf.sprintf "drop=%g,policy=%s" drop label,
+                Cliffedge_report.Json.Obj
+                  [
+                    ("mean_latency", json row.mean_latency);
+                    ("latency_ratio", json latency_ratio);
+                    ("mean_msgs", json row.mean_msgs);
+                    ("msg_ratio", json msg_ratio);
+                    ("retransmits", Cliffedge_report.Json.Int row.retransmits);
+                    ("dedups", Cliffedge_report.Json.Int row.dedups);
+                    ("stalled", Cliffedge_report.Json.Int row.stalled);
+                    ("violations", Cliffedge_report.Json.Int row.bad);
+                  ] );
+            ];
+          Table.add_row t
+            [
+              cell "%.2f" drop;
+              label;
+              cell "%.1f" row.mean_latency;
+              cell "%.2f" latency_ratio;
+              cell "%.1f" row.mean_msgs;
+              cell "%.2f" msg_ratio;
+              cell "%d" row.retransmits;
+              cell "%d" row.dedups;
+              cell "%d" row.stalled;
+              cell "%d" row.bad;
+            ])
+        policies)
+    drop_rates;
+  Table.print t
+
+(* Tiny cut of X16 for the @bench-smoke gate: exercises the ARQ channel
+   end-to-end and emits the same "x16" JSON section shape. *)
+let x16_smoke () =
+  x16 ~seeds:2 ~drop_rates:[ 0.0; 0.2 ]
+    ~policies:[ ("default", Transport.default_policy) ]
+    ()
+
 let all =
   [
     ("x1", x1);
@@ -913,6 +1068,7 @@ let all =
     ("x13", x13);
     ("x14", x14);
     ("x15", x15);
+    ("x16", fun () -> x16 ());
   ]
 
 let run_all () =

@@ -26,6 +26,7 @@ let usage () =
   print_endline "  x13 assumption ablation: false suspicions break CD2";
   print_endline "  x14 lifecycle churn: repeated waves over a self-healing overlay";
   print_endline "  x15 reaction time vs detection latency";
+  print_endline "  x16 ARQ-over-lossy-channel overhead: drop rate x backoff policy";
   print_endline "  micro  bechamel micro-benchmarks";
   print_endline "  smoke  one tiny micro-bench; with --json, validates the output file";
   print_endline "options:";
@@ -60,7 +61,8 @@ let run_experiment name =
   | None when String.equal name "micro" -> Micro.run ()
   | None when String.equal name "smoke" ->
       Micro.run ~quota:0.05 ~stabilize:false ~only:"graph: border" ();
-      Option.iter (fun file -> validate_json file [ "micro" ]) !Json_out.path
+      Experiments.x16_smoke ();
+      Option.iter (fun file -> validate_json file [ "micro"; "x16" ]) !Json_out.path
   | None when String.equal name "all" ->
       Experiments.run_all ();
       Micro.run ()

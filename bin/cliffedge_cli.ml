@@ -9,8 +9,10 @@
    Examples:
      cliffedge_cli run --topology torus:16x16 --region-size 6 --seed 3
      cliffedge_cli run --topology ring:64 --cascade 3 --raw-fd
+     cliffedge_cli run --topology ring:32 --faults drop:0.2,dup:0.05 --transport arq
      cliffedge_cli paper fig1b
      cliffedge_cli sweep --topology torus:16x16 --sizes 1,2,4,8,16
+     cliffedge_cli mcheck --topology path:3 --crash 1 --max-drops 1
      cliffedge_cli dot --topology grid:8x8 --region-size 5 > g.dot *)
 
 open Cmdliner
@@ -20,6 +22,8 @@ module Checker = Cliffedge.Checker
 module Scenario = Cliffedge.Scenario
 module Fault_gen = Cliffedge_workload.Fault_gen
 module Latency = Cliffedge_net.Latency
+module Faults = Cliffedge_net.Faults
+module Transport = Cliffedge_net.Transport
 module Prng = Cliffedge_prng.Prng
 module Table = Cliffedge_report.Table
 
@@ -35,6 +39,10 @@ let topology_conv =
 let latency_conv =
   let parse s = msg_result (Latency.of_string s) in
   Arg.conv (parse, Latency.pp)
+
+let faults_conv =
+  let parse s = msg_result (Faults.of_string s) in
+  Arg.conv (parse, Faults.pp)
 
 let topology_arg =
   Arg.(
@@ -86,12 +94,41 @@ let fd_latency_arg =
     & opt latency_conv (Latency.Uniform { min = 1.0; max = 20.0 })
     & info [ "detection-latency" ] ~docv:"MODEL" ~doc:"Failure-detection latency model.")
 
-let options ~seed ~early ~raw_fd ~msg_latency ~fd_latency =
+let faults_arg =
+  Arg.(
+    value
+    & opt (some faults_conv) None
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Fault plan for the network, e.g. drop:0.1,dup:0.02,reorder:3 or \
+           cut:12-30:4-9 (repeatable clauses, comma-separated).  Without \
+           $(b,--faults) the channels are reliable FIFO, as the paper assumes.")
+
+let transport_arg =
+  Arg.(
+    value
+    & opt (enum [ ("arq", `Arq); ("raw", `Raw) ]) `Arq
+    & info [ "transport" ] ~docv:"MODE"
+        ~doc:
+          "Channel stack over a faulty network: $(b,arq) (default) repairs it \
+           with the go-back-N reliable transport; $(b,raw) exposes the faults \
+           to the protocol directly.  Only meaningful with $(b,--faults).")
+
+let channel_of ~faults ~transport =
+  match faults with
+  | None -> Transport.Reliable
+  | Some plan -> (
+      match transport with
+      | `Raw -> Transport.Raw_faulty plan
+      | `Arq -> Transport.Arq_over_faulty (plan, Transport.default_policy))
+
+let options ~seed ~early ~raw_fd ~msg_latency ~fd_latency ~faults ~transport =
   {
     Runner.default_options with
     seed;
     early_stopping = early;
     channel_consistent_fd = not raw_fd;
+    channel = channel_of ~faults ~transport;
     message_latency = msg_latency;
     detection_latency = fd_latency;
   }
@@ -125,12 +162,12 @@ let setup_logs verbose =
 
 let run_cmd =
   let action spec seed region_size cascade early raw_fd msg_latency fd_latency
-      timeline verbose =
+      faults transport timeline verbose =
     setup_logs verbose;
     let graph, crashes, _ = build_workload ~spec ~seed ~region_size ~cascade in
     let scenario =
       Scenario.make
-        ~options:(options ~seed ~early ~raw_fd ~msg_latency ~fd_latency)
+        ~options:(options ~seed ~early ~raw_fd ~msg_latency ~fd_latency ~faults ~transport)
         ~name:(Format.asprintf "%a seed=%d" Topology.pp_spec spec seed)
         ~graph ~crashes ()
     in
@@ -150,8 +187,8 @@ let run_cmd =
   let term =
     Term.(
       const action $ topology_arg $ seed_arg $ region_size_arg $ cascade_arg
-      $ early_arg $ raw_fd_arg $ msg_latency_arg $ fd_latency_arg $ timeline_arg
-      $ verbose_arg)
+      $ early_arg $ raw_fd_arg $ msg_latency_arg $ fd_latency_arg $ faults_arg
+      $ transport_arg $ timeline_arg $ verbose_arg)
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one cliff-edge agreement and verify CD1-CD7.")
@@ -249,7 +286,7 @@ let dot_cmd =
 (* mcheck                                                              *)
 
 let mcheck_cmd =
-  let action spec crash_ids raw_fd early max_states =
+  let action spec crash_ids raw_fd early max_states max_drops max_dups =
     let rng = Prng.create 0 in
     let graph = Topology.build rng spec in
     let crashes = List.map Node_id.of_int crash_ids in
@@ -261,9 +298,13 @@ let mcheck_cmd =
         end)
       crashes;
     let fd = if raw_fd then `Raw else `Channel_consistent in
+    let channel =
+      if max_drops = 0 && max_dups = 0 then `Reliable_fifo
+      else `Lossy { Cliffedge_mcheck.Explorer.max_drops; max_dups }
+    in
     let stats =
-      Cliffedge_mcheck.Explorer.explore ~fd ~max_states ~early_stopping:early ~graph
-        ~crashes ()
+      Cliffedge_mcheck.Explorer.explore ~fd ~channel ~max_states ~early_stopping:early
+        ~graph ~crashes ()
     in
     Format.printf "%a@." Cliffedge_mcheck.Explorer.pp_stats stats;
     if Cliffedge_mcheck.Explorer.ok stats then 0 else 1
@@ -281,6 +322,24 @@ let mcheck_cmd =
       & opt int 1_000_000
       & info [ "max-states" ] ~docv:"N" ~doc:"State-space exploration bound.")
   in
+  let max_drops_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "max-drops" ] ~docv:"N"
+          ~doc:
+            "Lossy-channel scope: allow the adversary to discard up to N \
+             queued messages (0 = reliable channels).")
+  in
+  let max_dups_arg =
+    Arg.(
+      value
+      & opt int 0
+      & info [ "max-dups" ] ~docv:"N"
+          ~doc:
+            "Lossy-channel scope: allow the adversary to duplicate up to N \
+             queued messages (0 = reliable channels).")
+  in
   Cmd.v
     (Cmd.info "mcheck"
        ~doc:
@@ -288,7 +347,7 @@ let mcheck_cmd =
           configuration.")
     Term.(
       const action $ topology_arg $ crashes_arg $ raw_fd_arg $ early_arg
-      $ max_states_arg)
+      $ max_states_arg $ max_drops_arg $ max_dups_arg)
 
 (* ------------------------------------------------------------------ *)
 

@@ -40,13 +40,13 @@ let run ?(options = default_options) ~graph ~crashes () =
     Substrate.create ~seed:options.seed ~message_latency:options.message_latency
       ~detection_latency:options.detection_latency ~channel_consistent_fd:true ()
   in
-  let { Substrate.engine; network; detector } = substrate in
+  let { Substrate.engine; detector; _ } = substrate in
   let states : (int, Flooding.state ref) Hashtbl.t = Hashtbl.create 64 in
   let decisions = ref [] in
   let execute p = function
     | Flooding.Monitor targets -> Failure_detector.monitor detector ~observer:p ~targets
     | Flooding.Send { dst; msg } ->
-        Network.send network ~units:(Flooding.msg_units msg) ~src:p ~dst msg
+        Substrate.send substrate ~units:(Flooding.msg_units msg) ~src:p ~dst msg
     | Flooding.Decide value ->
         decisions := { node = p; value; time = Engine.now engine } :: !decisions
   in
@@ -58,7 +58,7 @@ let run ?(options = default_options) ~graph ~crashes () =
       List.iter (execute p) actions
     end
   in
-  Network.on_deliver network (fun ~src ~dst msg ->
+  Substrate.on_deliver substrate (fun ~src ~dst msg ->
       dispatch dst (Flooding.Deliver { src; msg }));
   Failure_detector.on_crash_notification detector (fun ~observer ~crashed ->
       dispatch observer (Flooding.Crash crashed));
@@ -72,7 +72,7 @@ let run ?(options = default_options) ~graph ~crashes () =
   {
     graph;
     decisions = List.sort (fun a b -> Float.compare a.time b.time) !decisions;
-    stats = Network.stats network;
+    stats = Substrate.stats substrate;
     crashed = Failure_detector.crashed_nodes detector;
     duration = Engine.now engine;
     engine_events = Engine.events_processed engine;

@@ -24,13 +24,13 @@ let run ?(options = Global_runner.default_options) ~graph ~crashes () =
       ~detection_latency:options.Global_runner.detection_latency
       ~channel_consistent_fd:true ()
   in
-  let { Substrate.engine; network; detector } = substrate in
+  let { Substrate.engine; detector; _ } = substrate in
   let states : (int, Membership.state ref) Hashtbl.t = Hashtbl.create 64 in
   let execute p = function
     | Membership.Monitor targets ->
         Failure_detector.monitor detector ~observer:p ~targets
     | Membership.Send { dst; view } ->
-        Network.send network
+        Substrate.send substrate
           ~units:(4 + Node_set.cardinal view)
           ~src:p ~dst view
     | Membership.Install _ -> ()
@@ -43,7 +43,7 @@ let run ?(options = Global_runner.default_options) ~graph ~crashes () =
       List.iter (execute p) actions
     end
   in
-  Network.on_deliver network (fun ~src ~dst view ->
+  Substrate.on_deliver substrate (fun ~src ~dst view ->
       dispatch dst (Membership.Deliver { src; view }));
   Failure_detector.on_crash_notification detector (fun ~observer ~crashed ->
       dispatch observer (Membership.Crash crashed));
@@ -65,7 +65,7 @@ let run ?(options = Global_runner.default_options) ~graph ~crashes () =
   in
   {
     graph;
-    stats = Network.stats network;
+    stats = Substrate.stats substrate;
     crashed;
     duration = Engine.now engine;
     quiescent = Engine.pending engine = 0;

@@ -3,6 +3,7 @@ module Engine = Cliffedge_sim.Engine
 module Prng = Cliffedge_prng.Prng
 module Latency = Cliffedge_net.Latency
 module Network = Cliffedge_net.Network
+module Transport = Cliffedge_net.Transport
 module Stats = Cliffedge_net.Stats
 module Failure_detector = Cliffedge_detector.Failure_detector
 module Substrate = Cliffedge_detector.Substrate
@@ -24,6 +25,7 @@ type options = {
   detection_latency : Latency.t;
   early_stopping : bool;
   channel_consistent_fd : bool;
+  channel : Transport.channel;
   max_events : int;
   false_suspicions : (float * Node_id.t * Node_id.t) list;
 }
@@ -35,6 +37,7 @@ let default_options =
     detection_latency = Latency.Uniform { min = 1.0; max = 20.0 };
     early_stopping = false;
     channel_consistent_fd = true;
+    channel = Transport.Reliable;
     max_events = 50_000_000;
     false_suspicions = [];
   }
@@ -49,6 +52,7 @@ type 'v outcome = {
   duration : float;
   engine_events : int;
   quiescent : bool;
+  stalled_channels : (Node_id.t * Node_id.t) list;
   states : (Node_id.t * 'v Protocol.state) list;
 }
 
@@ -59,11 +63,12 @@ let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
         invalid_arg "Runner.run: crash schedule names a node outside the graph")
     crashes;
   let substrate =
-    Substrate.create ~seed:options.seed ~message_latency:options.message_latency
+    Substrate.create ~channel:options.channel ~seed:options.seed
+      ~message_latency:options.message_latency
       ~detection_latency:options.detection_latency
       ~channel_consistent_fd:options.channel_consistent_fd ()
   in
-  let { Substrate.engine; network; detector } = substrate in
+  let { Substrate.engine; detector; _ } = substrate in
   let cfg =
     Protocol.config ~early_stopping:options.early_stopping ?rank ~graph
       ~propose_value ()
@@ -77,7 +82,7 @@ let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
     | Protocol.Monitor targets ->
         Failure_detector.monitor detector ~observer:p ~targets
     | Protocol.Send { dst; msg } ->
-        Network.send network ~units:(Message.units msg) ~src:p ~dst msg
+        Substrate.send substrate ~units:(Message.units msg) ~src:p ~dst msg
     | Protocol.Decide { view; value } ->
         Log.debug (fun m ->
             m "t=%.2f %a decides on %a" (Engine.now engine) Node_id.pp p View.pp view);
@@ -106,7 +111,7 @@ let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
       List.iter (execute p) actions
     end
   in
-  Network.on_deliver network (fun ~src ~dst msg ->
+  Substrate.on_deliver substrate (fun ~src ~dst msg ->
       dispatch dst (Protocol.Deliver { src; msg }));
   Failure_detector.on_crash_notification detector (fun ~observer ~crashed ->
       dispatch observer (Protocol.Crash crashed));
@@ -129,11 +134,12 @@ let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
     crashes;
     decisions = List.sort (fun a b -> Float.compare a.time b.time) !decisions;
     notes = List.rev !notes;
-    stats = Network.stats network;
+    stats = Substrate.stats substrate;
     crashed = Failure_detector.crashed_nodes detector;
     duration = Engine.now engine;
     engine_events = Engine.events_processed engine;
     quiescent = Engine.pending engine = 0;
+    stalled_channels = Substrate.stalled_channels substrate;
     states;
   }
 
@@ -170,6 +176,15 @@ let pp_outcome pp_value ppf outcome =
     (List.length outcome.decisions)
     Stats.pp outcome.stats outcome.duration
     (if outcome.quiescent then "" else " (EVENT CAP HIT)");
+  (match outcome.stalled_channels with
+  | [] -> ()
+  | stalled ->
+      Format.fprintf ppf "  STALLED channels (ARQ gave up):";
+      List.iter
+        (fun (src, dst) ->
+          Format.fprintf ppf " %a->%a" Node_id.pp src Node_id.pp dst)
+        stalled;
+      Format.fprintf ppf "@,");
   List.iter
     (fun d ->
       Format.fprintf ppf "  t=%8.1f  %a decides %a on %a@," d.time Node_id.pp d.node

@@ -33,6 +33,13 @@ type options = {
           detector, which can excuse a node whose accept is still in
           flight and reproduces the CD5 anomaly of experiment X9 /
           DESIGN.md §7. *)
+  channel : Cliffedge_net.Transport.channel;
+      (** [Reliable] (default): the paper's reliable FIFO channels.
+          [Raw_faulty plan]: the protocol runs directly over a faulty
+          network (assumption ablation, X16 / the CD5 regression in
+          test_transport).  [Arq_over_faulty (plan, policy)]: the ARQ
+          transport repairs the faulty network, re-earning the paper's
+          contract. *)
   max_events : int;  (** safety valve against runaway runs *)
   false_suspicions : (float * Node_id.t * Node_id.t) list;
       (** assumption ablation (X13): at each (time, observer, target),
@@ -56,6 +63,9 @@ type 'v outcome = {
   duration : float;  (** virtual time when the run went quiescent *)
   engine_events : int;
   quiescent : bool;  (** [false] when the event cap interrupted the run *)
+  stalled_channels : (Node_id.t * Node_id.t) list;
+      (** ARQ channels that exhausted their retries (permanent
+          partition); empty on reliable and raw channels *)
   states : (Node_id.t * 'v Protocol.state) list;
       (** final state of every node, crashed ones included *)
 }

@@ -40,4 +40,13 @@ let pp_result ppf (t, (outcome : string Runner.outcome), report) =
         d.view)
     outcome.decisions;
   Format.fprintf ppf "  %a@," Cliffedge_net.Stats.pp outcome.stats;
+  (match outcome.stalled_channels with
+  | [] -> ()
+  | stalled ->
+      Format.fprintf ppf "  STALLED: ARQ gave up on";
+      List.iter
+        (fun (src, dst) ->
+          Format.fprintf ppf " %a->%a" pp_node src pp_node dst)
+        stalled;
+      Format.fprintf ppf " (permanent partition?)@,");
   Format.fprintf ppf "  %a@]" Checker.pp_report report

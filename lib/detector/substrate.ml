@@ -1,38 +1,88 @@
 module Engine = Cliffedge_sim.Engine
 module Prng = Cliffedge_prng.Prng
 module Network = Cliffedge_net.Network
+module Transport = Cliffedge_net.Transport
+
+type 'a conduit =
+  | Direct of 'a Network.t
+  | Arq of 'a Transport.t
 
 type 'a t = {
   engine : Engine.t;
-  network : 'a Network.t;
+  conduit : 'a conduit;
   detector : Failure_detector.t;
 }
 
-let create ~seed ~message_latency ~detection_latency ~channel_consistent_fd () =
+let create ?(channel = Transport.Reliable) ~seed ~message_latency ~detection_latency
+    ~channel_consistent_fd () =
   let engine = Engine.create () in
   let rng = Prng.create seed in
   let net_rng = Prng.split rng in
   let fd_rng = Prng.split rng in
-  let network = Network.create ~engine ~rng:net_rng ~latency:message_latency () in
+  let conduit, flush =
+    match channel with
+    | Transport.Reliable ->
+        let network = Network.create ~engine ~rng:net_rng ~latency:message_latency () in
+        ( Direct network,
+          fun ~src ~dst -> Network.flush_time network ~src ~dst )
+    | Transport.Raw_faulty faults ->
+        let network =
+          Network.create ~faults ~engine ~rng:net_rng ~latency:message_latency ()
+        in
+        ( Direct network,
+          fun ~src ~dst -> Network.flush_time network ~src ~dst )
+    | Transport.Arq_over_faulty (faults, policy) ->
+        let network =
+          Network.create ~faults ~engine ~rng:net_rng ~latency:message_latency ()
+        in
+        let transport = Transport.create ~policy ~engine ~network () in
+        ( Arq transport,
+          fun ~src ~dst -> Transport.flush_time transport ~src ~dst )
+  in
   let detector =
     let channel_floor =
       if channel_consistent_fd then
-        Some
-          (fun ~observer ~crashed ->
-            Network.flush_time network ~src:crashed ~dst:observer)
+        (* Only queried for an already-crashed [crashed] (see
+           [schedule_crashes]), where the ARQ flush bound is finite. *)
+        Some (fun ~observer ~crashed -> flush ~src:crashed ~dst:observer)
       else None
     in
     Failure_detector.create ~engine ~rng:fd_rng ~latency:detection_latency
       ?channel_floor ()
   in
-  { engine; network; detector }
+  { engine; conduit; detector }
+
+let send t ?units ~src ~dst msg =
+  match t.conduit with
+  | Direct network -> Network.send network ?units ~src ~dst msg
+  | Arq transport -> Transport.send transport ?units ~src ~dst msg
+
+let on_deliver t handler =
+  match t.conduit with
+  | Direct network -> Network.on_deliver network handler
+  | Arq transport -> Transport.on_deliver transport handler
+
+let stats t =
+  match t.conduit with
+  | Direct network -> Network.stats network
+  | Arq transport -> Transport.stats transport
+
+let stalled_channels t =
+  match t.conduit with
+  | Direct _ -> []
+  | Arq transport -> Transport.stalled_channels transport
+
+let crash_node t p =
+  match t.conduit with
+  | Direct network -> Network.crash network p
+  | Arq transport -> Transport.crash transport p
 
 let schedule_crashes t crashes =
   List.iter
     (fun (time, p) ->
       ignore
         (Engine.schedule_at t.engine ~time (fun () ->
-             Network.crash t.network p;
+             crash_node t p;
              Failure_detector.inject_crash t.detector p)))
     crashes
 

@@ -2,33 +2,59 @@
 
     Every runner (cliff-edge, flooding baseline, membership) needs the
     same assembly: one engine, a seeded PRNG split between network and
-    detector, a FIFO network, a failure detector (channel-consistent or
-    raw), and the crash schedule wired to both.  This module factors
-    that assembly so the runners differ only in the state machine they
-    drive. *)
+    detector, a message channel, a failure detector
+    (channel-consistent or raw), and the crash schedule wired to both.
+    This module factors that assembly so the runners differ only in
+    the state machine they drive.
+
+    The channel comes in three flavours
+    ({!Cliffedge_net.Transport.channel}): the paper's reliable FIFO
+    network, a raw faulty network (assumption ablation), or the ARQ
+    transport repairing a faulty network.  The conduit type hides the
+    wire format — over ARQ the underlying network carries framed
+    payloads — so runners talk payloads either way. *)
 
 open Cliffedge_graph
 
+type 'a conduit =
+  | Direct of 'a Cliffedge_net.Network.t
+  | Arq of 'a Cliffedge_net.Transport.t
+
 type 'a t = {
   engine : Cliffedge_sim.Engine.t;
-  network : 'a Cliffedge_net.Network.t;
+  conduit : 'a conduit;
   detector : Failure_detector.t;
 }
 
 val create :
+  ?channel:Cliffedge_net.Transport.channel ->
   seed:int ->
   message_latency:Cliffedge_net.Latency.t ->
   detection_latency:Cliffedge_net.Latency.t ->
   channel_consistent_fd:bool ->
   unit ->
   'a t
-(** Builds the engine, network and detector with independent PRNG
-    streams derived from [seed]. *)
+(** Builds the engine, channel and detector with independent PRNG
+    streams derived from [seed].  [channel] defaults to [Reliable],
+    which is bit-identical (PRNG stream included) to the pre-fault
+    substrate.  When [channel_consistent_fd] is set, the detector's
+    flush floor is taken from the conduit — over ARQ that floor
+    accounts for pending retransmissions ({!Cliffedge_net.Transport.flush_time}). *)
+
+val send : 'a t -> ?units:int -> src:Node_id.t -> dst:Node_id.t -> 'a -> unit
+
+val on_deliver : 'a t -> (src:Node_id.t -> dst:Node_id.t -> 'a -> unit) -> unit
+
+val stats : 'a t -> Cliffedge_net.Stats.t
+
+val stalled_channels : 'a t -> (Node_id.t * Node_id.t) list
+(** ARQ channels that gave up (permanent partition); always empty on a
+    [Direct] conduit. *)
 
 val schedule_crashes : 'a t -> (float * Node_id.t) list -> unit
 (** Schedules each fault injection: at its time the node is crashed in
-    the network (future deliveries dropped) and in the detector
-    (subscribers notified). *)
+    the conduit (future deliveries dropped, ARQ retransmission timers
+    killed) and in the detector (subscribers notified). *)
 
 val run :
   ?false_suspicions:(float * Node_id.t * Node_id.t) list ->

@@ -7,6 +7,10 @@ module View = Cliffedge.View
 
 type fd_semantics = [ `Channel_consistent | `Raw ]
 
+type loss_budget = { max_drops : int; max_dups : int }
+
+type channel_scope = [ `Reliable_fifo | `Lossy of loss_budget ]
+
 type search_mode =
   | Exhaustive
   | Sample of { walks : int; seed : int }
@@ -67,17 +71,23 @@ type world = {
   subs : (int * int) list;  (* (observer, target), sorted *)
   decisions : (Node_id.t * View.t * string) list;  (* in decision order *)
   touched : (int * int) list;  (* communicated ordered pairs, sorted *)
+  drops_left : int;  (* lossy-channel budgets ([`Reliable_fifo] = 0) *)
+  dups_left : int;
 }
 
 type move =
   | Crash of Node_id.t
   | Deliver of int * int
   | Notify of int * int
+  | Drop of int * int
+  | Dup of int * int
 
 let pp_move = function
   | Crash q -> Printf.sprintf "crash(%d)" (Node_id.to_int q)
   | Deliver (s, d) -> Printf.sprintf "deliver(%d->%d)" s d
   | Notify (o, c) -> Printf.sprintf "notify(%d of %d)" o c
+  | Drop (s, d) -> Printf.sprintf "drop(%d->%d)" s d
+  | Dup (s, d) -> Printf.sprintf "dup(%d->%d)" s d
 
 let sorted_insert x l = List.sort_uniq pair_compare (x :: l)
 
@@ -137,6 +147,7 @@ let world_fp w =
   List.iter (fun (o, c) -> h := mix (mix !h o) c) w.pending_notifs;
   h := mix !h 9;
   List.iter (fun (o, t) -> h := mix (mix !h o) t) w.subs;
+  h := mix (mix (mix !h 11) w.drops_left) w.dups_left;
   h := mix !h 10;
   List.iter
     (fun (p, v, d) -> h := mix_string (mix_set (mix !h (Node_id.to_int p)) v) d)
@@ -153,8 +164,9 @@ let world_fp w =
 (* ------------------------------------------------------------------ *)
 (* Exploration                                                         *)
 
-let explore ?(fd = `Channel_consistent) ?(mode = Exhaustive)
-    ?(max_states = 1_000_000) ?(early_stopping = false) ~graph ~crashes () =
+let explore ?(fd = `Channel_consistent) ?(channel = `Reliable_fifo)
+    ?(mode = Exhaustive) ?(max_states = 1_000_000) ?(early_stopping = false) ~graph
+    ~crashes () =
   let cfg =
     Protocol.config ~early_stopping ~graph
       ~propose_value:(fun p v ->
@@ -255,6 +267,22 @@ let explore ?(fd = `Channel_consistent) ?(mode = Exhaustive)
           else acc)
         w.channels []
     in
+    (* Lossy-channel adversary moves: the scheduler may also discard or
+       duplicate the head of any non-empty channel while the respective
+       budget lasts.  A duplicate re-enqueues at the tail, so the copy
+       is additionally reordered past the rest of the queue. *)
+    let fault_moves =
+      if w.drops_left <= 0 && w.dups_left <= 0 then []
+      else
+        Channel_map.fold
+          (fun (s, d) queue acc ->
+            if queue <> [] && Node_map.mem (Node_id.of_int d) w.alive then begin
+              let acc = if w.drops_left > 0 then Drop (s, d) :: acc else acc in
+              if w.dups_left > 0 then Dup (s, d) :: acc else acc
+            end
+            else acc)
+          w.channels []
+    in
     let notify_moves =
       List.filter_map
         (fun (o, c) ->
@@ -270,7 +298,7 @@ let explore ?(fd = `Channel_consistent) ?(mode = Exhaustive)
           if observer_alive && channel_clear then Some (Notify (o, c)) else None)
         w.pending_notifs
     in
-    crash_moves @ List.rev deliver_moves @ notify_moves
+    crash_moves @ List.rev deliver_moves @ List.rev fault_moves @ notify_moves
   in
   let apply_move trace w move =
     match move with
@@ -324,6 +352,28 @@ let explore ?(fd = `Channel_consistent) ?(mode = Exhaustive)
           { w with pending_notifs = List.filter (fun n -> not (pair_equal n (o, c))) w.pending_notifs }
         in
         step_node trace w (Node_id.of_int o) (Protocol.Crash (Node_id.of_int c))
+    | Drop (s, d) -> (
+        let key = (s, d) in
+        match Channel_map.find_opt key w.channels with
+        | None | Some [] -> assert false
+        | Some (_ :: rest) ->
+            {
+              w with
+              drops_left = w.drops_left - 1;
+              channels =
+                (if rest = [] then Channel_map.remove key w.channels
+                 else Channel_map.add key rest w.channels);
+            })
+    | Dup (s, d) -> (
+        let key = (s, d) in
+        match Channel_map.find_opt key w.channels with
+        | None | Some [] -> assert false
+        | Some (msg :: _ as queue) ->
+            {
+              w with
+              dups_left = w.dups_left - 1;
+              channels = Channel_map.add key (queue @ [ msg ]) w.channels;
+            })
   in
   (* -------------------- leaf (quiescence) checks ------------------- *)
   let check_leaf trace w =
@@ -424,6 +474,10 @@ let explore ?(fd = `Channel_consistent) ?(mode = Exhaustive)
         subs = [];
         decisions = [];
         touched = [];
+        drops_left =
+          (match channel with `Reliable_fifo -> 0 | `Lossy { max_drops; _ } -> max_drops);
+        dups_left =
+          (match channel with `Reliable_fifo -> 0 | `Lossy { max_dups; _ } -> max_dups);
       }
     in
     (* Initialisation is not a scheduling choice: all nodes boot before

@@ -32,6 +32,20 @@ open Cliffedge_graph
 
 type fd_semantics = [ `Channel_consistent | `Raw ]
 
+type loss_budget = { max_drops : int; max_dups : int }
+
+type channel_scope = [ `Reliable_fifo | `Lossy of loss_budget ]
+(** Channel semantics for the enumeration.  [`Reliable_fifo] (the
+    paper's assumption) delivers every queued message in order.
+    [`Lossy] adds adversary moves that discard or duplicate the head of
+    any channel, bounded by the given budgets (small-scope analogue of a
+    {!Cliffedge_net.Faults.t} plan; a duplicate re-enqueues at the tail,
+    so it is also reordered).  Under a lossy scope the liveness
+    properties CD4/CD7 — and with duplication some safety properties —
+    are {e expected} to fail: the enumeration demonstrates that the
+    reliable-channel assumption is load-bearing, while the qcheck suite
+    shows the ARQ transport restores it. *)
+
 type search_mode =
   | Exhaustive  (** DFS over the whole reachable state graph *)
   | Sample of { walks : int; seed : int }
@@ -58,6 +72,7 @@ type stats = {
 
 val explore :
   ?fd:fd_semantics ->
+  ?channel:channel_scope ->
   ?mode:search_mode ->
   ?max_states:int ->
   ?early_stopping:bool ->
@@ -68,10 +83,10 @@ val explore :
 (** [explore ~graph ~crashes ()] checks the configuration in which the
     nodes of [crashes] fail, in that injection order, starting from a
     fully initialized system.  Defaults: [`Channel_consistent],
-    [Exhaustive], 1_000_000 states, no early stopping.  In [Sample]
-    mode, [states_explored] counts distinct configurations seen across
-    walks and [leaves] counts walk endpoints.  Violations are collected
-    (up to 10) rather than raised. *)
+    [`Reliable_fifo], [Exhaustive], 1_000_000 states, no early stopping.
+    In [Sample] mode, [states_explored] counts distinct configurations
+    seen across walks and [leaves] counts walk endpoints.  Violations
+    are collected (up to 10) rather than raised. *)
 
 val ok : stats -> bool
 (** No violations and not truncated. *)

@@ -16,6 +16,10 @@ val sample : t -> Cliffedge_prng.Prng.t -> float
 (** Draws a delay; always non-negative. *)
 
 val of_string : string -> (t, string) result
-(** Parses ["const:5"], ["uniform:1:10"], ["exp:1:5"]. *)
+(** Parses ["const:5"], ["uniform:1:10"], ["exp:1:5"].  Parameters are
+    validated: non-finite or negative values, [uniform] with
+    [min > max] and [exp] with a non-positive mean are rejected with a
+    descriptive error rather than constructing a model that samples
+    garbage. *)
 
 val pp : Format.formatter -> t -> unit

@@ -5,11 +5,26 @@ type t = {
   mutable delivered : int;
   mutable dropped : int;
   mutable units_sent : int;
+  (* Fault-injection and ARQ accounting (zero on reliable channels). *)
+  mutable fault_dropped : int;
+  mutable duplicated : int;
+  mutable retransmitted : int;
+  mutable deduped : int;
   per_pair : (int * int, int) Hashtbl.t;
 }
 
 let create () =
-  { sent = 0; delivered = 0; dropped = 0; units_sent = 0; per_pair = Hashtbl.create 64 }
+  {
+    sent = 0;
+    delivered = 0;
+    dropped = 0;
+    units_sent = 0;
+    fault_dropped = 0;
+    duplicated = 0;
+    retransmitted = 0;
+    deduped = 0;
+    per_pair = Hashtbl.create 64;
+  }
 
 let record_send t ~src ~dst ~units =
   t.sent <- t.sent + 1;
@@ -22,11 +37,27 @@ let record_delivery t = t.delivered <- t.delivered + 1
 
 let record_drop t = t.dropped <- t.dropped + 1
 
+let record_fault_drop t = t.fault_dropped <- t.fault_dropped + 1
+
+let record_duplicate t = t.duplicated <- t.duplicated + 1
+
+let record_retransmit t = t.retransmitted <- t.retransmitted + 1
+
+let record_dedup t = t.deduped <- t.deduped + 1
+
 let sent t = t.sent
 
 let delivered t = t.delivered
 
 let dropped t = t.dropped
+
+let fault_dropped t = t.fault_dropped
+
+let duplicated t = t.duplicated
+
+let retransmitted t = t.retransmitted
+
+let deduped t = t.deduped
 
 let units_sent t = t.units_sent
 
@@ -53,4 +84,10 @@ let pp ppf t =
   Format.fprintf ppf
     "messages: %d sent (%d units), %d delivered, %d dropped, %d node(s) involved"
     t.sent t.units_sent t.delivered t.dropped
-    (Node_set.cardinal (communicating_nodes t))
+    (Node_set.cardinal (communicating_nodes t));
+  (* Fault/ARQ counters appear only when a fault plan or the ARQ
+     transport was in play, keeping reliable-channel output unchanged. *)
+  if t.fault_dropped > 0 || t.duplicated > 0 || t.retransmitted > 0 || t.deduped > 0
+  then
+    Format.fprintf ppf "; faults: %d lost, %d duplicated, %d retransmitted, %d deduped"
+      t.fault_dropped t.duplicated t.retransmitted t.deduped

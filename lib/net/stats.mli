@@ -19,11 +19,32 @@ val record_delivery : t -> unit
 val record_drop : t -> unit
 (** A message whose destination had crashed by delivery time. *)
 
+val record_fault_drop : t -> unit
+(** A message lost to the fault plan (drop draw or active link cut). *)
+
+val record_duplicate : t -> unit
+(** An extra copy injected by the fault plan. *)
+
+val record_retransmit : t -> unit
+(** An ARQ retransmission ({!Transport}). *)
+
+val record_dedup : t -> unit
+(** A duplicate frame suppressed by the ARQ receive window. *)
+
 val sent : t -> int
 
 val delivered : t -> int
 
 val dropped : t -> int
+
+val fault_dropped : t -> int
+(** Messages lost to the fault plan; disjoint from {!dropped}. *)
+
+val duplicated : t -> int
+
+val retransmitted : t -> int
+
+val deduped : t -> int
 
 val units_sent : t -> int
 

@@ -10,7 +10,7 @@ The registry:
   no-poly-compare      no =, <>, compare, min/max, List.mem/assoc or Hashtbl.hash on non-immediate types in lib/
   core-purity          no Printf/print_*/exit/mutable globals in lib/core's pure machine modules (effects live in runner/report)
   no-obj-magic         no Obj.magic (or any other Obj escape hatch)
-  catch-all-exception  no 'with _ ->' exception swallowing in lib/codec's hardened decoder paths
+  catch-all-exception  no 'with _ ->' exception swallowing in lib/codec's decoder and lib/net's fault/ARQ paths
   mli-coverage         every lib/ module ships a documented .mli
   unused-allow         every [@lint.allow] annotation must suppress something
 
@@ -74,10 +74,23 @@ no-obj-magic applies everywhere, even outside lib/:
   cliffedge-lint: 1 violation(s) in 1 file(s)
   [1]
 
-catch-all-exception is scoped to the codec:
+catch-all-exception is scoped to the codec and the faulty-network /
+ARQ component, where a swallowed exception means silent frame loss:
 
   $ cliffedge-lint --component lib/codec bad_catchall.ml bad_catchall.mli
   lib/codec/bad_catchall.ml:3:34: [catch-all-exception] catch-all exception handler swallows unexpected failures; name the exceptions the decoder expects
+  
+  == cliffedge-lint summary ==
+  +---------------------+------------+
+  | rule                | violations |
+  +=====================+============+
+  | catch-all-exception | 1          |
+  +---------------------+------------+
+  cliffedge-lint: 1 violation(s) in 2 file(s)
+  [1]
+
+  $ cliffedge-lint --component lib/net bad_catchall.ml bad_catchall.mli
+  lib/net/bad_catchall.ml:3:34: [catch-all-exception] catch-all exception handler swallows unexpected failures; name the exceptions the decoder expects
   
   == cliffedge-lint summary ==
   +---------------------+------------+

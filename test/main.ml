@@ -33,4 +33,5 @@ let () =
       Test_protocol_invariants.suite;
       Test_printers.suite;
       Test_properties.suite;
+      Test_transport.suite;
     ]

@@ -40,6 +40,7 @@ let make_outcome ?(decisions = base_decisions) ?(quiescent = true)
     duration = 30.0;
     engine_events = 0;
     quiescent;
+    stalled_channels = [];
     states = [];
   }
 

@@ -54,6 +54,88 @@ let test_latency_pp_roundtrip () =
       | Error e -> Alcotest.fail e)
     [ "const:5"; "uniform:1:10"; "exp:1:5" ]
 
+let test_latency_validation_errors () =
+  let expect_error label spec fragment =
+    match Latency.of_string spec with
+    | Ok _ -> Alcotest.failf "%s: %S should be rejected" label spec
+    | Error e ->
+        let mem =
+          let len = String.length fragment in
+          let rec scan i =
+            if i + len > String.length e then false
+            else if String.equal (String.sub e i len) fragment then true
+            else scan (i + 1)
+          in
+          scan 0
+        in
+        if not mem then
+          Alcotest.failf "%s: error %S does not mention %S" label e fragment
+  in
+  expect_error "negative constant" "const:-1" "finite and non-negative";
+  expect_error "nan" "const:nan" "finite and non-negative";
+  expect_error "infinite bound" "uniform:1:inf" "finite and non-negative";
+  expect_error "not a number" "uniform:one:2" "not a number";
+  expect_error "inverted range" "uniform:10:1" "empty range";
+  expect_error "zero mean" "exp:1:0" "mean must be positive"
+
+module Faults = Cliffedge_net.Faults
+
+let test_faults_parse () =
+  (match Faults.of_string "drop:0.1,dup:0.02,reorder:3,cut:12-30:4-9" with
+  | Ok { Faults.drop = 0.1; dup = 0.02; reorder = 3; cuts = [ cut ] } ->
+      Alcotest.(check (float 0.0)) "from" 12.0 cut.Faults.from_time;
+      Alcotest.(check (float 0.0)) "until" 30.0 cut.Faults.until_time;
+      Alcotest.(check int) "a" 4 (Node_id.to_int cut.Faults.a);
+      Alcotest.(check int) "b" 9 (Node_id.to_int cut.Faults.b)
+  | Ok _ -> Alcotest.fail "full spec parsed wrong"
+  | Error e -> Alcotest.fail e);
+  (match Faults.of_string "none" with
+  | Ok p -> Alcotest.(check bool) "none is pass-through" true (Faults.is_pass_through p)
+  | Error e -> Alcotest.fail e);
+  (match Faults.of_string "cut:0-inf:1-2" with
+  | Ok { Faults.cuts = [ cut ]; _ } ->
+      Alcotest.(check bool) "permanent" true (cut.Faults.until_time = infinity)
+  | Ok _ -> Alcotest.fail "permanent cut parsed wrong"
+  | Error e -> Alcotest.fail e);
+  List.iter
+    (fun spec ->
+      match Faults.of_string spec with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should be rejected" spec)
+    [
+      "drop:1.5";
+      "drop:-0.1";
+      "dup:nan";
+      "reorder:-1";
+      "reorder:1.5";
+      "cut:30-12:1-2";
+      "cut:0-10:1";
+      "drop:0.7:oops";
+      "garbage";
+      "";
+    ]
+
+let test_faults_pp_roundtrip () =
+  List.iter
+    (fun s ->
+      match Faults.of_string s with
+      | Ok p ->
+          Alcotest.(check string) "roundtrip" s (Format.asprintf "%a" Faults.pp p)
+      | Error e -> Alcotest.fail e)
+    [ "none"; "drop:0.1"; "drop:0.1,dup:0.02,reorder:3,cut:12-30:4-9" ]
+
+let test_faults_cut_active () =
+  match Faults.of_string "cut:10-20:1-2" with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      let n = Node_id.of_int in
+      let active ~src ~dst ~time = Faults.cut_active p ~src:(n src) ~dst:(n dst) ~time in
+      Alcotest.(check bool) "forward, inside" true (active ~src:1 ~dst:2 ~time:10.0);
+      Alcotest.(check bool) "reverse, inside" true (active ~src:2 ~dst:1 ~time:15.0);
+      Alcotest.(check bool) "before window" false (active ~src:1 ~dst:2 ~time:9.9);
+      Alcotest.(check bool) "end exclusive" false (active ~src:1 ~dst:2 ~time:20.0);
+      Alcotest.(check bool) "other pair" false (active ~src:1 ~dst:3 ~time:15.0)
+
 let n = Node_id.of_int
 
 let test_stats_counters () =
@@ -74,6 +156,31 @@ let test_stats_counters () =
   Alcotest.(check int) "pairs" 2 (List.length (Stats.pairs s));
   Alcotest.(check (list int)) "communicating" [ 1; 2 ]
     (Node_set.to_ints (Stats.communicating_nodes s))
+
+let test_stats_fault_counters () =
+  let s = Stats.create () in
+  let quiet = Format.asprintf "%a" Stats.pp s in
+  Stats.record_fault_drop s;
+  Stats.record_fault_drop s;
+  Stats.record_duplicate s;
+  Stats.record_retransmit s;
+  Stats.record_dedup s;
+  Alcotest.(check int) "fault drops" 2 (Stats.fault_dropped s);
+  Alcotest.(check int) "duplicates" 1 (Stats.duplicated s);
+  Alcotest.(check int) "retransmits" 1 (Stats.retransmitted s);
+  Alcotest.(check int) "dedups" 1 (Stats.deduped s);
+  let noisy = Format.asprintf "%a" Stats.pp s in
+  Alcotest.(check bool) "pp grows a fault suffix" true
+    (String.length noisy > String.length quiet);
+  Alcotest.(check bool) "suffix mentions losses" true
+    (let sub = "2 lost" in
+     let len = String.length sub in
+     let rec scan i =
+       if i + len > String.length noisy then false
+       else if String.equal (String.sub noisy i len) sub then true
+       else scan (i + 1)
+     in
+     scan 0)
 
 let test_dot_output () =
   let g = Graph.of_edges [ (0, 1); (1, 2) ] in
@@ -110,6 +217,11 @@ let suite =
       Alcotest.test_case "negative clamped" `Quick test_negative_clamped;
       Alcotest.test_case "parse" `Quick test_latency_parse;
       Alcotest.test_case "pp roundtrip" `Quick test_latency_pp_roundtrip;
+      Alcotest.test_case "validation errors" `Quick test_latency_validation_errors;
+      Alcotest.test_case "faults parse" `Quick test_faults_parse;
+      Alcotest.test_case "faults pp roundtrip" `Quick test_faults_pp_roundtrip;
+      Alcotest.test_case "faults cut active" `Quick test_faults_cut_active;
       Alcotest.test_case "stats counters" `Quick test_stats_counters;
+      Alcotest.test_case "stats fault counters" `Quick test_stats_fault_counters;
       Alcotest.test_case "dot output" `Quick test_dot_output;
     ] )

@@ -215,8 +215,169 @@ let test_flush_time_tracks_last_delivery () =
   Alcotest.(check bool) "reverse channel untouched" true
     (Network.flush_time net ~src:(n 2) ~dst:(n 1) = neg_infinity)
 
+let test_flush_time_crashed_nodes () =
+  (* Crashing an endpoint neither rewinds nor advances the floor: a
+     crashed sender's later sends are ignored, and messages already
+     scheduled towards a crashed destination keep their slot (they are
+     dropped at delivery time, not unscheduled). *)
+  let engine, net = make_net ~latency:(Latency.Constant 5.0) () in
+  Network.on_deliver net (fun ~src:_ ~dst:_ _ -> ());
+  Network.send net ~src:(n 1) ~dst:(n 2) "a";
+  let flush = Network.flush_time net ~src:(n 1) ~dst:(n 2) in
+  Network.crash net (n 1);
+  Network.send net ~src:(n 1) ~dst:(n 2) "ignored";
+  Alcotest.(check (float 1e-9)) "crashed src cannot extend the floor" flush
+    (Network.flush_time net ~src:(n 1) ~dst:(n 2));
+  Network.crash net (n 2);
+  Alcotest.(check (float 1e-9)) "crash of dst keeps scheduled slot" flush
+    (Network.flush_time net ~src:(n 1) ~dst:(n 2));
+  Engine.run engine;
+  Alcotest.(check bool) "still no flush on untouched channel" true
+    (Network.flush_time net ~src:(n 3) ~dst:(n 4) = neg_infinity)
+
+let test_flush_time_monotone_interleaved () =
+  (* The floor never decreases, however adversarial the latency draws,
+     and interleaved traffic on other channels does not perturb it. *)
+  let engine = Engine.create () in
+  let net =
+    Network.create ~engine ~rng:(Prng.create 11)
+      ~latency:(Latency.Uniform { min = 0.1; max = 50.0 })
+      ()
+  in
+  Network.on_deliver net (fun ~src:_ ~dst:_ _ -> ());
+  let last = ref neg_infinity in
+  for i = 1 to 40 do
+    Network.send net ~src:(n 1) ~dst:(n 2) i;
+    Network.send net ~src:(n 2) ~dst:(n 1) i;
+    Network.send net ~src:(n 3) ~dst:(n 2) i;
+    let flush = Network.flush_time net ~src:(n 1) ~dst:(n 2) in
+    Alcotest.(check bool) "monotone" true (flush >= !last);
+    last := flush
+  done;
+  Engine.run engine
+
+(* ---------------- raw fault injection ---------------- *)
+
+let plan spec =
+  match Cliffedge_net.Faults.of_string spec with
+  | Ok p -> p
+  | Error e -> Alcotest.failf "fault spec %S rejected: %s" spec e
+
+let make_faulty_net ?(latency = Latency.Constant 5.0) ?(seed = 1) spec =
+  let engine = Engine.create () in
+  let net =
+    Network.create ~faults:(plan spec) ~engine ~rng:(Prng.create seed) ~latency ()
+  in
+  (engine, net)
+
+let test_faults_drop_all () =
+  let engine, net = make_faulty_net "drop:1" in
+  let got = ref 0 in
+  Network.on_deliver net (fun ~src:_ ~dst:_ _ -> incr got);
+  for i = 1 to 5 do
+    Network.send net ~src:(n 1) ~dst:(n 2) i
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "nothing delivered" 0 !got;
+  Alcotest.(check int) "all counted as fault drops" 5
+    (Stats.fault_dropped (Network.stats net));
+  Alcotest.(check int) "sent still counted" 5 (Stats.sent (Network.stats net));
+  (* Lost messages never schedule, so they cannot hold up the FD floor. *)
+  Alcotest.(check bool) "no flush floor" true
+    (Network.flush_time net ~src:(n 1) ~dst:(n 2) = neg_infinity)
+
+let test_faults_dup_all () =
+  let engine, net = make_faulty_net "dup:1" in
+  let got = ref 0 in
+  Network.on_deliver net (fun ~src:_ ~dst:_ _ -> incr got);
+  for i = 1 to 5 do
+    Network.send net ~src:(n 1) ~dst:(n 2) i
+  done;
+  Engine.run engine;
+  Alcotest.(check int) "every message twice" 10 !got;
+  Alcotest.(check int) "duplicates counted" 5 (Stats.duplicated (Network.stats net))
+
+let test_faults_reorder_bound () =
+  (* reorder:K lets a message overtake at most K predecessors: in the
+     delivered sequence, message i always lands after message i-K-1. *)
+  let k = 2 in
+  let engine, net =
+    make_faulty_net ~latency:(Latency.Uniform { min = 0.1; max = 50.0 }) ~seed:3
+      (Printf.sprintf "reorder:%d" k)
+  in
+  let got = ref [] in
+  Network.on_deliver net (fun ~src:_ ~dst:_ i -> got := i :: !got);
+  let count = 50 in
+  for i = 0 to count - 1 do
+    Network.send net ~src:(n 1) ~dst:(n 2) i
+  done;
+  Engine.run engine;
+  let order = List.rev !got in
+  Alcotest.(check int) "all delivered" count (List.length order);
+  let position = Array.make count 0 in
+  List.iteri (fun pos i -> position.(i) <- pos) order;
+  for i = k + 1 to count - 1 do
+    if position.(i) < position.(i - k - 1) then
+      Alcotest.failf "message %d overtook %d predecessors" i (k + 1)
+  done;
+  (* The bound is not vacuous: this seed really does reorder. *)
+  Alcotest.(check bool) "some reordering happened" true
+    (order <> List.init count Fun.id)
+
+let test_faults_cut_window () =
+  (* cut:T1-T2:A-B severs both directions during [T1, T2) only. *)
+  let engine, net = make_faulty_net "cut:0-10:1-2" in
+  let got = ref 0 in
+  Network.on_deliver net (fun ~src:_ ~dst:_ _ -> incr got);
+  Network.send net ~src:(n 1) ~dst:(n 2) "lost";
+  Network.send net ~src:(n 2) ~dst:(n 1) "lost too";
+  Network.send net ~src:(n 1) ~dst:(n 3) "other pair, unaffected";
+  ignore
+    (Engine.schedule engine ~delay:15.0 (fun () ->
+         Network.send net ~src:(n 1) ~dst:(n 2) "after the window"));
+  Engine.run engine;
+  Alcotest.(check int) "cut drops both directions, window ends" 2 !got;
+  Alcotest.(check int) "cut losses counted" 2 (Stats.fault_dropped (Network.stats net))
+
+let test_pass_through_plan_is_reliable () =
+  (* A no-op plan must take the reliable code path: same PRNG draws,
+     same delivery schedule, bit-identical stats. *)
+  let run net_of =
+    let engine = Engine.create () in
+    let net = net_of engine in
+    let got = ref [] in
+    Network.on_deliver net (fun ~src:_ ~dst:_ i ->
+        got := (Engine.now engine, i) :: !got);
+    for i = 1 to 20 do
+      Network.send net ~src:(n 1) ~dst:(n 2) i
+    done;
+    Engine.run engine;
+    List.rev !got
+  in
+  let latency = Latency.Uniform { min = 1.0; max = 10.0 } in
+  let reliable =
+    run (fun engine -> Network.create ~engine ~rng:(Prng.create 9) ~latency ())
+  in
+  let pass_through =
+    run (fun engine ->
+        Network.create ~faults:(plan "none") ~engine ~rng:(Prng.create 9) ~latency ())
+  in
+  Alcotest.(check (list (pair (float 1e-9) int))) "identical schedules" reliable
+    pass_through
+
 let suite =
   let name, cases = suite in
   ( name,
     cases
-    @ [ Alcotest.test_case "flush_time" `Quick test_flush_time_tracks_last_delivery ] )
+    @ [
+        Alcotest.test_case "flush_time" `Quick test_flush_time_tracks_last_delivery;
+        Alcotest.test_case "flush_time crashed endpoints" `Quick
+          test_flush_time_crashed_nodes;
+        Alcotest.test_case "flush_time monotone" `Quick
+          test_flush_time_monotone_interleaved;
+        Alcotest.test_case "faults drop" `Quick test_faults_drop_all;
+        Alcotest.test_case "faults dup" `Quick test_faults_dup_all;
+        Alcotest.test_case "faults reorder bound" `Quick test_faults_reorder_bound;
+        Alcotest.test_case "faults cut window" `Quick test_faults_cut_window;
+        Alcotest.test_case "pass-through plan" `Quick test_pass_through_plan_is_reliable;
+      ] )

@@ -63,13 +63,13 @@ let random_run ~early_stopping seed =
   in
   let options =
     {
+      Runner.default_options with
       Runner.seed;
       message_latency;
       detection_latency;
       early_stopping;
       channel_consistent_fd = true;
       max_events = 5_000_000;
-      false_suspicions = [];
     }
   in
   let outcome =

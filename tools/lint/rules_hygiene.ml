@@ -3,11 +3,12 @@
    no-obj-magic: [Obj.*] defeats the type system everywhere, not just
    in the protocol; banned repo-wide.
 
-   catch-all-exception: lib/codec's decoder paths are hardened against
-   malformed input by *naming* the failures they expect
-   ([Invalid_argument], [Failure], decode errors).  A [with _ ->]
-   swallows typos, OOM and assertion failures alike and turns a codec
-   bug into silent frame loss.
+   catch-all-exception: lib/codec's decoder paths and lib/net's
+   fault-injection/ARQ paths are hardened against malformed or lost
+   input by *naming* the failures they expect ([Invalid_argument],
+   [Failure], decode errors).  A [with _ ->] swallows typos, OOM and
+   assertion failures alike and turns a codec or transport bug into
+   silent frame loss.
 
    mli-coverage: every lib/ module ships an interface; the signature is
    where the purity and determinism contracts are documented. *)
@@ -45,8 +46,8 @@ let pattern_is_catch_all pat =
 let catch_all =
   Rule.impl_rule ~id:"catch-all-exception"
     ~doc:
-      "no 'with _ ->' exception swallowing in lib/codec's hardened decoder \
-       paths" (fun ~add structure ->
+      "no 'with _ ->' exception swallowing in lib/codec's decoder and \
+       lib/net's fault/ARQ paths" (fun ~add structure ->
       let check_cases cases =
         List.filter_map
           (fun case ->
