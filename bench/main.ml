@@ -29,6 +29,9 @@ let usage () =
   print_endline "  x16 ARQ-over-lossy-channel overhead: drop rate x backoff policy";
   print_endline "  micro  bechamel micro-benchmarks";
   print_endline "  smoke  one tiny micro-bench; with --json, validates the output file";
+  print_endline
+    "  check-lint FILE  validate the lint_timings section cliffedge-lint \
+     --bench-json merges";
   print_endline "options:";
   print_endline "  --csv DIR    also write every table to DIR/<slug>.csv";
   print_endline "  --json FILE  merge machine-readable timings into FILE (see BENCH_PR1.json)"
@@ -51,6 +54,46 @@ let validate_json file sections =
         exit 1
       end;
       Printf.printf "json ok: %s (%s)\n" file (String.concat ", " sections)
+
+(* Validates the [lint_timings] section that `cliffedge-lint
+   --bench-json FILE` merges next to the [micro]/[x16] series: per-rule
+   wall-times keyed by rule id, plus the file count and total.  Guards
+   the lint emitter and this harness's consumers against drifting
+   apart, exactly like [validate_json] does for the bench emitter. *)
+let check_lint_timings file =
+  let fail fmt =
+    Printf.ksprintf
+      (fun message ->
+        Printf.eprintf "bench: %s: %s\n" file message;
+        exit 1)
+      fmt
+  in
+  match Json.of_file file with
+  | Error message -> fail "does not parse: %s" message
+  | Ok root -> (
+      match Json.member "lint_timings" root with
+      | None -> fail "missing section: lint_timings"
+      | Some section ->
+          let number key =
+            match Json.member key section with
+            | Some (Json.Int _ | Json.Float _) -> ()
+            | Some _ -> fail "lint_timings.%s is not a number" key
+            | None -> fail "lint_timings is missing %s" key
+          in
+          number "files";
+          number "total_ms";
+          (match Json.member "rules_ms" section with
+          | Some (Json.Obj fields) when fields <> [] ->
+              List.iter
+                (fun (rule, v) ->
+                  match v with
+                  | Json.Int _ | Json.Float _ -> ()
+                  | _ -> fail "lint_timings.rules_ms.%s is not a number" rule)
+                fields
+          | Some (Json.Obj []) -> fail "lint_timings.rules_ms is empty"
+          | Some _ -> fail "lint_timings.rules_ms is not an object"
+          | None -> fail "lint_timings is missing rules_ms");
+          Printf.printf "json ok: %s (lint_timings)\n" file)
 
 let run_experiment name =
   match List.assoc_opt name Experiments.all with
@@ -86,6 +129,10 @@ let rec parse_options = function
 let () =
   match parse_options (List.tl (Array.to_list Sys.argv)) with
   | [ arg ] when List.mem arg [ "-h"; "--help"; "help" ] -> usage ()
+  | [ "check-lint"; file ] -> check_lint_timings file
+  | [ "check-lint" ] ->
+      prerr_endline "bench: check-lint needs a FILE argument";
+      exit 1
   | [] ->
       Experiments.run_all ();
       Micro.run ()

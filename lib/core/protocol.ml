@@ -241,6 +241,18 @@ let deliver_round cfg st ~src ~round ~view ~opinions =
     ({ st with instances = View.Map.add view inst st.instances }, [])
   end
 
+(* The single gate through which a decision is emitted.  CD1 (a node
+   decides at most once) holds dynamically because of the [decided]
+   branch below, and statically because the decide-once lint rule
+   requires every [Decide] emission to live inside this one
+   [@lint.decide_guard] binding, dominated by that branch. *)
+let[@lint.decide_guard] decide cfg st ~view accepts =
+  match st.decided with
+  | Some _ -> (st, [])
+  | None ->
+      let value = cfg.pick accepts in
+      ({ st with decided = Some (view, value) }, [ Decide { view; value } ])
+
 let deliver_outcome cfg st ~view ~border ~opinions =
   (* Close the instance: no further message for this view matters. *)
   let st =
@@ -251,11 +263,7 @@ let deliver_outcome cfg st ~view ~border ~opinions =
     }
   in
   match Opinion.Vector.accepts ~border opinions with
-  | Some accepts ->
-      if Option.is_some st.decided then (st, [])
-      else
-        let value = cfg.pick accepts in
-        ({ st with decided = Some (view, value) }, [ Decide { view; value } ])
+  | Some accepts -> decide cfg st ~view accepts
   | None ->
       (* A failed instance: abort the local attempt if it was this one. *)
       if
@@ -374,10 +382,9 @@ let finish_instance cfg st ~border ~vector ~early =
   in
   match Opinion.Vector.accepts ~border vector with
   | Some accepts ->
-      (* Line 34-36: unanimous accepts — decide. *)
-      let value = cfg.pick accepts in
-      let st = { st with decided = Some (view, value) } in
-      Some (st, outcome_actions true @ [ Decide { view; value } ])
+      (* Line 34-36: unanimous accepts — decide (through the guard). *)
+      let st, decide_acts = decide cfg st ~view accepts in
+      Some (st, outcome_actions true @ decide_acts)
   | None ->
       (* Line 37: failed attempt — reset and wait for view construction
          to produce a higher-ranked candidate. *)

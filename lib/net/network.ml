@@ -2,6 +2,11 @@ open Cliffedge_graph
 module Engine = Cliffedge_sim.Engine
 module Prng = Cliffedge_prng.Prng
 
+(* Delivering before [on_deliver] installed a handler is a harness
+   wiring bug, not a protocol condition: named so callers can tell it
+   apart from any other [Failure]. *)
+exception No_handler of string
+
 (* Per-ordered-pair reordering bookkeeping (fault mode only).  [floor]
    is the max scheduled delivery time over every message on the channel
    except the most recent [reorder] ones ([recent], most recent first),
@@ -69,7 +74,8 @@ let schedule_delivery t ~src ~dst ~time payload =
            Stats.record_delivery t.stats;
            match t.deliver with
            | Some handler -> handler ~src ~dst payload
-           | None -> failwith "Network: no delivery handler installed"
+           | None ->
+               raise (No_handler "Network: no delivery handler installed")
          end))
 
 let reorder_state t key =

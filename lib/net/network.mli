@@ -25,6 +25,11 @@ open Cliffedge_graph
 type 'a t
 (** A network carrying payloads of type ['a]. *)
 
+exception No_handler of string
+(** A delivery fired before {!on_deliver} installed a handler — a
+    harness wiring bug.  Also raised by {!Transport.on_deliver}'s layer
+    under the same condition. *)
+
 val create :
   ?faults:Faults.t ->
   engine:Cliffedge_sim.Engine.t ->

@@ -131,7 +131,8 @@ and arm_timer t ~src ~dst key s =
 let deliver_up t ~src ~dst payload =
   match t.deliver with
   | Some handler -> handler ~src ~dst payload
-  | None -> failwith "Transport: no delivery handler installed"
+  | None ->
+      raise (Network.No_handler "Transport: no delivery handler installed")
 
 (* A data frame for channel [src -> dst] arrived at [dst].  Everything
    at or below the cumulative ack point, and anything already buffered,

@@ -1,7 +1,9 @@
 cliffedge-lint is the repo's static invariant gate: it parses sources
 with ppxlib and checks the rule registry under the per-directory policy
-table (--component picks the policy row).  One known-bad fixture per
-rule, then the suppression machinery, then the machine-readable report.
+table (--component picks the policy row).  This suite covers the
+syntactic pass, the suppression machinery and the machine-readable
+report; the interprocedural flow rules have their own suite in
+test/lint_flow.t.
 
 The registry:
 
@@ -10,9 +12,30 @@ The registry:
   no-poly-compare      no =, <>, compare, min/max, List.mem/assoc or Hashtbl.hash on non-immediate types in lib/
   core-purity          no Printf/print_*/exit/mutable globals in lib/core's pure machine modules (effects live in runner/report)
   no-obj-magic         no Obj.magic (or any other Obj escape hatch)
-  catch-all-exception  no 'with _ ->' exception swallowing in lib/codec's decoder and lib/net's fault/ARQ paths
   mli-coverage         every lib/ module ships a documented .mli
+  decide-once          Decide emissions live in the unique [@lint.decide_guard] binding, dominated by a decided-state check (CD1 shadow)
+  send-locality        no Node_id.of_int in code reachable from protocol.ml — messages target border/view nodes only (CD3 shadow)
+  exception-flow       catch-alls must face an unknowable exception set, and boundaries raise named exceptions instead of failwith (escape analysis)
+  nondet-taint         no call path from lib/ code to ambient entropy except through lib/prng (taint over the call graph)
   unused-allow         every [@lint.allow] annotation must suppress something
+
+The README "Static checks" table is generated from the same registry
+(a dune rule in test/dune diffs this output against the committed
+README copy, so the two cannot drift):
+
+  $ cliffedge-lint --list-rules --markdown
+  | rule | pass | scope | exempt files | description |
+  |---|---|---|---|---|
+  | `determinism` | syntactic | all but `lib/prng`, `bench` | — | no Stdlib.Random, Unix.* or Sys.time outside lib/prng and bench/ (seed-determinism) |
+  | `no-poly-compare` | syntactic | `lib/**` | — | no =, <>, compare, min/max, List.mem/assoc or Hashtbl.hash on non-immediate types in lib/ |
+  | `core-purity` | syntactic | `lib/core` | `runner.ml(i)` | no Printf/print_*/exit/mutable globals in lib/core's pure machine modules (effects live in runner/report) |
+  | `no-obj-magic` | syntactic | everywhere | — | no Obj.magic (or any other Obj escape hatch) |
+  | `mli-coverage` | syntactic | `lib/**` | — | every lib/ module ships a documented .mli |
+  | `decide-once` | flow | `lib/core` | — | Decide emissions live in the unique [@lint.decide_guard] binding, dominated by a decided-state check (CD1 shadow) |
+  | `send-locality` | flow | `lib/core` | `runner.ml(i)` | no Node_id.of_int in code reachable from protocol.ml — messages target border/view nodes only (CD3 shadow) |
+  | `exception-flow` | flow | `lib/codec`, `lib/net` | — | catch-alls must face an unknowable exception set, and boundaries raise named exceptions instead of failwith (escape analysis) |
+  | `nondet-taint` | flow | `lib/**` but `lib/prng` | — | no call path from lib/ code to ambient entropy except through lib/prng (taint over the call graph) |
+  | `unused-allow` | meta | everywhere | — | every [@lint.allow] annotation must suppress something |
 
 determinism: ambient randomness and wall clocks are banned outside
 lib/prng and bench (the fixture runs under an ordinary lib component):
@@ -28,6 +51,7 @@ lib/prng and bench (the fixture runs under an ordinary lib component):
   +-------------+------------+
   cliffedge-lint: 1 violation(s) in 2 file(s)
   [1]
+
 
 no-poly-compare: structural =, compare & friends must name their type
 inside lib/:
@@ -45,6 +69,7 @@ inside lib/:
   cliffedge-lint: 2 violation(s) in 2 file(s)
   [1]
 
+
 core-purity: the lib/core state machines may not touch channels
 (policy scopes this rule to lib/core only):
 
@@ -60,6 +85,7 @@ core-purity: the lib/core state machines may not touch channels
   cliffedge-lint: 1 violation(s) in 2 file(s)
   [1]
 
+
 no-obj-magic applies everywhere, even outside lib/:
 
   $ cliffedge-lint bad_magic.ml
@@ -74,32 +100,6 @@ no-obj-magic applies everywhere, even outside lib/:
   cliffedge-lint: 1 violation(s) in 1 file(s)
   [1]
 
-catch-all-exception is scoped to the codec and the faulty-network /
-ARQ component, where a swallowed exception means silent frame loss:
-
-  $ cliffedge-lint --component lib/codec bad_catchall.ml bad_catchall.mli
-  lib/codec/bad_catchall.ml:3:34: [catch-all-exception] catch-all exception handler swallows unexpected failures; name the exceptions the decoder expects
-  
-  == cliffedge-lint summary ==
-  +---------------------+------------+
-  | rule                | violations |
-  +=====================+============+
-  | catch-all-exception | 1          |
-  +---------------------+------------+
-  cliffedge-lint: 1 violation(s) in 2 file(s)
-  [1]
-
-  $ cliffedge-lint --component lib/net bad_catchall.ml bad_catchall.mli
-  lib/net/bad_catchall.ml:3:34: [catch-all-exception] catch-all exception handler swallows unexpected failures; name the exceptions the decoder expects
-  
-  == cliffedge-lint summary ==
-  +---------------------+------------+
-  | rule                | violations |
-  +=====================+============+
-  | catch-all-exception | 1          |
-  +---------------------+------------+
-  cliffedge-lint: 1 violation(s) in 2 file(s)
-  [1]
 
 mli-coverage: every lib module needs an interface file:
 
@@ -114,6 +114,14 @@ mli-coverage: every lib module needs an interface file:
   +--------------+------------+
   cliffedge-lint: 1 violation(s) in 1 file(s)
   [1]
+
+
+A file the compiler front-end rejects is a usage error with the
+position where the parser gave up, not a crash or a violation:
+
+  $ cliffedge-lint broken.ml
+  cliffedge-lint: parse error: broken.ml:3:0: Syntaxerr.Error(_)
+  [2]
 
 Suppression: a floating [@@@lint.allow] covers the rest of the file, an
 expression [@lint.allow] covers one site.  Both fire here, so the run
@@ -136,16 +144,62 @@ a stale allow is enforced, not optional:
   cliffedge-lint: 1 violation(s) in 1 file(s)
   [1]
 
-A clean file is silent by default and reported with --verbose:
+
+An annotation naming a rule that is not in the registry at all is
+reported in every pass (it can never fire):
+
+  $ cliffedge-lint unknown_allow.ml
+  unknown_allow.ml:3:44: [unused-allow] [@lint.allow "catch-all-exception"] names an unknown rule; see --list-rules
+  
+  == cliffedge-lint summary ==
+  +--------------+------------+
+  | rule         | violations |
+  +==============+============+
+  | unused-allow | 1          |
+  +--------------+------------+
+  cliffedge-lint: 1 violation(s) in 1 file(s)
+  [1]
+
+
+But an allow for a flow rule is only stale when the flow pass actually
+runs: the per-directory syntactic gates must not flag suppressions
+they cannot check (the whole-tree flow gate will):
+
+  $ cliffedge-lint --analysis syntactic stale_flow_allow.ml
+  $ cliffedge-lint stale_flow_allow.ml
+  stale_flow_allow.ml:4:21: [unused-allow] [@lint.allow "nondet-taint"] suppresses nothing; remove the stale annotation
+  
+  == cliffedge-lint summary ==
+  +--------------+------------+
+  | rule         | violations |
+  +==============+============+
+  | unused-allow | 1          |
+  +--------------+------------+
+  cliffedge-lint: 1 violation(s) in 1 file(s)
+  [1]
+
+
+A clean file is silent by default and reported with --verbose (10
+rules under the default both-passes analysis, 6 under the syntactic
+gate's filter — the meta pass counts as one):
 
   $ cliffedge-lint clean.ml
   $ cliffedge-lint --verbose clean.ml
-  cliffedge-lint: clean (1 file(s), 7 rule(s))
+  cliffedge-lint: clean (1 file(s), 10 rule(s))
+  $ cliffedge-lint --verbose --analysis syntactic clean.ml
+  cliffedge-lint: clean (1 file(s), 6 rule(s))
+
+--only isolates a single rule and rejects names outside the registry:
+
+  $ cliffedge-lint --only no-such-rule clean.ml
+  cliffedge-lint: unknown rule "no-such-rule"; see --list-rules
+  [2]
 
 --json merges a report into the given file, keyed by component, with a
-stable schema:
+stable schema carrying per-rule wall-times; --fixed-timings zeroes
+them so the report is byte-reproducible:
 
-  $ cliffedge-lint --json report.json bad_magic.ml
+  $ cliffedge-lint --json report.json --fixed-timings bad_magic.ml
   bad_magic.ml:3:15: [no-obj-magic] Obj.magic: unsafe Obj primitive defeats the type system
   
   == cliffedge-lint summary ==
@@ -156,7 +210,8 @@ stable schema:
   +--------------+------------+
   cliffedge-lint: 1 violation(s) in 1 file(s)
   [1]
-  $ cliffedge-lint --json report.json --component lib/fixture missing_mli.ml
+
+  $ cliffedge-lint --json report.json --fixed-timings --component lib/fixture missing_mli.ml
   lib/fixture/missing_mli.ml:1:0: [mli-coverage] module has no interface; add missing_mli.mli documenting the signature
   
   == cliffedge-lint summary ==
@@ -167,9 +222,10 @@ stable schema:
   +--------------+------------+
   cliffedge-lint: 1 violation(s) in 1 file(s)
   [1]
+
   $ cat report.json
   {
-    "schema": "cliffedge-lint/1",
+    "schema": "cliffedge-lint/2",
     ".": {
       "files": 1,
       "violations": 1,
@@ -182,6 +238,21 @@ stable schema:
           "message": "Obj.magic: unsafe Obj primitive defeats the type system"
         }
       ]
+    },
+    "timings": {
+      "rules_ms": {
+        "determinism": 0.0,
+        "no-poly-compare": 0.0,
+        "core-purity": 0.0,
+        "no-obj-magic": 0.0,
+        "mli-coverage": 0.0,
+        "decide-once": 0.0,
+        "send-locality": 0.0,
+        "exception-flow": 0.0,
+        "nondet-taint": 0.0,
+        "unused-allow": 0.0
+      },
+      "total_ms": 0.0
     },
     "lib/fixture": {
       "files": 1,
@@ -197,6 +268,24 @@ stable schema:
       ]
     }
   }
+
+Two runs over the same input produce byte-identical reports:
+
+  $ cliffedge-lint --json a.json --fixed-timings bad_magic.ml > /dev/null
+  [1]
+  $ cliffedge-lint --json b.json --fixed-timings bad_magic.ml > /dev/null
+  [1]
+  $ cmp a.json b.json
+
+--check-report validates a file against the schema (the bench harness
+uses this to guard the lint_timings section it merges):
+
+  $ cliffedge-lint --check-report report.json
+  cliffedge-lint: report.json: valid cliffedge-lint/2 report
+  $ echo '{"schema": "cliffedge-lint/1"}' > old.json
+  $ cliffedge-lint --check-report old.json
+  cliffedge-lint: old.json: invalid report: schema "cliffedge-lint/1", expected "cliffedge-lint/2"
+  [2]
 
 No input files is a usage error, distinct from "violations found":
 

@@ -1,0 +1,4 @@
+(* Fixture: a stale flow-rule allow is only reported when the flow pass
+   actually runs. *)
+
+let helper x = x + 1 [@@lint.allow "nondet-taint"]

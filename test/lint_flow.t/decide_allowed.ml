@@ -1,0 +1,6 @@
+(* Fixture: a deliberately unguarded emission, justified for a replay
+   harness that reconstructs past decisions. *)
+
+type action = Decide of { view : int; value : int }
+
+let replay view value = (Decide { view; value }) [@lint.allow "decide-once"]

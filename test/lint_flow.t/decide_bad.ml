@@ -1,0 +1,7 @@
+(* Fixture: Decide emitted with no [@lint.decide_guard] binding. *)
+
+type action = Decide of { view : int; value : int }
+type st = { decided : (int * int) option }
+
+let finish _st view value =
+  ({ decided = Some (view, value) }, [ Decide { view; value } ])

@@ -1,0 +1,10 @@
+(* Fixture: clean — the emission sits under the unique guard, behind a
+   match on the decided state. *)
+
+type action = Decide of { view : int; value : int }
+type st = { decided : (int * int) option }
+
+let[@lint.decide_guard] decide st view value =
+  match st.decided with
+  | Some _ -> (st, [])
+  | None -> ({ decided = Some (view, value) }, [ Decide { view; value } ])

@@ -1,0 +1,6 @@
+(* Fixture: the decide gate must be unique. *)
+
+type st = { decided : int option }
+
+let[@lint.decide_guard] gate_a st = st.decided
+let[@lint.decide_guard] gate_b st = st.decided

@@ -1,0 +1,10 @@
+(* Fixture: the guard binding exists, but no branch on the decided
+   state dominates the emission — a path can emit a second decision. *)
+
+type action = Decide of { view : int; value : int }
+type st = { decided : (int * int) option }
+
+let[@lint.decide_guard] decide st view value =
+  let prior = st.decided in
+  ignore prior;
+  ({ decided = Some (view, value) }, [ Decide { view; value } ])

@@ -1,0 +1,8 @@
+(* Fixture: justified catch-all — the real code path logs and re-raises
+   asynchronously, which the analysis cannot see. *)
+
+exception Decode_error of string
+
+let parse s = if String.length s = 0 then raise (Decode_error "empty") else s
+
+let harden s = (try parse s with _ -> "fallback") [@lint.allow "exception-flow"]

@@ -1,0 +1,7 @@
+(* Fixture: the guarded body's failure set is finite and nameable. *)
+
+exception Decode_error of string
+
+let parse s = if String.length s = 0 then raise (Decode_error "empty") else s
+
+let harden s = try parse s with _ -> "fallback"

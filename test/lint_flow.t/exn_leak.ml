@@ -1,0 +1,3 @@
+(* Fixture: anonymous failwith at a component boundary. *)
+
+let connect name = if String.length name = 0 then failwith "no name" else name

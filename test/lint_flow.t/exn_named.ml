@@ -1,0 +1,8 @@
+(* Fixture: clean — the handler names the one exception the body can
+   raise, and nothing anonymous crosses the boundary. *)
+
+exception Decode_error of string
+
+let parse s = if String.length s = 0 then raise (Decode_error "empty") else s
+
+let harden s = try parse s with Decode_error _ -> "fallback"

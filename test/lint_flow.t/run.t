@@ -1,0 +1,184 @@
+The flow-sensitive rule families: each analysis sees the whole batch
+at once (the call graph spans every file of one invocation), so these
+fixtures are linted with --analysis flow, the pass the whole-tree gate
+runs.  Per family: a violating fixture, a suppressed-with-
+justification fixture, and a clean one.
+
+decide-once (the CD1 shadow): every Decide emission and every write to
+the decided state must sit inside the unique [@lint.decide_guard]
+binding, dominated by a branch on the decided state.
+
+An emission with no guard binding at all:
+
+  $ cliffedge-lint --component lib/core --analysis flow decide_bad.ml
+  lib/core/decide_bad.ml:7:15: [decide-once] write to decided state outside any [@lint.decide_guard] binding; route the decision through the single guard
+  lib/core/decide_bad.ml:7:39: [decide-once] Decide action outside any [@lint.decide_guard] binding; route the decision through the single guard
+  
+  == cliffedge-lint summary ==
+  +-------------+------------+
+  | rule        | violations |
+  +=============+============+
+  | decide-once | 2          |
+  +-------------+------------+
+  cliffedge-lint: 2 violation(s) in 1 file(s)
+  [1]
+
+
+A guard binding whose emission is not dominated by a check of the
+decided state (binding [prior] is not branching on it):
+
+  $ cliffedge-lint --component lib/core --analysis flow decide_unguarded.ml
+  lib/core/decide_unguarded.ml:10:15: [decide-once] write to decided state is not dominated by a branch on the decided state; a path through 'decide' can emit a second decision
+  lib/core/decide_unguarded.ml:10:39: [decide-once] Decide action is not dominated by a branch on the decided state; a path through 'decide' can emit a second decision
+  
+  == cliffedge-lint summary ==
+  +-------------+------------+
+  | rule        | violations |
+  +=============+============+
+  | decide-once | 2          |
+  +-------------+------------+
+  cliffedge-lint: 2 violation(s) in 1 file(s)
+  [1]
+
+Two guard bindings — the gate must be unique:
+
+  $ cliffedge-lint --component lib/core --analysis flow decide_two.ml
+  lib/core/decide_two.ml:6:0: [decide-once] second [@lint.decide_guard] binding 'gate_b'; the decide gate must be unique
+  
+  == cliffedge-lint summary ==
+  +-------------+------------+
+  | rule        | violations |
+  +=============+============+
+  | decide-once | 1          |
+  +-------------+------------+
+  cliffedge-lint: 1 violation(s) in 1 file(s)
+  [1]
+
+The shape the real protocol.ml uses — one guard, a match on the
+decided state dominating the emission:
+
+  $ cliffedge-lint --component lib/core --analysis flow decide_ok.ml
+
+Suppressed in place with a justification:
+
+  $ cliffedge-lint --component lib/core --analysis flow decide_allowed.ml
+
+send-locality (the CD3 shadow): no Node_id.of_int reachable from
+protocol.ml — the roots key on the basename, so a stand-in protocol.ml
+works.  The fabrication happens in a helper, one call away; the
+diagnostic carries the witness path:
+
+  $ cp sl_protocol_bad.ml protocol.ml
+  $ cliffedge-lint --component lib/core --analysis flow protocol.ml sl_helpers.ml
+  lib/core/sl_helpers.ml:3:18: [send-locality] Node_id.of_int fabricates a node id in protocol-reachable code (CD3: sends target border/view nodes only); reachable via Protocol.route -> Sl_helpers.fabricate
+  
+  == cliffedge-lint summary ==
+  +---------------+------------+
+  | rule          | violations |
+  +===============+============+
+  | send-locality | 1          |
+  +---------------+------------+
+  cliffedge-lint: 1 violation(s) in 2 file(s)
+  [1]
+
+A protocol that only forwards ids it was handed is clean, and the
+helper is unreachable:
+
+  $ cp sl_protocol_ok.ml protocol.ml
+  $ cliffedge-lint --component lib/core --analysis flow protocol.ml sl_helpers.ml
+
+The bootstrap node may justify naming itself:
+
+  $ cp sl_allowed.ml protocol.ml
+  $ cliffedge-lint --component lib/core --analysis flow protocol.ml
+
+exception-flow: a catch-all is only legitimate when the guarded body's
+failure set is unknowable.  Calling an unknown function through a
+parameter is exactly that, so the old catch-all fixture is clean under
+the escape analysis:
+
+  $ cliffedge-lint --component lib/codec --analysis flow exn_catchall.ml
+
+But when the analysis can name the body's one exception, the catch-all
+must name it too:
+
+  $ cliffedge-lint --component lib/codec --analysis flow exn_finite.ml
+  lib/codec/exn_finite.ml:7:32: [exception-flow] catch-all handler, but the guarded body can only raise {Decode_error}; name the cases instead of swallowing everything
+  
+  == cliffedge-lint summary ==
+  +----------------+------------+
+  | rule           | violations |
+  +================+============+
+  | exception-flow | 1          |
+  +----------------+------------+
+  cliffedge-lint: 1 violation(s) in 1 file(s)
+  [1]
+
+And an anonymous failwith crossing the component boundary:
+
+  $ cliffedge-lint --component lib/net --analysis flow exn_leak.ml
+  lib/net/exn_leak.ml:3:0: [exception-flow] 'connect' can raise Failure (failwith) across the component boundary; declare a named exception for this failure mode
+  
+  == cliffedge-lint summary ==
+  +----------------+------------+
+  | rule           | violations |
+  +================+============+
+  | exception-flow | 1          |
+  +----------------+------------+
+  cliffedge-lint: 1 violation(s) in 1 file(s)
+  [1]
+
+Naming the exception on both sides is clean:
+
+  $ cliffedge-lint --component lib/codec --analysis flow exn_named.ml
+
+Suppressed with a justification:
+
+  $ cliffedge-lint --component lib/codec --analysis flow exn_allowed.ml
+
+nondet-taint: entropy reaches lib/ code only through lib/prng.  The
+direct source [now] is the determinism rule's business; this rule
+reports the wrapper that launders it, with the call path:
+
+  $ mkdir -p lib/fixture lib/prng
+  $ cp taint_bad.ml lib/fixture/entropy.ml
+  $ cliffedge-lint --auto-component --analysis flow lib/fixture/entropy.ml
+  lib/fixture/entropy.ml:6:0: [nondet-taint] 'stamp' reaches a nondeterminism source outside lib/prng: Entropy.stamp -> Entropy.now; draw entropy through lib/prng instead
+  
+  == cliffedge-lint summary ==
+  +--------------+------------+
+  | rule         | violations |
+  +==============+============+
+  | nondet-taint | 1          |
+  +--------------+------------+
+  cliffedge-lint: 1 violation(s) in 1 file(s)
+  [1]
+
+The laundering cut: a caller drawing through lib/prng is clean — taint
+does not propagate out of the sanctioned component (whose own use of
+Random is the determinism rule's, not this one's):
+
+  $ cp taint_prng_stub.ml lib/prng/prng.ml
+  $ cp taint_user.ml lib/fixture/user.ml
+  $ cliffedge-lint --auto-component --analysis flow lib/fixture/user.ml lib/prng/prng.ml
+
+A bench-only diagnostic helper may justify itself:
+
+  $ cliffedge-lint --component lib/fixture --analysis flow taint_allowed.ml
+
+The syntactic pass ignores all of this — the per-directory gates stay
+cheap (the determinism rule still reports the raw Sys.time source):
+
+  $ cliffedge-lint --component lib/fixture --analysis syntactic taint_bad.ml
+  lib/fixture/taint_bad.ml:1:0: [mli-coverage] module has no interface; add taint_bad.mli documenting the signature
+  lib/fixture/taint_bad.ml:5:13: [determinism] Sys.time (process clock) breaks seed-determinism; randomness belongs to lib/prng, timing to bench/
+  
+  == cliffedge-lint summary ==
+  +--------------+------------+
+  | rule         | violations |
+  +==============+============+
+  | determinism  | 1          |
+  | mli-coverage | 1          |
+  +--------------+------------+
+  cliffedge-lint: 2 violation(s) in 1 file(s)
+  [1]

@@ -1,0 +1,6 @@
+(* Fixture: appended to the real protocol.ml to introduce a second
+   decision emission path outside the guard — the regression the
+   acceptance checklist requires the gate to catch. *)
+
+let sneak_decide st ~view value =
+  ({ st with decided = Some (view, value) }, [ Decide { view; value } ])

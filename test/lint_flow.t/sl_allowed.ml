@@ -1,0 +1,3 @@
+(* Fixture: justified fabrication (the bootstrap node names itself). *)
+
+let bootstrap () = (Node_id.of_int 0) [@lint.allow "send-locality"]

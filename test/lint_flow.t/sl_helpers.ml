@@ -1,0 +1,3 @@
+(* Fixture: a helper that conjures a node id from a raw integer. *)
+
+let fabricate n = Node_id.of_int n

@@ -1,0 +1,4 @@
+(* Fixture: stands in for lib/core/protocol.ml (send-locality roots key
+   on the basename) and routes through a fabricating helper. *)
+
+let route target = Sl_helpers.fabricate target

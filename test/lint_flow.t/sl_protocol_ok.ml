@@ -1,0 +1,3 @@
+(* Fixture: clean protocol stand-in — ids travel, none are conjured. *)
+
+let route target = target

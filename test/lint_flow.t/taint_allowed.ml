@@ -1,0 +1,4 @@
+(* Fixture: justified taint (a bench-only diagnostic helper). *)
+
+let now () = Sys.time ()
+let stamp x = (x, now ()) [@@lint.allow "nondet-taint"]

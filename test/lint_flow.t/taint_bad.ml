@@ -1,0 +1,6 @@
+(* Fixture: a wrapper that launders ambient entropy.  [now] is the
+   direct source (the determinism rule's business); [stamp] is the
+   tainted non-source this rule reports. *)
+
+let now () = Sys.time ()
+let stamp x = (x, now ())

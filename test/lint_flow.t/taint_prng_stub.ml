@@ -1,0 +1,3 @@
+(* Fixture: stands in for lib/prng/prng.ml. *)
+
+let draw () = Random.int 10

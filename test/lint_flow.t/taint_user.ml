@@ -1,0 +1,4 @@
+(* Fixture: clean — entropy drawn through lib/prng (the laundering
+   cut ends taint propagation there). *)
+
+let pick () = Prng.draw ()

@@ -34,4 +34,5 @@ let () =
       Test_printers.suite;
       Test_properties.suite;
       Test_transport.suite;
+      Test_lint_fixpoint.suite;
     ]

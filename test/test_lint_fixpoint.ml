@@ -1,0 +1,148 @@
+(* Properties of the lint engine's generic worklist solver
+   (tools/lint/fixpoint.ml): on random monotone systems the result is a
+   fixpoint, equals the closed-form transitive solution, and does not
+   depend on the order the keys are seeded into the worklist.  The
+   divergence guard is exercised on an infinite-ascent lattice. *)
+
+module Fixpoint = Cliffedge_lint.Fixpoint
+
+(* Bitmask lattice: 8-bit sets, bottom = ∅, join = ∪.  Finite height,
+   so any monotone transfer converges. *)
+module Bits = struct
+  type t = int
+
+  let bottom = 0
+  let equal = Int.equal
+  let join = ( lor )
+end
+
+module Bits_solver = Fixpoint.Make (Bits)
+module Bool_solver = Fixpoint.Make (Fixpoint.Bool_lattice)
+
+(* A random dataflow system: key [i] owns a seed bitmask and copies the
+   values of its dependencies — the discrete skeleton of every summary
+   computation the lint rules run.  The exact solution is the union of
+   seeds over the dependency closure, computable here by brute force. *)
+type system = { n : int; seeds : int array; deps : int list array }
+
+let key i = "k" ^ string_of_int i
+let index k = int_of_string (String.sub k 1 (String.length k - 1))
+
+let transfer_of sys get k =
+  let i = index k in
+  List.fold_left (fun acc j -> acc lor get (key j)) sys.seeds.(i) sys.deps.(i)
+
+let brute_force sys =
+  let value = Array.copy sys.seeds in
+  (* n rounds of relaxation reach the closure on any n-key system. *)
+  for _ = 1 to sys.n do
+    Array.iteri
+      (fun i ds -> List.iter (fun j -> value.(i) <- value.(i) lor value.(j)) ds)
+      sys.deps
+  done;
+  value
+
+(* Deterministic Fisher-Yates driven by a little LCG, so the
+   order-independence property can permute the key list from a QCheck
+   seed without touching any ambient randomness. *)
+let permute seed xs =
+  let a = Array.of_list xs in
+  let state = ref (seed land 0x3FFFFFFF) in
+  let next bound =
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFF;
+    !state mod bound
+  in
+  for i = Array.length a - 1 downto 1 do
+    let j = next (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+let gen_system =
+  QCheck2.Gen.(
+    int_range 1 12 >>= fun n ->
+    array_size (return n) (int_bound 255) >>= fun seeds ->
+    array_size (return n) (list_size (int_bound 6) (int_bound (n - 1)))
+    >>= fun deps ->
+    int_bound 0x3FFFFFFF >>= fun perm_seed ->
+    return ({ n; seeds; deps }, perm_seed))
+
+let keys_of sys = List.init sys.n key
+let indices sys = List.init sys.n Fun.id
+
+let prop_fixpoint_and_exact =
+  QCheck2.Test.make ~name:"solver reaches the exact least fixpoint" ~count:300
+    gen_system (fun (sys, _) ->
+      let solution, _ =
+        Bits_solver.solve ~keys:(keys_of sys) ~transfer:(transfer_of sys)
+      in
+      let expected = brute_force sys in
+      List.for_all
+        (fun i ->
+          let v = solution (key i) in
+          (* a fixpoint... *)
+          transfer_of sys solution (key i) = v
+          (* ...and the closed-form one, hence least *)
+          && v = expected.(i))
+        (indices sys))
+
+let prop_order_independent =
+  QCheck2.Test.make ~name:"solution independent of worklist seed order"
+    ~count:300 gen_system (fun (sys, perm_seed) ->
+      let solve keys =
+        fst (Bits_solver.solve ~keys ~transfer:(transfer_of sys))
+      in
+      let a = solve (keys_of sys) in
+      let b = solve (permute perm_seed (keys_of sys)) in
+      let c = solve (List.rev (keys_of sys)) in
+      List.for_all
+        (fun i -> a (key i) = b (key i) && a (key i) = c (key i))
+        (indices sys))
+
+let prop_bool_reachability =
+  QCheck2.Test.make ~name:"bool lattice solves graph reachability" ~count:300
+    gen_system (fun (sys, _) ->
+      (* roots = keys whose seed has bit 0 set; a key is marked when it
+         depends, transitively, on a root — the shape of the
+         send-locality and taint closures.  Reference: depth-first
+         search with an explicit visited list. *)
+      let is_root i = sys.seeds.(i) land 1 = 1 in
+      let transfer get k =
+        let i = index k in
+        is_root i || List.exists (fun j -> get (key j)) sys.deps.(i)
+      in
+      let solution, _ = Bool_solver.solve ~keys:(keys_of sys) ~transfer in
+      let rec depends i seen =
+        is_root i
+        || List.exists
+             (fun j -> (not (List.mem j seen)) && depends j (j :: seen))
+             sys.deps.(i)
+      in
+      List.for_all
+        (fun i -> solution (key i) = depends i [ i ])
+        (indices sys))
+
+(* Unbounded ascent must trip the iteration budget, not hang. *)
+let diverged_raises () =
+  let module Nat = struct
+    type t = int
+
+    let bottom = 0
+    let equal = Int.equal
+    let join = max
+  end in
+  let module S = Fixpoint.Make (Nat) in
+  match S.solve ~keys:[ "a" ] ~transfer:(fun get k -> get k + 1) with
+  | exception Fixpoint.Diverged _ -> ()
+  | _ -> Alcotest.fail "expected Diverged on an infinite-height ascent"
+
+let suite =
+  ( "lint fixpoint solver",
+    [
+      QCheck_alcotest.to_alcotest prop_fixpoint_and_exact;
+      QCheck_alcotest.to_alcotest prop_order_independent;
+      QCheck_alcotest.to_alcotest prop_bool_reachability;
+      Alcotest.test_case "diverged guard" `Quick diverged_raises;
+    ] )

@@ -102,10 +102,22 @@ let filter spans (diags : Diagnostic.t list) =
       covered = [])
     diags
 
-let unused_diagnostics ~file spans =
+(* [active] = rule ids actually run in this invocation (an [--analysis
+   syntactic] gate must not flag a flow-rule suppression as stale just
+   because the flow pass did not run here); [known] = the full rule
+   universe, so a span naming a rule that no longer exists is reported
+   in every run. *)
+let unused_diagnostics ~file ~active ~known spans =
   List.filter_map
     (fun s ->
       if s.used then None
+      else if not (List.exists (String.equal s.rule) known) then
+        Some
+          (Diagnostic.make ~rule:"unused-allow" ~file ~loc:s.attr_loc
+             (Printf.sprintf
+                "[@lint.allow %S] names an unknown rule; see --list-rules"
+                s.rule))
+      else if not (List.exists (String.equal s.rule) active) then None
       else
         Some
           (Diagnostic.make ~rule:"unused-allow" ~file ~loc:s.attr_loc

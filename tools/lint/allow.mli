@@ -7,5 +7,12 @@ val collect : Rule.source_file -> span list
 val filter : span list -> Diagnostic.t list -> Diagnostic.t list
 (** Drops suppressed diagnostics, marking the spans that fired. *)
 
-val unused_diagnostics : file:string -> span list -> Diagnostic.t list
-(** One unused-allow diagnostic per span that never fired. *)
+val unused_diagnostics :
+  file:string ->
+  active:string list ->
+  known:string list ->
+  span list ->
+  Diagnostic.t list
+(** One unused-allow diagnostic per span that never fired and whose rule
+    is in [active] (ran this invocation), plus an unknown-rule
+    diagnostic for spans naming rules outside [known]. *)

@@ -1,0 +1,275 @@
+(* Intra-function control-flow graphs over the untyped parsetree.
+
+   A node is a maximal straight-line stretch: it carries the atomic
+   expressions evaluated there (in order) and, when it ends in a
+   conditional transfer, the branch scrutinee.  [match]/[if]/[try]
+   fan out to per-case nodes that re-join; loops get a back-edge;
+   [try] handlers are entered from the head of the guarded body (any
+   prefix of it may have run when the exception lands).
+
+   Nested functions are deliberately opaque: a lambda is recorded as a
+   single site in the enclosing node and its body is NOT threaded into
+   the enclosing control flow — it runs whenever its closure is called,
+   which is a call-graph question, not a CFG one.  Rules that need to
+   look inside a closure analyze it as its own function.
+
+   Dominators instantiate the generic fixpoint solver with the
+   dual (intersection) lattice: dom(entry) = {entry},
+   dom(n) = {n} ∪ ⋂ dom(preds n). *)
+
+open Ppxlib
+
+type node = {
+  id : int;
+  mutable sites : expression list;  (** evaluated here, in source order *)
+  mutable branch : expression option;  (** scrutinee, when the node branches *)
+  mutable succs : int list;
+}
+
+type t = { entry : int; exit_ : int; nodes : node array }
+
+let build (body : expression) : t =
+  let tbl : (int, node) Hashtbl.t = Hashtbl.create 32 in
+  let count = ref 0 in
+  let fresh () =
+    let n = { id = !count; sites = []; branch = None; succs = [] } in
+    Hashtbl.replace tbl n.id n;
+    incr count;
+    n.id
+  in
+  let node i = Hashtbl.find tbl i in
+  let edge a b = (node a).succs <- b :: (node a).succs in
+  let site i e = (node i).sites <- e :: (node i).sites in
+  let rec go cur (e : expression) =
+    match e.pexp_desc with
+    | Pexp_sequence (a, b) -> go (go cur a) b
+    | Pexp_let (_, vbs, body) ->
+        let cur = List.fold_left (fun c vb -> go c vb.pvb_expr) cur vbs in
+        go cur body
+    | Pexp_constraint (a, _) | Pexp_coerce (a, _, _) | Pexp_newtype (_, a) ->
+        go cur a
+    | Pexp_open (_, a) | Pexp_letmodule (_, _, a) | Pexp_letexception (_, a) ->
+        go cur a
+    | Pexp_ifthenelse (c, t, f) ->
+        let bn = go cur c in
+        (node bn).branch <- Some c;
+        let join = fresh () in
+        let t0 = fresh () in
+        edge bn t0;
+        edge (go t0 t) join;
+        (match f with
+        | Some f ->
+            let f0 = fresh () in
+            edge bn f0;
+            edge (go f0 f) join
+        | None -> edge bn join);
+        join
+    | Pexp_match (scrut, cases) -> branch_cases cur ~scrut cases
+    | Pexp_try (guarded, cases) ->
+        let b0 = fresh () in
+        edge cur b0;
+        let bend = go b0 guarded in
+        let join = fresh () in
+        edge bend join;
+        List.iter
+          (fun case ->
+            let c0 = fresh () in
+            edge b0 c0;
+            let c0 =
+              match case.pc_guard with Some g -> go c0 g | None -> c0
+            in
+            edge (go c0 case.pc_rhs) join)
+          cases;
+        join
+    | Pexp_while (cond, body) ->
+        let head = fresh () in
+        edge cur head;
+        let hend = go head cond in
+        (node hend).branch <- Some cond;
+        let b0 = fresh () in
+        edge hend b0;
+        edge (go b0 body) head;
+        let exit_ = fresh () in
+        edge hend exit_;
+        exit_
+    | Pexp_for (_, lo, hi, _, body) ->
+        let cur = go (go cur lo) hi in
+        let head = fresh () in
+        edge cur head;
+        (node head).branch <- Some e;
+        let b0 = fresh () in
+        edge head b0;
+        edge (go b0 body) head;
+        let exit_ = fresh () in
+        edge head exit_;
+        exit_
+    | Pexp_function _ ->
+        (* Opaque: a closure, not control flow of this function. *)
+        site cur e;
+        cur
+    | Pexp_apply (f, args) ->
+        let cur = go cur f in
+        let cur = List.fold_left (fun c (_, a) -> go c a) cur args in
+        site cur e;
+        cur
+    | Pexp_tuple es ->
+        let cur = List.fold_left go cur es in
+        site cur e;
+        cur
+    | Pexp_construct (_, arg) | Pexp_variant (_, arg) ->
+        let cur = match arg with Some a -> go cur a | None -> cur in
+        site cur e;
+        cur
+    | Pexp_record (fields, base) ->
+        let cur =
+          match base with Some b -> go cur b | None -> cur
+        in
+        let cur = List.fold_left (fun c (_, v) -> go c v) cur fields in
+        site cur e;
+        cur
+    | Pexp_field (a, _) ->
+        let cur = go cur a in
+        site cur e;
+        cur
+    | Pexp_setfield (a, _, b) ->
+        let cur = go (go cur a) b in
+        site cur e;
+        cur
+    | Pexp_array es ->
+        let cur = List.fold_left go cur es in
+        site cur e;
+        cur
+    | Pexp_assert a | Pexp_lazy a ->
+        let cur = go cur a in
+        site cur e;
+        cur
+    | _ ->
+        site cur e;
+        cur
+  and branch_cases cur ~scrut cases =
+    let bn = go cur scrut in
+    (node bn).branch <- Some scrut;
+    let join = fresh () in
+    List.iter
+      (fun case ->
+        let c0 = fresh () in
+        edge bn c0;
+        let c0 = match case.pc_guard with Some g -> go c0 g | None -> c0 in
+        edge (go c0 case.pc_rhs) join)
+      cases;
+    join
+  in
+  let entry = fresh () in
+  let exit_ = go entry body in
+  let nodes = Array.init !count node in
+  Array.iter (fun n -> n.sites <- List.rev n.sites) nodes;
+  { entry; exit_; nodes }
+
+(* Peels the parameter prelude of a bound function so the CFG starts at
+   the first evaluated expression.  A [function]-style case list becomes
+   a match on the implicit argument. *)
+let of_function (e : expression) : t =
+  let rec peel e =
+    match e.pexp_desc with
+    | Pexp_newtype (_, body) | Pexp_constraint (body, _) -> peel body
+    | Pexp_function (_, _, Pfunction_body body) -> peel body
+    | _ -> e
+  in
+  match (peel e).pexp_desc with
+  | Pexp_function (_, _, Pfunction_cases (cases, loc, _)) ->
+      (* Synthesize a scrutinee-less match: reuse the whole expression as
+         the branch marker. *)
+      let scrut = { e with pexp_loc = loc } in
+      build
+        {
+          e with
+          pexp_desc = Pexp_match (scrut, cases);
+          pexp_attributes = [];
+        }
+  | _ -> build (peel e)
+
+(* ------------------------------------------------------------------ *)
+(* Dominators                                                          *)
+
+module Int_set = Set.Make (Int)
+
+(* The dual lattice: bottom is "dominated by everything" (the optimistic
+   initial value), join is set intersection, and the iteration shrinks
+   each node's set until dom(n) = {n} ∪ ⋂ dom(preds n) stabilizes. *)
+module Dom_lattice = struct
+  type t = All | Some_of of Int_set.t
+
+  let bottom = All
+
+  let equal a b =
+    match (a, b) with
+    | All, All -> true
+    | Some_of x, Some_of y -> Int_set.equal x y
+    | All, Some_of _ | Some_of _, All -> false
+
+  let join a b =
+    match (a, b) with
+    | All, x | x, All -> x
+    | Some_of x, Some_of y -> Some_of (Int_set.inter x y)
+end
+
+module Dom_solver = Fixpoint.Make (Dom_lattice)
+
+let dominators (g : t) : Int_set.t array =
+  let preds = Array.make (Array.length g.nodes) [] in
+  Array.iter
+    (fun n -> List.iter (fun s -> preds.(s) <- n.id :: preds.(s)) n.succs)
+    g.nodes;
+  let keys = Array.to_list (Array.map (fun n -> string_of_int n.id) g.nodes) in
+  let transfer get key =
+    let id = int_of_string key in
+    if id = g.entry then Dom_lattice.Some_of (Int_set.singleton id)
+    else
+      let meet =
+        List.fold_left
+          (fun acc p -> Dom_lattice.join acc (get (string_of_int p)))
+          Dom_lattice.bottom preds.(id)
+      in
+      match meet with
+      | Dom_lattice.All -> Dom_lattice.All (* unreachable from entry *)
+      | Dom_lattice.Some_of s -> Dom_lattice.Some_of (Int_set.add id s)
+  in
+  let solution, _stats = Dom_solver.solve ~keys ~transfer in
+  Array.map
+    (fun n ->
+      match solution (string_of_int n.id) with
+      | Dom_lattice.All -> Int_set.singleton n.id (* unreachable: itself *)
+      | Dom_lattice.Some_of s -> s)
+    g.nodes
+
+(* ------------------------------------------------------------------ *)
+(* Queries                                                             *)
+
+let covers (outer : Location.t) (inner : Location.t) =
+  outer.loc_start.Lexing.pos_cnum <= inner.loc_start.Lexing.pos_cnum
+  && inner.loc_end.Lexing.pos_cnum <= outer.loc_end.Lexing.pos_cnum
+
+(* The node whose site spans [loc], judged by the tightest covering
+   site; [None] when [loc] was not captured or its tightest cover is an
+   opaque nested function (the expression does not run on this CFG's
+   paths but whenever the closure is applied). *)
+let node_of_loc (g : t) (loc : Location.t) : int option =
+  let best = ref None in
+  Array.iter
+    (fun n ->
+      List.iter
+        (fun site ->
+          if covers site.pexp_loc loc then
+            let width =
+              site.pexp_loc.loc_end.Lexing.pos_cnum
+              - site.pexp_loc.loc_start.Lexing.pos_cnum
+            in
+            match !best with
+            | Some (_, _, w) when w <= width -> ()
+            | _ -> best := Some (n.id, site, width))
+        n.sites)
+    g.nodes;
+  match !best with
+  | Some (_, { pexp_desc = Pexp_function _; _ }, _) -> None
+  | Some (id, _, _) -> Some id
+  | None -> None

@@ -1,0 +1,41 @@
+(** Intra-function control-flow graphs from parsetree expressions.
+
+    Built for the flow-sensitive rules: straight-line nodes carry the
+    atomic expressions they evaluate, conditional constructs
+    ([if]/[match]/[try]) fan out and re-join, loops carry a back-edge.
+    Nested functions are opaque single sites — their bodies run when the
+    closure is applied (a call-graph question), not on this function's
+    paths. *)
+
+type node = {
+  id : int;
+  mutable sites : Ppxlib.expression list;
+      (** atomic expressions evaluated in this node, in source order *)
+  mutable branch : Ppxlib.expression option;
+      (** the scrutinee / condition, when this node ends in a branch *)
+  mutable succs : int list;
+}
+
+type t = { entry : int; exit_ : int; nodes : node array }
+
+val build : Ppxlib.expression -> t
+
+val of_function : Ppxlib.expression -> t
+(** Like {!build} after peeling the parameter prelude of a bound
+    function ([fun]-chains, [(type t)], constraints); a bare
+    [function]-case body becomes a branch over its cases. *)
+
+module Int_set : Set.S with type elt = int
+
+val dominators : t -> Int_set.t array
+(** [dominators g].(n) is the set of nodes on every path from entry to
+    [n], including [n] itself (computed with the fixpoint solver over
+    the intersection lattice).  Unreachable nodes dominate themselves
+    only. *)
+
+val covers : Ppxlib.Location.t -> Ppxlib.Location.t -> bool
+(** [covers outer inner]: character-span containment on one file. *)
+
+val node_of_loc : t -> Ppxlib.Location.t -> int option
+(** The node whose tightest site covers the location; [None] for
+    locations inside opaque nested functions. *)

@@ -1,6 +1,12 @@
 (* Parses the batch, runs the registry under the policy table, applies
    suppression spans and returns the surviving diagnostics in report
-   order. *)
+   order, plus per-rule wall-times.
+
+   Two passes share the registry: the cheap [Syntactic] rules run in
+   every per-directory gate, the interprocedural [Flow] rules run once
+   in the whole-tree gate where the batch spans all components (so the
+   call graph is complete).  [--analysis all] — the default, used by the
+   cram fixtures — runs both. *)
 
 let registry : Rule.t list =
   [
@@ -8,9 +14,26 @@ let registry : Rule.t list =
     Rules_poly_compare.rule;
     Rules_purity.rule;
     Rules_hygiene.obj_magic;
-    Rules_hygiene.catch_all;
     Rules_hygiene.mli_coverage;
+    Rules_decide_once.rule;
+    Rules_send_locality.rule;
+    Rules_exn_flow.rule;
+    Rules_taint.rule;
   ]
+
+(* The meta rule is not in the registry (it runs inside the allow pass)
+   but belongs to the rule universe for --list-rules and suppression
+   validation. *)
+let known_rule_ids = List.map (fun (r : Rule.t) -> r.id) registry @ [ "unused-allow" ]
+
+type analysis_filter = Syntactic_only | Flow_only | All
+
+let analysis_matches filter (rule : Rule.t) =
+  match (filter, rule.analysis) with
+  | All, _ -> true
+  | Syntactic_only, Rule.Syntactic -> true
+  | Flow_only, Rule.Flow -> true
+  | Syntactic_only, Rule.Flow | Flow_only, Rule.Syntactic -> false
 
 exception Parse_error of string
 
@@ -35,12 +58,39 @@ let load_file ~component path : Rule.source_file =
         Rule.Intf (Ppxlib.Parse.interface lexbuf)
       else Rule.Impl (Ppxlib.Parse.implementation lexbuf)
     with exn ->
+      (* The lexbuf stops where the parser gave up: report that position
+         so the user lands on the offending token, not just the file. *)
+      let p = lexbuf.Lexing.lex_curr_p in
       raise
-        (Parse_error (Printf.sprintf "%s: %s" rel (Printexc.to_string exn)))
+        (Parse_error
+           (Printf.sprintf "%s:%d:%d: %s" rel p.Lexing.pos_lnum
+              (p.Lexing.pos_cnum - p.Lexing.pos_bol)
+              (Printexc.to_string exn)))
   in
   { path; rel; component; basename; ast; source_len = String.length source }
 
-let run (files : Rule.source_file list) : Diagnostic.t list =
+type result = {
+  diagnostics : Diagnostic.t list;
+  timings : (string * float) list;  (** rule id -> wall ms, registry order *)
+  total_ms : float;
+}
+
+let run ?(analysis = All) ?only (files : Rule.source_file list) : result =
+  let t_start = Sys.time () in
+  let selected =
+    List.filter
+      (fun (r : Rule.t) ->
+        analysis_matches analysis r
+        && match only with None -> true | Some id -> String.equal id r.id)
+      registry
+  in
+  let timings = ref [] in
+  let timed id f =
+    let t0 = Sys.time () in
+    let out = f () in
+    timings := (id, (Sys.time () -. t0) *. 1000.) :: !timings;
+    out
+  in
   let raw =
     List.concat_map
       (fun (rule : Rule.t) ->
@@ -51,20 +101,33 @@ let run (files : Rule.source_file list) : Diagnostic.t list =
                 ~basename:f.basename)
             files
         in
-        rule.check eligible)
-      registry
+        timed rule.id (fun () ->
+            match rule.check with
+            | Rule.Per_file check -> check eligible
+            | Rule.Whole_batch check -> check ~batch:files ~eligible))
+      selected
   in
+  let active = List.map (fun (r : Rule.t) -> r.id) selected @ [ "unused-allow" ] in
   let surviving =
-    List.concat_map
-      (fun (f : Rule.source_file) ->
-        let spans = Allow.collect f in
-        let own =
-          List.filter (fun (d : Diagnostic.t) -> String.equal d.file f.rel) raw
-        in
-        (* [filter] must run first: it marks the spans that fired, and
-           [unused_diagnostics] reports the ones that did not. *)
-        let kept = Allow.filter spans own in
-        kept @ Allow.unused_diagnostics ~file:f.rel spans)
-      files
+    timed "unused-allow" (fun () ->
+        List.concat_map
+          (fun (f : Rule.source_file) ->
+            let spans = Allow.collect f in
+            let own =
+              List.filter
+                (fun (d : Diagnostic.t) -> String.equal d.file f.rel)
+                raw
+            in
+            (* [filter] must run first: it marks the spans that fired, and
+               [unused_diagnostics] reports the ones that did not. *)
+            let kept = Allow.filter spans own in
+            kept
+            @ Allow.unused_diagnostics ~file:f.rel ~active
+                ~known:known_rule_ids spans)
+          files)
   in
-  List.sort_uniq Diagnostic.compare surviving
+  {
+    diagnostics = List.sort_uniq Diagnostic.compare surviving;
+    timings = List.rev !timings;
+    total_ms = (Sys.time () -. t_start) *. 1000.;
+  }

@@ -1,10 +1,32 @@
-(** Parse, run the registry under the policy table, suppress, sort. *)
+(** Parse, run the registry under the policy table, suppress, sort —
+    and time each rule. *)
 
 val registry : Rule.t list
+
+val known_rule_ids : string list
+(** Every rule id in the registry plus the unused-allow meta rule. *)
+
+(** Which rules to run: the per-directory gates pass [Syntactic_only],
+    the whole-tree gate passes [Flow_only], and [All] (the default)
+    runs both. *)
+type analysis_filter = Syntactic_only | Flow_only | All
 
 exception Parse_error of string
 
 val load_file : component:string -> string -> Rule.source_file
-(** @raise Parse_error on unparseable input. *)
+(** @raise Parse_error on unparseable input, with [file:line:col] of
+    the offending token in the message. *)
 
-val run : Rule.source_file list -> Diagnostic.t list
+type result = {
+  diagnostics : Diagnostic.t list;
+  timings : (string * float) list;
+      (** rule id -> wall milliseconds, registry order; the allow pass
+          is accounted to ["unused-allow"] *)
+  total_ms : float;
+}
+
+val run :
+  ?analysis:analysis_filter -> ?only:string -> Rule.source_file list -> result
+(** [only] restricts the registry to a single rule id (fixture
+    isolation); suppression spans naming rules that did not run are not
+    flagged as unused. *)

@@ -5,11 +5,16 @@
      cliffedge-lint --component lib/core  --json lint.json ...
      cliffedge-lint --component lib/codec --json lint.json ...
 
-   build up a single document that later tooling can diff. *)
+   build up a single document that later tooling can diff.
+
+   Schema 2 adds a top-level "timings" section with per-rule
+   wall-times; successive invocations into the same file accumulate
+   their times (and the engine's --fixed-timings flag zeroes them, so
+   reproducibility checks can byte-compare two runs). *)
 
 module Json = Cliffedge_report.Json
 
-let schema = "cliffedge-lint/1"
+let schema = "cliffedge-lint/2"
 
 let load file =
   if Sys.file_exists file then
@@ -18,7 +23,29 @@ let load file =
     | Ok _ | Error _ -> Json.Obj []
   else Json.Obj []
 
-let record ~file ~component ~files_scanned (diags : Diagnostic.t list) =
+let prev_timing root rule =
+  match Json.member "timings" root with
+  | Some (Json.Obj _ as t) -> (
+      match Json.member "rules_ms" t with
+      | Some (Json.Obj _ as r) -> (
+          match Json.member rule r with
+          | Some (Json.Float f) -> f
+          | Some (Json.Int i) -> float_of_int i
+          | _ -> 0.)
+      | _ -> 0.)
+  | _ -> 0.
+
+let prev_total root =
+  match Json.member "timings" root with
+  | Some (Json.Obj _ as t) -> (
+      match Json.member "total_ms" t with
+      | Some (Json.Float f) -> f
+      | Some (Json.Int i) -> float_of_int i
+      | _ -> 0.)
+  | _ -> 0.
+
+let record_component ~file ~component ~files_scanned
+    (diags : Diagnostic.t list) =
   let root = load file in
   let root = Json.set "schema" (Json.String schema) root in
   let section =
@@ -30,3 +57,84 @@ let record ~file ~component ~files_scanned (diags : Diagnostic.t list) =
       ]
   in
   Json.to_file file (Json.set component section root)
+
+let record_timings ~file ~timings ~total_ms =
+  let root = load file in
+  let root = Json.set "schema" (Json.String schema) root in
+  let rules_ms =
+    Json.Obj
+      (List.map
+         (fun (rule, ms) -> (rule, Json.Float (prev_timing root rule +. ms)))
+         timings)
+  in
+  let timings_section =
+    Json.Obj
+      [
+        ("rules_ms", rules_ms);
+        ("total_ms", Json.Float (prev_total root +. total_ms));
+      ]
+  in
+  Json.to_file file (Json.set "timings" timings_section root)
+
+(* Bench-harness integration: one "lint_timings" section in a
+   BENCH_PR*.json-style document, overwritten (not accumulated) per run
+   like the bench sections themselves. *)
+let bench_record ~file ~files ~timings ~total_ms =
+  let root = load file in
+  let section =
+    Json.Obj
+      [
+        ("files", Json.Int files);
+        ( "rules_ms",
+          Json.Obj (List.map (fun (rule, ms) -> (rule, Json.Float ms)) timings)
+        );
+        ("total_ms", Json.Float total_ms);
+      ]
+  in
+  Json.to_file file (Json.set "lint_timings" section root)
+
+(* Structural validation for --check-report (and the bench harness's
+   check-lint twin): schema tag, well-formed component sections, and a
+   timings section with per-rule floats. *)
+let validate (root : Json.t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let* fields =
+    match root with
+    | Json.Obj fields -> Ok fields
+    | _ -> Error "report is not a JSON object"
+  in
+  let* () =
+    match Json.member "schema" root with
+    | Some (Json.String s) when String.equal s schema -> Ok ()
+    | Some (Json.String s) ->
+        Error (Printf.sprintf "schema %S, expected %S" s schema)
+    | _ -> Error "missing \"schema\" field"
+  in
+  let* () =
+    match Json.member "timings" root with
+    | Some (Json.Obj _ as t) -> (
+        match (Json.member "rules_ms" t, Json.member "total_ms" t) with
+        | Some (Json.Obj rules), Some (Json.Float _ | Json.Int _) ->
+            if
+              List.for_all
+                (fun (_, v) ->
+                  match v with Json.Float _ | Json.Int _ -> true | _ -> false)
+                rules
+            then Ok ()
+            else Error "non-numeric entry in timings.rules_ms"
+        | _ -> Error "timings section lacks rules_ms/total_ms")
+    | _ -> Error "missing \"timings\" section"
+  in
+  let check_section (name, v) =
+    if String.equal name "schema" || String.equal name "timings" then Ok ()
+    else
+      match
+        (Json.member "files" v, Json.member "violations" v,
+         Json.member "diagnostics" v)
+      with
+      | Some (Json.Int _), Some (Json.Int _), Some (Json.List _) -> Ok ()
+      | _ -> Error (Printf.sprintf "malformed component section %S" name)
+  in
+  List.fold_left
+    (fun acc field -> Result.bind acc (fun () -> check_section field))
+    (Ok ()) fields

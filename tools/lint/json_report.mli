@@ -1,9 +1,31 @@
-(** [--json FILE] output: one section per component, merged into an
-    existing document bench-harness style (schema [cliffedge-lint/1]). *)
+(** [--json FILE] output: one section per component plus a timings
+    section, merged into an existing document bench-harness style
+    (schema [cliffedge-lint/2]). *)
 
-val record :
+val schema : string
+
+val record_component :
   file:string ->
   component:string ->
   files_scanned:int ->
   Diagnostic.t list ->
   unit
+
+val record_timings :
+  file:string -> timings:(string * float) list -> total_ms:float -> unit
+(** Accumulates per-rule wall-times across invocations into the same
+    document (zeros under [--fixed-timings], keeping output
+    reproducible). *)
+
+val bench_record :
+  file:string ->
+  files:int ->
+  timings:(string * float) list ->
+  total_ms:float ->
+  unit
+(** Writes the ["lint_timings"] section of a BENCH_PR*.json-style
+    document (overwritten per run, like the bench sections). *)
+
+val validate : Cliffedge_report.Json.t -> (unit, string) result
+(** Structural check for [--check-report]: schema tag, component
+    sections, timings. *)

@@ -1,67 +1,206 @@
 (* cliffedge-lint: the repo's static invariant gate.
 
-   Usage: cliffedge-lint [--component DIR] [--json FILE] [--verbose]
-                         [--list-rules] FILE...
+   Usage: cliffedge-lint [--component DIR | --auto-component]
+                         [--analysis syntactic|flow|all] [--only RULE]
+                         [--json FILE] [--bench-json FILE]
+                         [--fixed-timings] [--budget-ms N]
+                         [--check-report FILE] [--verbose]
+                         [--list-rules [--markdown]] FILE...
 
    Parses the given .ml/.mli files with ppxlib, runs the rule registry
-   under the per-directory policy table (keyed by --component), prints
-   compiler-style diagnostics plus a per-rule summary table, optionally
-   merges a JSON report, and exits 1 when violations remain.  The
-   per-directory dune stanzas attach this as the @lint alias, which
-   @runtest depends on: `dune runtest` fails on any new violation. *)
+   under the per-directory policy table, prints compiler-style
+   diagnostics plus a per-rule summary table, optionally merges JSON /
+   bench reports, and exits 1 when violations remain (or the time
+   budget is blown).  The per-directory dune stanzas attach the cheap
+   syntactic pass as the @lint alias; the root stanza runs the
+   flow-sensitive pass once over the whole tree so the interprocedural
+   rules see a complete call graph.  @runtest depends on @lint. *)
+
+open Cliffedge_lint
 
 let usage = "cliffedge-lint [--component DIR] [--json FILE] FILE..."
 
+let registry_rows () =
+  List.map
+    (fun (r : Rule.t) ->
+      ( r.id,
+        (match r.analysis with
+        | Rule.Syntactic -> "syntactic"
+        | Rule.Flow -> "flow"),
+        r.doc ))
+    Engine.registry
+  @ [
+      ( "unused-allow",
+        "meta",
+        "every [@lint.allow] annotation must suppress something" );
+    ]
+
+let print_rules ~markdown =
+  if markdown then begin
+    print_endline "| rule | pass | scope | exempt files | description |";
+    print_endline "|---|---|---|---|---|";
+    List.iter
+      (fun (id, pass, doc) ->
+        Printf.printf "| `%s` | %s | %s | %s | %s |\n" id pass
+          (Policy.scope_doc id) (Policy.exempt_doc id) doc)
+      (registry_rows ())
+  end
+  else
+    List.iter
+      (fun (id, _, doc) -> Printf.printf "%-20s %s\n" id doc)
+      (registry_rows ())
+
+let check_report file =
+  match Cliffedge_report.Json.of_file file with
+  | Error e ->
+      Printf.eprintf "cliffedge-lint: %s: %s\n" file e;
+      exit 2
+  | Ok root -> (
+      match Json_report.validate root with
+      | Ok () ->
+          Printf.printf "cliffedge-lint: %s: valid %s report\n" file
+            Json_report.schema;
+          exit 0
+      | Error e ->
+          Printf.eprintf "cliffedge-lint: %s: invalid report: %s\n" file e;
+          exit 2)
+
 let () =
   let component = ref "." in
+  let auto_component = ref false in
+  let analysis = ref Engine.All in
+  let only = ref None in
   let json_file = ref None in
+  let bench_json = ref None in
+  let fixed_timings = ref false in
+  let budget_ms = ref 0 in
   let verbose = ref false in
   let list_rules = ref false in
+  let markdown = ref false in
   let files = ref [] in
+  let set_analysis = function
+    | "syntactic" -> analysis := Engine.Syntactic_only
+    | "flow" -> analysis := Engine.Flow_only
+    | "all" -> analysis := Engine.All
+    | other ->
+        raise (Arg.Bad (Printf.sprintf "unknown analysis %S" other))
+  in
   let spec =
     [
       ( "--component",
         Arg.Set_string component,
         "DIR policy key for the files (e.g. lib/core); default \".\"" );
+      ( "--auto-component",
+        Arg.Set auto_component,
+        " derive each file's policy key from its directory" );
+      ( "--analysis",
+        Arg.String set_analysis,
+        "PASS run only 'syntactic' or 'flow' rules (default: all)" );
+      ( "--only",
+        Arg.String (fun id -> only := Some id),
+        "RULE run a single rule (fixture isolation)" );
       ( "--json",
         Arg.String (fun f -> json_file := Some f),
         "FILE merge a machine-readable report into FILE" );
+      ( "--bench-json",
+        Arg.String (fun f -> bench_json := Some f),
+        "FILE merge a lint_timings section into a bench JSON FILE" );
+      ( "--fixed-timings",
+        Arg.Set fixed_timings,
+        " zero reported timings (reproducible output)" );
+      ( "--budget-ms",
+        Arg.Set_int budget_ms,
+        "N fail when the analysis takes longer than N ms" );
+      ( "--check-report",
+        Arg.String (fun f -> check_report f),
+        "FILE validate FILE against the report schema and exit" );
       ("--verbose", Arg.Set verbose, " report clean runs too");
       ("--list-rules", Arg.Set list_rules, " print the rule registry and exit");
+      ( "--markdown",
+        Arg.Set markdown,
+        " with --list-rules: print the README table" );
     ]
   in
   Arg.parse spec (fun f -> files := f :: !files) usage;
   if !list_rules then begin
-    List.iter
-      (fun (r : Rule.t) -> Printf.printf "%-20s %s\n" r.id r.doc)
-      Engine.registry;
-    Printf.printf "%-20s %s\n" "unused-allow"
-      "every [@lint.allow] annotation must suppress something";
+    print_rules ~markdown:!markdown;
     exit 0
   end;
+  (match !only with
+  | Some id when not (List.exists (String.equal id) Engine.known_rule_ids) ->
+      Printf.eprintf "cliffedge-lint: unknown rule %S; see --list-rules\n" id;
+      exit 2
+  | _ -> ());
   let paths = List.rev !files in
   if paths = [] then begin
     prerr_endline ("cliffedge-lint: no input files\nusage: " ^ usage);
     exit 2
   end;
+  let component_of path =
+    if !auto_component then
+      match Filename.dirname path with "" -> "." | d -> d
+    else !component
+  in
   let loaded =
-    try List.map (Engine.load_file ~component:!component) paths
+    try List.map (fun p -> Engine.load_file ~component:(component_of p) p) paths
     with Engine.Parse_error msg ->
       prerr_endline ("cliffedge-lint: parse error: " ^ msg);
       exit 2
   in
-  let diags = Engine.run loaded in
+  let result = Engine.run ~analysis:!analysis ?only:!only loaded in
+  let diags = result.Engine.diagnostics in
+  let timings =
+    if !fixed_timings then
+      List.map (fun (id, _) -> (id, 0.)) result.Engine.timings
+    else result.Engine.timings
+  in
+  let total_ms = if !fixed_timings then 0. else result.Engine.total_ms in
+  (* One report section per component present in the batch, in order of
+     first appearance; timings are recorded once for the invocation. *)
+  let components =
+    List.fold_left
+      (fun acc (f : Rule.source_file) ->
+        if List.exists (String.equal f.component) acc then acc
+        else acc @ [ f.component ])
+      [] loaded
+  in
   Option.iter
     (fun file ->
-      Json_report.record ~file ~component:!component
-        ~files_scanned:(List.length loaded) diags)
+      List.iter
+        (fun comp ->
+          let group =
+            List.filter
+              (fun (f : Rule.source_file) -> String.equal f.component comp)
+              loaded
+          in
+          let rels = List.map (fun (f : Rule.source_file) -> f.rel) group in
+          let own =
+            List.filter
+              (fun (d : Diagnostic.t) ->
+                List.exists (String.equal d.file) rels)
+              diags
+          in
+          Json_report.record_component ~file ~component:comp
+            ~files_scanned:(List.length group) own)
+        components;
+      Json_report.record_timings ~file ~timings ~total_ms)
     !json_file;
-  match diags with
+  Option.iter
+    (fun file ->
+      Json_report.bench_record ~file ~files:(List.length loaded) ~timings
+        ~total_ms)
+    !bench_json;
+  let budget_blown = !budget_ms > 0 && result.Engine.total_ms > float_of_int !budget_ms in
+  if budget_blown then
+    Printf.eprintf
+      "cliffedge-lint: analysis took %.0f ms, over the %d ms budget\n"
+      result.Engine.total_ms !budget_ms;
+  (match diags with
   | [] ->
       if !verbose then
         Printf.printf "cliffedge-lint: clean (%d file(s), %d rule(s))\n"
           (List.length loaded)
-          (List.length Engine.registry + 1)
+          (List.length timings)
   | _ :: _ ->
       List.iter (fun d -> print_endline (Diagnostic.to_string d)) diags;
       print_newline ();
@@ -81,5 +220,5 @@ let () =
              Cliffedge_report.Table.add_row table [ rule; string_of_int n ]);
       print_string (Cliffedge_report.Table.render table);
       Printf.printf "cliffedge-lint: %d violation(s) in %d file(s)\n"
-        (List.length diags) (List.length loaded);
-      exit 1
+        (List.length diags) (List.length loaded));
+  if diags <> [] || budget_blown then exit 1

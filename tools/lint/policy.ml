@@ -4,7 +4,9 @@
    ["lib/core"]); fixture runs in the cram suite pick a component to
    select the rule set under test.
 
-   Keep this table in sync with the README "Static checks" section. *)
+   The README "Static checks" table is GENERATED from this module
+   (cliffedge-lint --list-rules --markdown); edit [scope_doc] /
+   [exempt_doc] here and regenerate rather than editing the README. *)
 
 let has_prefix ~prefix s =
   String.length s >= String.length prefix
@@ -15,10 +17,13 @@ let in_lib component = has_prefix ~prefix:"lib" component
 (* Files inside a component that a rule deliberately skips.  [runner.ml]
    is lib/core's effect boundary (trace printing, log sinks): the
    core-purity rule guards the state machine modules, not the harness
-   that drives them. *)
+   that drives them.  The send-locality and exception-flow boundary
+   analyses skip it for the same reason. *)
 let file_exempt ~rule ~component ~basename =
   match (rule, component, basename) with
-  | "core-purity", "lib/core", ("runner.ml" | "runner.mli") -> true
+  | ("core-purity" | "send-locality"), "lib/core", ("runner.ml" | "runner.mli")
+    ->
+      true
   | _ -> false
 
 let applies ~rule ~component ~basename =
@@ -32,10 +37,35 @@ let applies ~rule ~component ~basename =
        plainly. *)
     | "no-poly-compare" -> in_lib component
     | "core-purity" -> String.equal component "lib/core"
-    (* The codec's decoder and the net's fault/ARQ paths both turn
-       swallowed exceptions into silent frame loss. *)
-    | "catch-all-exception" ->
-        String.equal component "lib/codec" || String.equal component "lib/net"
     | "mli-coverage" -> in_lib component
     | "no-obj-magic" | "unused-allow" -> true
+    (* CD1's shadow: the single decision gate lives in lib/core. *)
+    | "decide-once" -> String.equal component "lib/core"
+    (* CD3's shadow: protocol code may only address border nodes, so
+       raw [Node_id.of_int] must not be reachable from protocol.ml. *)
+    | "send-locality" -> String.equal component "lib/core"
+    (* The codec's decoder and the net's fault/ARQ paths both turn
+       swallowed exceptions into silent frame loss. *)
+    | "exception-flow" ->
+        String.equal component "lib/codec" || String.equal component "lib/net"
+    (* Everything under lib/ must draw entropy through lib/prng. *)
+    | "nondet-taint" -> in_lib component && not (String.equal component "lib/prng")
     | _ -> true
+
+(* ------------------------------------------------------------------ *)
+(* Documentation strings for the generated README table.               *)
+
+let scope_doc = function
+  | "determinism" -> "all but `lib/prng`, `bench`"
+  | "no-poly-compare" -> "`lib/**`"
+  | "core-purity" -> "`lib/core`"
+  | "mli-coverage" -> "`lib/**`"
+  | "no-obj-magic" | "unused-allow" -> "everywhere"
+  | "decide-once" | "send-locality" -> "`lib/core`"
+  | "exception-flow" -> "`lib/codec`, `lib/net`"
+  | "nondet-taint" -> "`lib/**` but `lib/prng`"
+  | _ -> "everywhere"
+
+let exempt_doc = function
+  | "core-purity" | "send-locality" -> "`runner.ml(i)`"
+  | _ -> "—"

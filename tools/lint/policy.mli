@@ -1,3 +1,9 @@
 (** Per-directory policy: which rule applies to which component. *)
 
 val applies : rule:string -> component:string -> basename:string -> bool
+
+val scope_doc : string -> string
+(** Human-readable component scope for the generated README table. *)
+
+val exempt_doc : string -> string
+(** Human-readable file carve-outs for the generated README table. *)

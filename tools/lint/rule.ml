@@ -1,7 +1,15 @@
-(* The rule registry's vocabulary.  A rule sees every parsed file of
-   the invocation at once: most rules fold over files one by one, but
-   directory-level rules (mli-coverage) need the whole batch to pair
-   [.ml] files with their interfaces. *)
+(* The rule registry's vocabulary.
+
+   A [Per_file] rule sees the policy-eligible files of the invocation at
+   once: most fold over files one by one, but directory-level rules
+   (mli-coverage) need the whole batch to pair [.ml] files with their
+   interfaces.
+
+   A [Whole_batch] rule additionally receives every parsed file of the
+   invocation — eligible or not — because interprocedural analyses need
+   the full call graph even when policy confines their *reports* to a
+   subset (e.g. decide-once reasons over all of lib/ but only flags
+   emissions in lib/core). *)
 
 type ast =
   | Impl of Ppxlib.Parsetree.structure
@@ -16,10 +24,24 @@ type source_file = {
   source_len : int;  (** bytes; closes file-scoped suppression spans *)
 }
 
+(* Which engine pass a rule belongs to: the per-directory dune gates run
+   the cheap [Syntactic] pass on their own files; the whole-tree gate
+   runs the [Flow] pass once over every component so the call graph is
+   complete. *)
+type analysis = Syntactic | Flow
+
+type check =
+  | Per_file of (source_file list -> Diagnostic.t list)
+  | Whole_batch of
+      (batch:source_file list ->
+      eligible:source_file list ->
+      Diagnostic.t list)
+
 type t = {
   id : string;
   doc : string;  (** one-line description for [--list-rules] and docs *)
-  check : source_file list -> Diagnostic.t list;
+  analysis : analysis;
+  check : check;
 }
 
 (* Convenience for the common shape: an implementation-only, per-file
@@ -39,4 +61,9 @@ let impl_rule ~id ~doc f =
             List.rev !acc)
       files
   in
-  { id; doc; check }
+  { id; doc; analysis = Syntactic; check = Per_file check }
+
+(* Convenience for interprocedural rules: always [Flow], always
+   [Whole_batch]. *)
+let flow_rule ~id ~doc f =
+  { id; doc; analysis = Flow; check = Whole_batch f }

@@ -13,11 +13,22 @@ type source_file = {
   source_len : int;
 }
 
-type t = {
-  id : string;
-  doc : string;
-  check : source_file list -> Diagnostic.t list;
-}
+(** Which engine pass a rule belongs to: [Syntactic] rules run in every
+    per-directory gate; [Flow] rules run once over the whole tree so the
+    call graph is complete. *)
+type analysis = Syntactic | Flow
+
+type check =
+  | Per_file of (source_file list -> Diagnostic.t list)
+      (** receives the policy-eligible files *)
+  | Whole_batch of
+      (batch:source_file list ->
+      eligible:source_file list ->
+      Diagnostic.t list)
+      (** additionally receives the full batch for call-graph context;
+          reports should stay within [eligible] *)
+
+type t = { id : string; doc : string; analysis : analysis; check : check }
 
 val impl_rule :
   id:string ->
@@ -26,4 +37,13 @@ val impl_rule :
   Ppxlib.Parsetree.structure ->
   unit) ->
   t
-(** Builds the common shape: a per-file walk over implementations only. *)
+(** Builds the common shape: a syntactic, per-file walk over
+    implementations only. *)
+
+val flow_rule :
+  id:string ->
+  doc:string ->
+  (batch:source_file list -> eligible:source_file list -> Diagnostic.t list) ->
+  t
+(** Builds an interprocedural rule: always [Flow], always
+    [Whole_batch]. *)

@@ -1,0 +1,189 @@
+(* decide-once: the static shadow of CD1 (integrity — a node decides at
+   most once per instance).
+
+   The dynamic checker catches a double decision when a trace happens to
+   exercise it; this rule pins the *code shape* that makes one
+   impossible:
+
+   1. lib/core marks exactly one value binding with
+      [[@lint.decide_guard]] — the single gate through which the
+      decision state is written;
+   2. every emission (a [Decide {...}] action construction, or a record
+      write setting the [decided] field to anything but [None]) occurs
+      inside that guard binding;
+   3. within the guard, every emission site is dominated (on the
+      intra-function CFG) by a branch whose scrutinee inspects the
+      [decided] state — i.e. no path reaches the emission without first
+      testing whether a decision already exists.
+
+   Emissions inside nested lambdas cannot be tied to the guard's control
+   flow, so they are rejected outright ("cannot verify").  Deleting the
+   guard annotation, adding a second one, or adding an unguarded
+   emission path each fails the gate — exactly the regressions the
+   acceptance checklist calls out. *)
+
+open Ppxlib
+
+let rule_id = "decide-once"
+
+type guard = { g_name : string; g_loc : Location.t; g_expr : expression }
+type emission = { e_loc : Location.t; e_what : string }
+
+let last_segment lid = match List.rev (Ast_util.flatten lid) with
+  | s :: _ -> s
+  | [] -> ""
+
+let is_none_construct e =
+  match e.pexp_desc with
+  | Pexp_construct (lid, None) -> String.equal (last_segment lid.txt) "None"
+  | _ -> false
+
+let has_guard_attr attrs =
+  List.exists
+    (fun (a : attribute) -> String.equal a.attr_name.txt "lint.decide_guard")
+    attrs
+
+let collect structure =
+  let guards = ref [] and emissions = ref [] in
+  let iter =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! value_binding vb =
+        (if has_guard_attr vb.pvb_attributes then
+           let name =
+             match vb.pvb_pat.ppat_desc with
+             | Ppat_var { txt; _ } -> txt
+             | _ -> "_"
+           in
+           guards :=
+             { g_name = name; g_loc = vb.pvb_loc; g_expr = vb.pvb_expr }
+             :: !guards);
+        super#value_binding vb
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_construct (lid, Some _)
+          when String.equal (last_segment lid.txt) "Decide" ->
+            emissions :=
+              { e_loc = e.pexp_loc; e_what = "Decide action" } :: !emissions
+        | Pexp_record (fields, _) ->
+            List.iter
+              (fun ((lid : Longident.t loc), value) ->
+                if
+                  String.equal (last_segment lid.txt) "decided"
+                  && not (is_none_construct value)
+                then
+                  emissions :=
+                    { e_loc = value.pexp_loc; e_what = "write to decided state" }
+                    :: !emissions)
+              fields
+        | _ -> ());
+        super#expression e
+    end
+  in
+  iter#structure structure;
+  (List.rev !guards, List.rev !emissions)
+
+(* Does the branch scrutinee inspect the decision state?  Either a field
+   access [st.decided] or a bare [decided] binding. *)
+let mentions_decided (e : expression) =
+  let found = ref false in
+  let iter =
+    object
+      inherit Ast_traverse.iter as super
+
+      method! expression e =
+        (match e.pexp_desc with
+        | Pexp_field (_, lid) when String.equal (last_segment lid.txt) "decided"
+          ->
+            found := true
+        | Pexp_ident lid when String.equal (last_segment lid.txt) "decided" ->
+            found := true
+        | _ -> ());
+        super#expression e
+    end
+  in
+  iter#expression e;
+  !found
+
+(* CFG check for one emission inside the guard: its node must be
+   dominated by a branch over the decided state. *)
+let check_in_guard ~(file : Rule.source_file) (g : guard) (e : emission) :
+    Diagnostic.t option =
+  let diag msg = Some (Diagnostic.make ~rule:rule_id ~file:file.rel ~loc:e.e_loc msg) in
+  let cfg = Cfg.of_function g.g_expr in
+  match Cfg.node_of_loc cfg e.e_loc with
+  | None ->
+      diag
+        (Printf.sprintf
+           "%s inside a nested function in guard '%s'; decide-once cannot be \
+            verified on the guard's control flow"
+           e.e_what g.g_name)
+  | Some node ->
+      let doms = Cfg.dominators cfg in
+      let guarded =
+        Cfg.Int_set.exists
+          (fun d ->
+            match cfg.Cfg.nodes.(d).Cfg.branch with
+            | Some scrut -> mentions_decided scrut
+            | None -> false)
+          doms.(node)
+      in
+      if guarded then None
+      else
+        diag
+          (Printf.sprintf
+             "%s is not dominated by a branch on the decided state; a path \
+              through '%s' can emit a second decision"
+             e.e_what g.g_name)
+
+let check ~batch:_ ~eligible =
+  List.concat_map
+    (fun (file : Rule.source_file) ->
+      match file.ast with
+      | Rule.Intf _ -> []
+      | Rule.Impl structure -> (
+          let guards, emissions = collect structure in
+          let diag ~loc msg =
+            Diagnostic.make ~rule:rule_id ~file:file.rel ~loc msg
+          in
+          match guards with
+          | [] ->
+              List.map
+                (fun e ->
+                  diag ~loc:e.e_loc
+                    (Printf.sprintf
+                       "%s outside any [@lint.decide_guard] binding; route \
+                        the decision through the single guard"
+                       e.e_what))
+                emissions
+          | [ g ] ->
+              List.filter_map
+                (fun e ->
+                  if Cfg.covers g.g_loc e.e_loc then check_in_guard ~file g e
+                  else
+                    Some
+                      (diag ~loc:e.e_loc
+                         (Printf.sprintf
+                            "%s outside the [@lint.decide_guard] binding \
+                             '%s'; a second emission path breaks CD1"
+                            e.e_what g.g_name)))
+                emissions
+          | _ :: extras ->
+              List.map
+                (fun g ->
+                  diag ~loc:g.g_loc
+                    (Printf.sprintf
+                       "second [@lint.decide_guard] binding '%s'; the decide \
+                        gate must be unique"
+                       g.g_name))
+                extras))
+    eligible
+
+let rule =
+  Rule.flow_rule ~id:rule_id
+    ~doc:
+      "Decide emissions live in the unique [@lint.decide_guard] binding, \
+       dominated by a decided-state check (CD1 shadow)"
+    check

@@ -1,0 +1,316 @@
+(* exception-flow: interprocedural escape analysis replacing the old
+   syntactic catch-all-exception ban.
+
+   Per-function summaries — "which exception constructors can evaluating
+   this body raise?" — are solved over the same-batch call graph with
+   the generic fixpoint engine on the lattice
+
+       Known ∅  ⊑  Known {C…}  ⊑  Top
+
+   Raise forms contribute their constructor ([raise (C …)] → {C},
+   [failwith] → {Failure}, [invalid_arg] → {Invalid_argument},
+   [assert] → {Assert_failure}); [try] subtracts the constructors its
+   handlers name (a catch-all handler absorbs everything); applied
+   callees contribute their summary when resolvable, a small table of
+   stdlib raisers ([Hashtbl.find] → {Not_found}, …) when qualified, and
+   [Top] when an unqualified unknown (a parameter or local closure) is
+   applied.  Lambda bodies count toward the enclosing summary — a
+   [failwith] inside a scheduled closure is still this module's failure
+   mode.
+
+   Two violation families on the eligible components (lib/codec,
+   lib/net):
+
+   A. catch-all precision — a [with _ ->] whose guarded body has a
+      *finite* summary is hiding a nameable set; the diagnostic
+      enumerates it.  When the summary is [Top] the catch-all is
+      genuinely needed and allowed (this is the precision the old
+      syntactic rule lacked).
+
+   B. boundary leak — a top-level function whose *local* raise forms
+      (callee contributions excluded, re-raises excluded, [try]
+      respected) can emit [Failure]: anonymous [failwith] at a
+      component boundary turns into untypeable control flow for
+      callers; declare a named exception instead. *)
+
+open Ppxlib
+
+let rule_id = "exception-flow"
+
+module SSet = Set.Make (String)
+
+module Exn_lattice = struct
+  type t = Top | Known of SSet.t
+
+  let bottom = Known SSet.empty
+
+  let equal a b =
+    match (a, b) with
+    | Top, Top -> true
+    | Known x, Known y -> SSet.equal x y
+    | Top, Known _ | Known _, Top -> false
+
+  let join a b =
+    match (a, b) with
+    | Top, _ | _, Top -> Top
+    | Known x, Known y -> Known (SSet.union x y)
+end
+
+open Exn_lattice
+
+let known1 c = Known (SSet.singleton c)
+
+(* Qualified stdlib functions with documented raising behavior. *)
+let stdlib_raisers =
+  [
+    ("Hashtbl.find", "Not_found");
+    ("List.find", "Not_found");
+    ("List.assoc", "Not_found");
+    ("List.hd", "Failure");
+    ("List.tl", "Failure");
+    ("Option.get", "Invalid_argument");
+    ("int_of_string", "Failure");
+    ("float_of_string", "Failure");
+    ("Queue.pop", "Empty");
+    ("Queue.take", "Empty");
+    ("Queue.peek", "Empty");
+    ("Stack.pop", "Empty");
+    ("Stack.top", "Empty");
+  ]
+
+let last_segment lid = match List.rev (Ast_util.flatten lid) with
+  | s :: _ -> s
+  | [] -> ""
+
+(* Immediate sub-expressions, one level deep: the generic fallback for
+   the structural recursion below. *)
+let immediate_children (e : expression) : expression list =
+  let acc = ref [] in
+  let iter =
+    object
+      inherit Ast_traverse.iter as super
+      val mutable at_root = true
+
+      method! expression x =
+        if at_root then begin
+          at_root <- false;
+          super#expression x
+        end
+        else acc := x :: !acc
+    end
+  in
+  iter#expression e;
+  List.rev !acc
+
+(* Which constructors do a [try]'s handler cases absorb?
+   Returns [(catch_all, named)]. *)
+let handled_of_cases cases =
+  let rec pat p =
+    match p.ppat_desc with
+    | Ppat_or (a, b) ->
+        let ca, na = pat a and cb, nb = pat b in
+        (ca || cb, na @ nb)
+    | Ppat_alias (p, _) | Ppat_constraint (p, _) | Ppat_exception p -> pat p
+    | Ppat_construct (lid, _) -> (false, [ last_segment lid.txt ])
+    | Ppat_any | Ppat_var _ -> (true, [])
+    | _ -> (false, []) (* unknown pattern: assume it absorbs nothing *)
+  in
+  List.fold_left
+    (fun (ca, names) case ->
+      let c, n = pat case.pc_lhs in
+      (ca || c, n @ names))
+    (false, []) cases
+
+let subtract escape ~catch_all ~named =
+  if catch_all then Known SSet.empty
+  else
+    match escape with
+    | Top -> Top
+    | Known s -> Known (SSet.diff s (SSet.of_list named))
+
+(* The escape of one raise argument. *)
+let raised_value ~reraise_is arg =
+  match arg.pexp_desc with
+  | Pexp_construct (lid, _) -> known1 (last_segment lid.txt)
+  | Pexp_ident _ -> reraise_is (* re-raise of a caught/parameter exn *)
+  | _ -> Top
+
+(* [esc ~callee e]: the escape set of evaluating [e].  [callee] maps an
+   applied identifier to its contribution; the summary pass resolves
+   through the call graph, the local pass returns ∅ so only direct
+   raise forms count.  [reraise_is] is [Top] for summaries (the caller
+   cannot know what flows through) and ∅ for the local boundary check
+   (re-raising introduces no new failure mode of this function). *)
+let rec esc ~callee ~reraise_is (e : expression) : Exn_lattice.t =
+  let go = esc ~callee ~reraise_is in
+  let fold es = List.fold_left (fun a c -> join a (go c)) bottom es in
+  match e.pexp_desc with
+  | Pexp_try (body, cases) ->
+      let catch_all, named = handled_of_cases cases in
+      let remaining = subtract (go body) ~catch_all ~named in
+      let handlers =
+        fold
+          (List.concat_map
+             (fun c ->
+               c.pc_rhs :: (match c.pc_guard with Some g -> [ g ] | None -> []))
+             cases)
+      in
+      join remaining handlers
+  | Pexp_apply ({ pexp_desc = Pexp_ident lid; _ }, args) ->
+      let arg_exprs = List.map snd args in
+      let direct =
+        match (Ast_util.unqualify lid.txt, arg_exprs) with
+        | ([ "raise" ] | [ "raise_notrace" ]), [ arg ] ->
+            join (raised_value ~reraise_is arg) (fold arg_exprs)
+        | [ "failwith" ], _ -> join (known1 "Failure") (fold arg_exprs)
+        | [ "invalid_arg" ], _ ->
+            join (known1 "Invalid_argument") (fold arg_exprs)
+        | parts, _ ->
+            join (callee ~parts lid.txt) (fold arg_exprs)
+      in
+      direct
+  | Pexp_assert a -> join (known1 "Assert_failure") (go a)
+  | Pexp_function (_, _, Pfunction_body body) -> go body
+  | Pexp_function (_, _, Pfunction_cases (cases, _, _)) ->
+      fold
+        (List.concat_map
+           (fun c ->
+             c.pc_rhs :: (match c.pc_guard with Some g -> [ g ] | None -> []))
+           cases)
+  | _ -> fold (immediate_children e)
+
+(* Callee contribution for the interprocedural summary pass. *)
+let summary_callee g (file : Rule.source_file) get ~parts lid =
+  match Callgraph.resolve g ~file lid with
+  | Callgraph.Known ids -> List.fold_left (fun a id -> join a (get id)) bottom ids
+  | Callgraph.Unknown _ -> (
+      let flat = String.concat "." parts in
+      match List.assoc_opt flat stdlib_raisers with
+      | Some c -> known1 c
+      | None -> (
+          if List.length parts > 1 then bottom
+            (* qualified but unresolvable: stdlib/runtime, assume pure *)
+          else
+            match parts with
+            | [ p ] when p <> "" && not ((p.[0] >= 'a' && p.[0] <= 'z') || p.[0] = '_')
+              ->
+                bottom (* symbolic operator ((=), (+), (^), …): pure *)
+            | _ -> Top (* a parameter or local closure: anything may fly *)))
+
+module Solver = Fixpoint.Make (Exn_lattice)
+
+let pp_set s = String.concat ", " (SSet.elements s)
+
+let check ~batch ~eligible =
+  let g = Callgraph.of_batch batch in
+  let fns = Callgraph.functions g in
+  let keys = List.map (fun (f : Callgraph.fn) -> f.id) fns in
+  let transfer get id =
+    match Callgraph.find g id with
+    | None -> bottom
+    | Some fn ->
+        esc
+          ~callee:(summary_callee g fn.file get)
+          ~reraise_is:Top fn.body
+  in
+  let summary, _stats = Solver.solve ~keys ~transfer in
+  (* A: catch-alls whose guarded body has a finite, nameable escape. *)
+  let catch_all_diags =
+    List.concat_map
+      (fun (file : Rule.source_file) ->
+        match file.ast with
+        | Rule.Intf _ -> []
+        | Rule.Impl structure ->
+            let acc = ref [] in
+            let callee = summary_callee g file (fun id -> summary id) in
+            let flag_cases body_escape cases =
+              List.iter
+                (fun case ->
+                  let is_catch_all =
+                    match case.pc_lhs.ppat_desc with
+                    | Ppat_exception p -> Rules_hygiene.pattern_is_catch_all p
+                    | _ -> Rules_hygiene.pattern_is_catch_all case.pc_lhs
+                  in
+                  if is_catch_all then
+                    match body_escape with
+                    | Top -> () (* unknowable set: catch-all is honest *)
+                    | Known s ->
+                        acc :=
+                          Diagnostic.make ~rule:rule_id ~file:file.rel
+                            ~loc:case.pc_lhs.ppat_loc
+                            (Printf.sprintf
+                               "catch-all handler, but the guarded body can \
+                                only raise {%s}; name the cases instead of \
+                                swallowing everything"
+                               (pp_set s))
+                          :: !acc)
+                cases
+            in
+            let iter =
+              object
+                inherit Ast_traverse.iter as super
+
+                method! expression e =
+                  (match e.pexp_desc with
+                  | Pexp_try (body, cases) ->
+                      flag_cases (esc ~callee ~reraise_is:Top body) cases
+                  | Pexp_match (scrut, cases)
+                    when List.exists
+                           (fun c ->
+                             match c.pc_lhs.ppat_desc with
+                             | Ppat_exception _ -> true
+                             | _ -> false)
+                           cases ->
+                      flag_cases
+                        (esc ~callee ~reraise_is:Top scrut)
+                        (List.filter
+                           (fun c ->
+                             match c.pc_lhs.ppat_desc with
+                             | Ppat_exception _ -> true
+                             | _ -> false)
+                           cases)
+                  | _ -> ());
+                  super#expression e
+              end
+            in
+            iter#structure structure;
+            List.rev !acc)
+      eligible
+  in
+  (* B: boundary leaks — local raise forms emitting Failure. *)
+  let eligible_rels = List.map (fun (f : Rule.source_file) -> f.rel) eligible in
+  let leak_diags =
+    List.filter_map
+      (fun (fn : Callgraph.fn) ->
+        if not (List.exists (String.equal fn.file.Rule.rel) eligible_rels) then
+          None
+        else
+          let local =
+            esc
+              ~callee:(fun ~parts:_ _ -> bottom)
+              ~reraise_is:bottom fn.body
+          in
+          let leaks =
+            match local with
+            | Top -> true
+            | Known s -> SSet.mem "Failure" s
+          in
+          if leaks then
+            Some
+              (Diagnostic.make ~rule:rule_id ~file:fn.file.Rule.rel ~loc:fn.loc
+                 (Printf.sprintf
+                    "'%s' can raise Failure (failwith) across the component \
+                     boundary; declare a named exception for this failure \
+                     mode"
+                    fn.name))
+          else None)
+      fns
+  in
+  catch_all_diags @ leak_diags
+
+let rule =
+  Rule.flow_rule ~id:rule_id
+    ~doc:
+      "catch-alls must face an unknowable exception set, and boundaries \
+       raise named exceptions instead of failwith (escape analysis)"
+    check

@@ -1,17 +1,15 @@
-(* Three small hygiene rules.
+(* Two small hygiene rules.
 
    no-obj-magic: [Obj.*] defeats the type system everywhere, not just
    in the protocol; banned repo-wide.
 
-   catch-all-exception: lib/codec's decoder paths and lib/net's
-   fault-injection/ARQ paths are hardened against malformed or lost
-   input by *naming* the failures they expect ([Invalid_argument],
-   [Failure], decode errors).  A [with _ ->] swallows typos, OOM and
-   assertion failures alike and turns a codec or transport bug into
-   silent frame loss.
-
    mli-coverage: every lib/ module ships an interface; the signature is
-   where the purity and determinism contracts are documented. *)
+   where the purity and determinism contracts are documented.
+
+   (The old catch-all-exception rule was subsumed by the flow-sensitive
+   exception-flow analysis in rules_exn_flow.ml, which knows *which*
+   exceptions a guarded body can raise instead of banning [with _ ->]
+   outright.  [pattern_is_catch_all] stays here as its helper.) *)
 
 open Ppxlib
 
@@ -42,54 +40,6 @@ let pattern_is_catch_all pat =
   | Ppat_any -> true
   | Ppat_alias ({ ppat_desc = Ppat_any; _ }, _) -> true
   | _ -> false
-
-let catch_all =
-  Rule.impl_rule ~id:"catch-all-exception"
-    ~doc:
-      "no 'with _ ->' exception swallowing in lib/codec's decoder and \
-       lib/net's fault/ARQ paths" (fun ~add structure ->
-      let check_cases cases =
-        List.filter_map
-          (fun case ->
-            match case.pc_lhs.ppat_desc with
-            | Ppat_exception p when pattern_is_catch_all p ->
-                Some case.pc_lhs.ppat_loc
-            | _ when pattern_is_catch_all case.pc_lhs ->
-                Some case.pc_lhs.ppat_loc
-            | _ -> None)
-          cases
-      in
-      let iter =
-        object
-          inherit Ast_traverse.iter as super
-
-          method! expression e =
-            (match e.pexp_desc with
-            | Pexp_try (_, cases) ->
-                List.iter
-                  (fun loc ->
-                    add ~loc
-                      "catch-all exception handler swallows unexpected \
-                       failures; name the exceptions the decoder expects")
-                  (check_cases cases)
-            | Pexp_match (_, cases) ->
-                List.iter
-                  (fun loc ->
-                    add ~loc
-                      "catch-all 'exception _' case swallows unexpected \
-                       failures; name the exceptions the decoder expects")
-                  (List.filter_map
-                     (fun case ->
-                       match case.pc_lhs.ppat_desc with
-                       | Ppat_exception p when pattern_is_catch_all p ->
-                           Some case.pc_lhs.ppat_loc
-                       | _ -> None)
-                     cases)
-            | _ -> ());
-            super#expression e
-        end
-      in
-      iter#structure structure)
 
 (* Directory-level rule: pairs each [.ml] with its interface inside the
    batch, so it only sees what the dune stanza (or the CLI caller)
@@ -123,5 +73,6 @@ let mli_coverage =
   {
     Rule.id = "mli-coverage";
     doc = "every lib/ module ships a documented .mli";
-    check;
+    analysis = Rule.Syntactic;
+    check = Rule.Per_file check;
   }

@@ -1,0 +1,85 @@
+(* send-locality: the static shadow of CD3 (locality — protocol messages
+   target only nodes the sender can name from its border geometry).
+
+   Conjuring a node id out of an integer ([Node_id.of_int]) inside
+   protocol code sidesteps that discipline: the id did not come from the
+   view, the border, or a received message.  The rule computes the set
+   of functions reachable from the protocol roots (every top-level
+   binding of lib/core/protocol.ml) over the same-batch call graph —
+   a reachability closure solved with the generic fixpoint engine —
+   and flags [Node_id.of_int] occurrences in any reachable function of
+   an eligible file, with a call-path witness in the message.
+
+   The test harness (runner.ml) is file-exempt: it fabricates ids by
+   design when wiring topologies.  Unknown callees end the closure
+   (nothing behind an [Unknown] edge is reachable), which is the usual
+   under-approximation for an advisory locality check. *)
+
+let rule_id = "send-locality"
+
+let is_root (fn : Callgraph.fn) =
+  String.equal fn.file.Rule.component "lib/core"
+  && String.equal fn.file.Rule.basename "protocol.ml"
+
+let is_of_int name =
+  match List.rev (String.split_on_char '.' name) with
+  | "of_int" :: "Node_id" :: _ -> true
+  | _ -> false
+
+module Reach = Fixpoint.Make (Fixpoint.Bool_lattice)
+
+let check ~batch ~eligible =
+  let g = Callgraph.of_batch batch in
+  let fns = Callgraph.functions g in
+  let keys = List.map (fun (f : Callgraph.fn) -> f.id) fns in
+  let transfer get id =
+    match Callgraph.find g id with
+    | None -> false
+    | Some fn ->
+        is_root fn || List.exists get (Callgraph.callers_of g id)
+  in
+  let reachable, _stats = Reach.solve ~keys ~transfer in
+  let roots =
+    List.filter_map
+      (fun (f : Callgraph.fn) -> if is_root f then Some f.id else None)
+      fns
+  in
+  let eligible_rels =
+    List.map (fun (f : Rule.source_file) -> f.rel) eligible
+  in
+  List.concat_map
+    (fun (fn : Callgraph.fn) ->
+      if
+        reachable fn.id
+        && List.exists (String.equal fn.file.Rule.rel) eligible_rels
+      then
+        List.filter_map
+          (fun (call : Callgraph.call) ->
+            if is_of_int call.name then
+              let witness =
+                match
+                  Callgraph.bfs_path g ~starts:roots
+                    ~goal:(String.equal fn.id)
+                with
+                | Some path -> Callgraph.pp_path g path
+                | None -> fn.dotted
+              in
+              Some
+                (Diagnostic.make ~rule:rule_id ~file:fn.file.Rule.rel
+                   ~loc:call.loc
+                   (Printf.sprintf
+                      "Node_id.of_int fabricates a node id in protocol-\
+                       reachable code (CD3: sends target border/view nodes \
+                       only); reachable via %s"
+                      witness))
+            else None)
+          fn.calls
+      else [])
+    (Callgraph.functions g)
+
+let rule =
+  Rule.flow_rule ~id:rule_id
+    ~doc:
+      "no Node_id.of_int in code reachable from protocol.ml — messages \
+       target border/view nodes only (CD3 shadow)"
+    check

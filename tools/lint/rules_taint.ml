@@ -1,0 +1,95 @@
+(* nondet-taint: nondeterminism reaches lib/ only through lib/prng.
+
+   The syntactic determinism rule flags *direct* uses of ambient entropy
+   ([Random.*], [Sys.time], …).  This rule closes the loophole it leaves
+   open: a helper that wraps a source and is then called from three
+   modules away.  Taint propagates backwards over the same-batch call
+   graph — a function is tainted when it is a source or calls a tainted
+   function — EXCEPT through lib/prng, whose whole purpose is to absorb
+   entropy behind a seeded, splittable interface (the laundering cut:
+   calling into lib/prng never taints the caller).
+
+   Only tainted NON-sources are reported (the determinism rule already
+   owns the sources themselves), each with a shortest call-path witness
+   to a source. *)
+
+let rule_id = "nondet-taint"
+
+let source_names =
+  [ "Sys.time"; "Hashtbl.hash"; "Hashtbl.seeded_hash"; "Hashtbl.hash_param" ]
+
+let is_source_name name =
+  let has_prefix p =
+    String.length name >= String.length p
+    && String.equal (String.sub name 0 (String.length p)) p
+  in
+  has_prefix "Random." || has_prefix "Unix.time" || has_prefix "Unix.gettimeofday"
+  || List.exists (String.equal name) source_names
+
+let is_source (fn : Callgraph.fn) =
+  List.exists
+    (fun (c : Callgraph.call) -> is_source_name c.name)
+    fn.calls
+
+let in_prng (fn : Callgraph.fn) =
+  String.equal fn.file.Rule.component "lib/prng"
+
+module Taint = Fixpoint.Make (Fixpoint.Bool_lattice)
+
+let check ~batch ~eligible =
+  let g = Callgraph.of_batch batch in
+  let fns = Callgraph.functions g in
+  let keys = List.map (fun (f : Callgraph.fn) -> f.id) fns in
+  let transfer get id =
+    match Callgraph.find g id with
+    | None -> false
+    | Some fn ->
+        is_source fn
+        || List.exists
+             (fun (call : Callgraph.call) ->
+               match call.callee with
+               | Callgraph.Unknown _ -> false
+               | Callgraph.Known ids ->
+                   List.exists
+                     (fun c ->
+                       match Callgraph.find g c with
+                       | Some callee_fn when in_prng callee_fn ->
+                           false (* the laundering cut *)
+                       | _ -> get c)
+                     ids)
+             fn.calls
+  in
+  let tainted, _stats = Taint.solve ~keys ~transfer in
+  let eligible_rels = List.map (fun (f : Rule.source_file) -> f.rel) eligible in
+  List.filter_map
+    (fun (fn : Callgraph.fn) ->
+      if
+        tainted fn.id
+        && (not (is_source fn))
+        && List.exists (String.equal fn.file.Rule.rel) eligible_rels
+      then
+        let witness =
+          match
+            Callgraph.bfs_path g ~starts:[ fn.id ] ~goal:(fun id ->
+                match Callgraph.find g id with
+                | Some f -> is_source f && not (in_prng f)
+                | None -> false)
+          with
+          | Some path -> Callgraph.pp_path g path
+          | None -> fn.dotted
+        in
+        Some
+          (Diagnostic.make ~rule:rule_id ~file:fn.file.Rule.rel ~loc:fn.loc
+             (Printf.sprintf
+                "'%s' reaches a nondeterminism source outside lib/prng: %s; \
+                 draw entropy through lib/prng instead"
+                fn.name witness))
+      else None)
+    fns
+
+let rule =
+  Rule.flow_rule ~id:rule_id
+    ~doc:
+      "no call path from lib/ code to ambient entropy except through \
+       lib/prng (taint over the call graph)"
+    check
