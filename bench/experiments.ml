@@ -17,6 +17,7 @@ module Transport = Cliffedge_net.Transport
 module Table = Cliffedge_report.Table
 module Summary = Cliffedge_report.Summary
 module Prng = Cliffedge_prng.Prng
+module Obs = Cliffedge_obs
 
 let cell = Table.cell
 
@@ -1051,6 +1052,24 @@ let x16_smoke () =
     ~policies:[ ("default", Transport.default_policy) ]
     ()
 
+(* Causal-trace metrics smoke: one lossy-ARQ cut of the X16 scenario,
+   reduced to the lib/obs latency histograms and merged into the
+   --json output as the "trace" section.  Keeps BENCH_PR*.json
+   carrying observability data next to micro/x16, and gives the
+   @bench-smoke gate a real metrics object to validate. *)
+let trace_smoke () =
+  let channel =
+    Transport.Arq_over_faulty
+      ({ Faults.none with drop = 0.2 }, Transport.default_policy)
+  in
+  let outcome, report = x16_outcome ~channel 0 in
+  let metrics = Obs.Metrics.of_log outcome.Runner.obs in
+  Format.printf
+    "@.trace metrics (X16 scenario, drop 0.2, default ARQ, %d violation(s)):@.%a@."
+    (violations report) Obs.Metrics.pp metrics;
+  Json_out.record ~section:"trace"
+    [ ("x16_drop20_arq", Obs.Metrics.to_json metrics) ]
+
 let all =
   [
     ("x1", x1);
@@ -1069,6 +1088,7 @@ let all =
     ("x14", x14);
     ("x15", x15);
     ("x16", fun () -> x16 ());
+    ("trace", trace_smoke);
   ]
 
 let run_all () =

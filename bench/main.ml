@@ -27,11 +27,16 @@ let usage () =
   print_endline "  x14 lifecycle churn: repeated waves over a self-healing overlay";
   print_endline "  x15 reaction time vs detection latency";
   print_endline "  x16 ARQ-over-lossy-channel overhead: drop rate x backoff policy";
+  print_endline
+    "  trace  causal-trace latency histograms (lib/obs) on the lossy X16 scenario";
   print_endline "  micro  bechamel micro-benchmarks";
   print_endline "  smoke  one tiny micro-bench; with --json, validates the output file";
   print_endline
     "  check-lint FILE  validate the lint_timings section cliffedge-lint \
      --bench-json merges";
+  print_endline
+    "  check-trace FILE  validate a Chrome trace_event file written by \
+     cliffedge-cli trace --format chrome";
   print_endline "options:";
   print_endline "  --csv DIR    also write every table to DIR/<slug>.csv";
   print_endline "  --json FILE  merge machine-readable timings into FILE (see BENCH_PR1.json)"
@@ -95,6 +100,74 @@ let check_lint_timings file =
           | None -> fail "lint_timings is missing rules_ms");
           Printf.printf "json ok: %s (lint_timings)\n" file)
 
+(* Validates a Chrome trace_event JSON file as written by `cliffedge-cli
+   trace --format chrome`: the schema Perfetto/chrome://tracing load.
+   Guards the exporter against drifting from the viewer contract, in
+   the same style as [check_lint_timings] for the lint emitter. *)
+let check_trace file =
+  let fail fmt =
+    Printf.ksprintf
+      (fun message ->
+        Printf.eprintf "bench: %s: %s\n" file message;
+        exit 1)
+      fmt
+  in
+  match Json.of_file file with
+  | Error message -> fail "does not parse: %s" message
+  | Ok root ->
+      (match Json.member "displayTimeUnit" root with
+      | Some (Json.String _) -> ()
+      | Some _ -> fail "displayTimeUnit is not a string"
+      | None -> fail "missing displayTimeUnit");
+      let events =
+        match Json.member "traceEvents" root with
+        | Some (Json.List (_ :: _ as events)) -> events
+        | Some (Json.List []) -> fail "traceEvents is empty"
+        | Some _ -> fail "traceEvents is not a list"
+        | None -> fail "missing traceEvents"
+      in
+      let phases = ref [] in
+      List.iteri
+        (fun i event ->
+          let field key =
+            match Json.member key event with
+            | Some v -> v
+            | None -> fail "traceEvents[%d] is missing %s" i key
+          in
+          let string_field key =
+            match field key with
+            | Json.String s -> s
+            | _ -> fail "traceEvents[%d].%s is not a string" i key
+          in
+          let int_field key =
+            match field key with
+            | Json.Int _ -> ()
+            | _ -> fail "traceEvents[%d].%s is not an integer" i key
+          in
+          ignore (string_field "name");
+          int_field "pid";
+          int_field "tid";
+          let ph = string_field "ph" in
+          if not (List.mem ph [ "M"; "i"; "s"; "f" ]) then
+            fail "traceEvents[%d].ph %S is not one of M/i/s/f" i ph;
+          if not (String.equal ph "M") then begin
+            (match field "ts" with
+            | Json.Int _ | Json.Float _ -> ()
+            | _ -> fail "traceEvents[%d].ts is not a number" i);
+            if String.equal ph "s" || String.equal ph "f" then int_field "id"
+          end;
+          if not (List.mem ph !phases) then phases := ph :: !phases)
+        events;
+      (* A useful trace has at least metadata, instants and one causal
+         flow pair; a filter that strips everything should fail loudly
+         here rather than ship an empty-looking file. *)
+      List.iter
+        (fun ph ->
+          if not (List.mem ph !phases) then
+            fail "no %S events (metadata/instant/flow expected)" ph)
+        [ "M"; "i"; "s"; "f" ];
+      Printf.printf "trace ok: %s (%d event(s))\n" file (List.length events)
+
 let run_experiment name =
   match List.assoc_opt name Experiments.all with
   | Some f ->
@@ -105,7 +178,10 @@ let run_experiment name =
   | None when String.equal name "smoke" ->
       Micro.run ~quota:0.05 ~stabilize:false ~only:"graph: border" ();
       Experiments.x16_smoke ();
-      Option.iter (fun file -> validate_json file [ "micro"; "x16" ]) !Json_out.path
+      Experiments.trace_smoke ();
+      Option.iter
+        (fun file -> validate_json file [ "micro"; "x16"; "trace" ])
+        !Json_out.path
   | None when String.equal name "all" ->
       Experiments.run_all ();
       Micro.run ()
@@ -132,6 +208,10 @@ let () =
   | [ "check-lint"; file ] -> check_lint_timings file
   | [ "check-lint" ] ->
       prerr_endline "bench: check-lint needs a FILE argument";
+      exit 1
+  | [ "check-trace"; file ] -> check_trace file
+  | [ "check-trace" ] ->
+      prerr_endline "bench: check-trace needs a FILE argument";
       exit 1
   | [] ->
       Experiments.run_all ();

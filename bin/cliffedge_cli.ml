@@ -26,6 +26,7 @@ module Faults = Cliffedge_net.Faults
 module Transport = Cliffedge_net.Transport
 module Prng = Cliffedge_prng.Prng
 module Table = Cliffedge_report.Table
+module Obs = Cliffedge_obs
 
 (* ------------------------------------------------------------------ *)
 (* Shared argument parsing                                             *)
@@ -283,6 +284,111 @@ let dot_cmd =
     Term.(const action $ topology_arg $ seed_arg $ region_size_arg)
 
 (* ------------------------------------------------------------------ *)
+(* trace                                                               *)
+
+let trace_cmd =
+  let action spec seed region_size cascade early raw_fd msg_latency fd_latency
+      faults transport format nodes kinds instance metrics =
+    List.iter
+      (fun k ->
+        if not (List.exists (String.equal k) Obs.Event.kind_names) then begin
+          Format.eprintf "unknown event kind %S (expected one of: %s)@." k
+            (String.concat ", " Obs.Event.kind_names);
+          exit 2
+        end)
+      kinds;
+    let graph, crashes, _ = build_workload ~spec ~seed ~region_size ~cascade in
+    let outcome =
+      Runner.run
+        ~options:
+          (options ~seed ~early ~raw_fd ~msg_latency ~fd_latency ~faults ~transport)
+        ~graph ~crashes ~propose_value:Scenario.default_propose ()
+    in
+    let keep e =
+      (match nodes with
+      | [] -> true
+      | ns -> List.exists (Int.equal (Node_id.to_int e.Obs.Event.node)) ns)
+      && (match kinds with
+         | [] -> true
+         | ks -> List.exists (String.equal (Obs.Event.kind_name e.Obs.Event.kind)) ks)
+      &&
+      match instance with
+      | None -> true
+      | Some key -> (
+          match e.Obs.Event.instance with
+          | Some i -> String.equal i key
+          | None -> false)
+    in
+    let events = List.filter keep (Obs.Log.to_list outcome.Runner.obs) in
+    (match format with
+    | `Pp -> Format.printf "%a" Obs.Export.pp events
+    | `Jsonl -> print_string (Obs.Export.jsonl events)
+    | `Chrome ->
+        print_string (Cliffedge_report.Json.to_string (Obs.Export.chrome events)));
+    if metrics then
+      (* Latency histograms always come from the unfiltered log: a
+         filter that drops a parent must not distort a latency. *)
+      Format.printf "%a" Obs.Metrics.pp (Obs.Metrics.of_log outcome.Runner.obs);
+    0
+  in
+  let format_arg =
+    Arg.(
+      value
+      & opt (enum [ ("pp", `Pp); ("jsonl", `Jsonl); ("chrome", `Chrome) ]) `Pp
+      & info [ "format" ] ~docv:"FMT"
+          ~doc:
+            "Output format: $(b,pp) (human-readable, default), $(b,jsonl) (one \
+             JSON object per event) or $(b,chrome) (Chrome trace_event JSON, \
+             loadable in Perfetto or about:tracing).")
+  in
+  let nodes_arg =
+    Arg.(
+      value
+      & opt (list int) []
+      & info [ "node" ] ~docv:"N1,N2,..."
+          ~doc:"Keep only events of these nodes (default: all).")
+  in
+  let kinds_arg =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "kind" ] ~docv:"K1,K2,..."
+          ~doc:
+            "Keep only these event kinds, e.g. crash,suspect,send,deliver,\
+             retransmit,stall,propose,reject,round,abort,early-outcome,decide.")
+  in
+  let instance_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "instance" ] ~docv:"KEY"
+          ~doc:
+            "Keep only events of this consensus instance (the proposed view's \
+             fingerprint, e.g. 3.4 for view {n3, n4}).")
+  in
+  let metrics_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Also print the run's latency histograms (decide latency, round \
+             latency, ARQ retransmit delay, failure-detection lag).")
+  in
+  let term =
+    Term.(
+      const action $ topology_arg $ seed_arg $ region_size_arg $ cascade_arg
+      $ early_arg $ raw_fd_arg $ msg_latency_arg $ fd_latency_arg $ faults_arg
+      $ transport_arg $ format_arg $ nodes_arg $ kinds_arg $ instance_arg
+      $ metrics_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run one cliff-edge agreement and print its causal event trace \
+          (optionally filtered, in pp/jsonl/Chrome format).")
+    term
+
+(* ------------------------------------------------------------------ *)
 (* mcheck                                                              *)
 
 let mcheck_cmd =
@@ -354,4 +460,7 @@ let mcheck_cmd =
 let () =
   let doc = "cliff-edge consensus: convergent detection of crashed regions" in
   let info = Cmd.info "cliffedge_cli" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ run_cmd; paper_cmd; sweep_cmd; dot_cmd; mcheck_cmd ]))
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ run_cmd; paper_cmd; sweep_cmd; dot_cmd; trace_cmd; mcheck_cmd ]))

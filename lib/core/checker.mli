@@ -21,7 +21,16 @@ type property =
 
 val property_name : property -> string
 
-type violation = { property : property; description : string }
+type violation = {
+  property : property;
+  description : string;
+  events : int list;
+      (** sequence ids of the causal-log events witnessing the
+          violation (decision events, the first offending send for
+          CD3, crash injections and ARQ stalls for CD7); empty when
+          the outcome carries no log entries for them, e.g. outcomes
+          fabricated outside the runner *)
+}
 
 type report = {
   violations : violation list;

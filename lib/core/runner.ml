@@ -7,6 +7,7 @@ module Transport = Cliffedge_net.Transport
 module Stats = Cliffedge_net.Stats
 module Failure_detector = Cliffedge_detector.Failure_detector
 module Substrate = Cliffedge_detector.Substrate
+module Obs = Cliffedge_obs
 
 let log_src = Logs.Src.create "cliffedge.runner" ~doc:"Cliff-edge protocol runs"
 
@@ -17,6 +18,7 @@ type 'v decision = {
   view : View.t;
   value : 'v;
   time : float;
+  event : int option;
 }
 
 type options = {
@@ -54,6 +56,7 @@ type 'v outcome = {
   quiescent : bool;
   stalled_channels : (Node_id.t * Node_id.t) list;
   states : (Node_id.t * 'v Protocol.state) list;
+  obs : Obs.Log.t;
 }
 
 let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
@@ -68,7 +71,7 @@ let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
       ~detection_latency:options.detection_latency
       ~channel_consistent_fd:options.channel_consistent_fd ()
   in
-  let { Substrate.engine; detector; _ } = substrate in
+  let { Substrate.engine; detector; obs; _ } = substrate in
   let cfg =
     Protocol.config ~early_stopping:options.early_stopping ?rank ~graph
       ~propose_value ()
@@ -77,6 +80,19 @@ let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
   let decisions = ref [] in
   let notes = ref [] in
   let state_of p = Hashtbl.find states (Node_id.to_int p) in
+  (* Seq of the last round-chain event ([Propose]/[Round]/...) each node
+     recorded per consensus instance, so the chain
+     propose -> round -> ... -> decide threads within an instance even
+     when deliveries of other instances interleave. *)
+  let instance_last : (int * string, int) Hashtbl.t = Hashtbl.create 64 in
+  let chain_parent p key =
+    match Hashtbl.find_opt instance_last (Node_id.to_int p, key) with
+    | Some _ as parent -> parent
+    | None -> Obs.Log.context obs
+  in
+  let observe ?instance ?parent p kind =
+    Obs.Log.record obs ~time:(Engine.now engine) ~node:p ?instance ?parent kind
+  in
   let rec execute p action =
     match action with
     | Protocol.Monitor targets ->
@@ -86,8 +102,13 @@ let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
     | Protocol.Decide { view; value } ->
         Log.debug (fun m ->
             m "t=%.2f %a decides on %a" (Engine.now engine) Node_id.pp p View.pp view);
+        let key = Obs.Event.instance_of_view view in
+        let seq =
+          observe ~instance:key ?parent:(chain_parent p key) p Obs.Event.Decide
+        in
         decisions :=
-          { node = p; view; value; time = Engine.now engine } :: !decisions
+          { node = p; view; value; time = Engine.now engine; event = Some seq }
+          :: !decisions
     | Protocol.Note note ->
         Log.debug (fun m ->
             m "t=%.2f %a %s" (Engine.now engine) Node_id.pp p
@@ -102,6 +123,39 @@ let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
                   Format.asprintf "broadcasts %s outcome for %a"
                     (if success then "successful" else "failed")
                     View.pp view));
+        (match note with
+        | Protocol.Proposed v ->
+            let key = Obs.Event.instance_of_view v in
+            let seq =
+              observe ~instance:key ?parent:(Obs.Log.context obs) p
+                Obs.Event.Propose
+            in
+            Hashtbl.replace instance_last (Node_id.to_int p, key) seq
+        | Protocol.Rejected_view v ->
+            let key = Obs.Event.instance_of_view v in
+            ignore
+              (observe ~instance:key ?parent:(Obs.Log.context obs) p
+                 Obs.Event.Reject)
+        | Protocol.Attempt_failed v ->
+            let key = Obs.Event.instance_of_view v in
+            let seq =
+              observe ~instance:key ?parent:(chain_parent p key) p Obs.Event.Abort
+            in
+            Hashtbl.replace instance_last (Node_id.to_int p, key) seq
+        | Protocol.Advanced_round { view; round } ->
+            let key = Obs.Event.instance_of_view view in
+            let seq =
+              observe ~instance:key ?parent:(chain_parent p key) p
+                (Obs.Event.Round { round })
+            in
+            Hashtbl.replace instance_last (Node_id.to_int p, key) seq
+        | Protocol.Early_outcome { view; success } ->
+            let key = Obs.Event.instance_of_view view in
+            let seq =
+              observe ~instance:key ?parent:(chain_parent p key) p
+                (Obs.Event.Early_outcome { success })
+            in
+            Hashtbl.replace instance_last (Node_id.to_int p, key) seq);
         notes := (Engine.now engine, p, note) :: !notes
   and dispatch p event =
     if not (Failure_detector.is_crashed detector p) then begin
@@ -113,7 +167,7 @@ let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
   in
   Substrate.on_deliver substrate (fun ~src ~dst msg ->
       dispatch dst (Protocol.Deliver { src; msg }));
-  Failure_detector.on_crash_notification detector (fun ~observer ~crashed ->
+  Substrate.on_crash_notification substrate (fun ~observer ~crashed ->
       dispatch observer (Protocol.Crash crashed));
   (* Bring every node up at time 0. *)
   Node_set.iter
@@ -132,7 +186,18 @@ let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
   {
     graph;
     crashes;
-    decisions = List.sort (fun a b -> Float.compare a.time b.time) !decisions;
+    decisions =
+      (* Tie-break equal-time decisions on their event seq so the order
+         is total and matches the causal log. *)
+      List.sort
+        (fun a b ->
+          let c = Float.compare a.time b.time in
+          if c <> 0 then c
+          else
+            Int.compare
+              (Option.value ~default:0 a.event)
+              (Option.value ~default:0 b.event))
+        !decisions;
     notes = List.rev !notes;
     stats = Substrate.stats substrate;
     crashed = Failure_detector.crashed_nodes detector;
@@ -141,6 +206,7 @@ let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
     quiescent = Engine.pending engine = 0;
     stalled_channels = Substrate.stalled_channels substrate;
     states;
+    obs;
   }
 
 let deciders outcome =

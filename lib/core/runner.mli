@@ -19,6 +19,10 @@ type 'v decision = {
   view : View.t;
   value : 'v;
   time : float;  (** virtual decision time *)
+  event : int option;
+      (** seq of the [Decide] event in the outcome's causal log;
+          [None] only for outcomes fabricated outside the runner
+          (tests, the exhaustive explorer) *)
 }
 
 type options = {
@@ -68,6 +72,12 @@ type 'v outcome = {
           partition); empty on reliable and raw channels *)
   states : (Node_id.t * 'v Protocol.state) list;
       (** final state of every node, crashed ones included *)
+  obs : Cliffedge_obs.Log.t;
+      (** the causal event log of the run: crashes, suspicions, sends,
+          deliveries, ARQ retransmissions and protocol breadcrumbs,
+          causally linked (see {!Cliffedge_obs.Event}); feed it to
+          {!Cliffedge_obs.Metrics.of_log} or the
+          {!Cliffedge_obs.Export} family *)
 }
 
 val run :

@@ -1,21 +1,34 @@
+open Cliffedge_graph
 module Engine = Cliffedge_sim.Engine
 module Prng = Cliffedge_prng.Prng
 module Network = Cliffedge_net.Network
 module Transport = Cliffedge_net.Transport
+module Obs = Cliffedge_obs
+
+(* Every payload travels wrapped with the sequence id of its [Send]
+   event, so the matching [Deliver] can name its exact causal parent —
+   the network may lose, duplicate or reorder the envelope, but it
+   cannot separate the payload from its provenance. *)
+type 'a envelope = { cause : int; payload : 'a }
 
 type 'a conduit =
-  | Direct of 'a Network.t
-  | Arq of 'a Transport.t
+  | Direct of 'a envelope Network.t
+  | Arq of 'a envelope Transport.t
 
 type 'a t = {
   engine : Engine.t;
   conduit : 'a conduit;
   detector : Failure_detector.t;
+  obs : Obs.Log.t;
+  (* Seq of each node's [Crash] event, so [Suspect] notifications can
+     parent to the fault injection they detect. *)
+  crash_seq : (int, int) Hashtbl.t;
 }
 
 let create ?(channel = Transport.Reliable) ~seed ~message_latency ~detection_latency
     ~channel_consistent_fd () =
   let engine = Engine.create () in
+  let obs = Obs.Log.create () in
   let rng = Prng.create seed in
   let net_rng = Prng.split rng in
   let fd_rng = Prng.split rng in
@@ -35,7 +48,7 @@ let create ?(channel = Transport.Reliable) ~seed ~message_latency ~detection_lat
         let network =
           Network.create ~faults ~engine ~rng:net_rng ~latency:message_latency ()
         in
-        let transport = Transport.create ~policy ~engine ~network () in
+        let transport = Transport.create ~policy ~obs ~engine ~network () in
         ( Arq transport,
           fun ~src ~dst -> Transport.flush_time transport ~src ~dst )
   in
@@ -50,17 +63,46 @@ let create ?(channel = Transport.Reliable) ~seed ~message_latency ~detection_lat
     Failure_detector.create ~engine ~rng:fd_rng ~latency:detection_latency
       ?channel_floor ()
   in
-  { engine; conduit; detector }
+  { engine; conduit; detector; obs; crash_seq = Hashtbl.create 16 }
 
-let send t ?units ~src ~dst msg =
-  match t.conduit with
-  | Direct network -> Network.send network ?units ~src ~dst msg
-  | Arq transport -> Transport.send transport ?units ~src ~dst msg
+let send t ?(units = 1) ~src ~dst msg =
+  (* The conduit drops sends from crashed sources anyway (before any
+     accounting), so guarding here only keeps phantom [Send] events out
+     of the log; the detector and the conduit crash in the same
+     injection thunk, making the two crash states interchangeable. *)
+  if not (Failure_detector.is_crashed t.detector src) then begin
+    let cause =
+      Obs.Log.record t.obs ~time:(Engine.now t.engine) ~node:src
+        ?parent:(Obs.Log.context t.obs)
+        (Obs.Event.Send { dst; units })
+    in
+    let env = { cause; payload = msg } in
+    match t.conduit with
+    | Direct network -> Network.send network ~units ~src ~dst env
+    | Arq transport -> Transport.send transport ~units ~src ~dst env
+  end
 
 let on_deliver t handler =
+  let wrapped ~src ~dst env =
+    let seq =
+      Obs.Log.record t.obs ~time:(Engine.now t.engine) ~node:dst
+        ~parent:env.cause
+        (Obs.Event.Deliver { src })
+    in
+    Obs.Log.with_context t.obs seq (fun () -> handler ~src ~dst env.payload)
+  in
   match t.conduit with
-  | Direct network -> Network.on_deliver network handler
-  | Arq transport -> Transport.on_deliver transport handler
+  | Direct network -> Network.on_deliver network wrapped
+  | Arq transport -> Transport.on_deliver transport wrapped
+
+let on_crash_notification t handler =
+  Failure_detector.on_crash_notification t.detector (fun ~observer ~crashed ->
+      let parent = Hashtbl.find_opt t.crash_seq (Node_id.to_int crashed) in
+      let seq =
+        Obs.Log.record t.obs ~time:(Engine.now t.engine) ~node:observer ?parent
+          (Obs.Event.Suspect { target = crashed })
+      in
+      Obs.Log.with_context t.obs seq (fun () -> handler ~observer ~crashed))
 
 let stats t =
   match t.conduit with
@@ -82,6 +124,11 @@ let schedule_crashes t crashes =
     (fun (time, p) ->
       ignore
         (Engine.schedule_at t.engine ~time (fun () ->
+             let seq =
+               Obs.Log.record t.obs ~time:(Engine.now t.engine) ~node:p
+                 Obs.Event.Crash
+             in
+             Hashtbl.replace t.crash_seq (Node_id.to_int p) seq;
              crash_node t p;
              Failure_detector.inject_crash t.detector p)))
     crashes

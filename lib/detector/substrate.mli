@@ -12,18 +12,34 @@
     network, a raw faulty network (assumption ablation), or the ARQ
     transport repairing a faulty network.  The conduit type hides the
     wire format — over ARQ the underlying network carries framed
-    payloads — so runners talk payloads either way. *)
+    payloads — so runners talk payloads either way.
+
+    The substrate is also where the causal event log
+    ({!Cliffedge_obs.Log}) is rooted: every {!send} records a [Send]
+    event (parented on whatever delivery or suspicion is currently
+    being handled), payloads travel wrapped with their [Send]'s
+    sequence id so each [Deliver] names its exact causal parent even
+    under loss, duplication and reordering, fault injections record
+    [Crash] events, and {!on_crash_notification} parents each
+    [Suspect] on the [Crash] it detects.  Handlers run inside
+    {!Cliffedge_obs.Log.with_context}, which is what threads causality
+    into the protocol layer without touching handler signatures. *)
 
 open Cliffedge_graph
 
+type 'a envelope
+(** A payload wrapped with the sequence id of its [Send] event. *)
+
 type 'a conduit =
-  | Direct of 'a Cliffedge_net.Network.t
-  | Arq of 'a Cliffedge_net.Transport.t
+  | Direct of 'a envelope Cliffedge_net.Network.t
+  | Arq of 'a envelope Cliffedge_net.Transport.t
 
 type 'a t = {
   engine : Cliffedge_sim.Engine.t;
   conduit : 'a conduit;
   detector : Failure_detector.t;
+  obs : Cliffedge_obs.Log.t;
+  crash_seq : (int, int) Hashtbl.t;
 }
 
 val create :
@@ -42,8 +58,20 @@ val create :
     accounts for pending retransmissions ({!Cliffedge_net.Transport.flush_time}). *)
 
 val send : 'a t -> ?units:int -> src:Node_id.t -> dst:Node_id.t -> 'a -> unit
+(** Records a [Send] event and hands the wrapped payload to the
+    conduit; a no-op (and no event) when [src] has crashed. *)
 
 val on_deliver : 'a t -> (src:Node_id.t -> dst:Node_id.t -> 'a -> unit) -> unit
+(** Installs the upward handler.  Each delivery records a [Deliver]
+    event parented on the matching [Send], and the handler runs with
+    the log's context cursor set to it. *)
+
+val on_crash_notification :
+  'a t -> (observer:Node_id.t -> crashed:Node_id.t -> unit) -> unit
+(** Like {!Failure_detector.on_crash_notification}, additionally
+    recording a [Suspect] event parented on the [Crash] it detects
+    (no parent for injected false suspicions) and running the handler
+    under that event's context. *)
 
 val stats : 'a t -> Cliffedge_net.Stats.t
 
@@ -52,9 +80,10 @@ val stalled_channels : 'a t -> (Node_id.t * Node_id.t) list
     [Direct] conduit. *)
 
 val schedule_crashes : 'a t -> (float * Node_id.t) list -> unit
-(** Schedules each fault injection: at its time the node is crashed in
-    the conduit (future deliveries dropped, ARQ retransmission timers
-    killed) and in the detector (subscribers notified). *)
+(** Schedules each fault injection: at its time a [Crash] event is
+    recorded, the node is crashed in the conduit (future deliveries
+    dropped, ARQ retransmission timers killed) and in the detector
+    (subscribers notified). *)
 
 val run :
   ?false_suspicions:(float * Node_id.t * Node_id.t) list ->

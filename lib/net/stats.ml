@@ -27,6 +27,7 @@ let create () =
   }
 
 let record_send t ~src ~dst ~units =
+  if units < 0 then invalid_arg "Stats.record_send: negative units";
   t.sent <- t.sent + 1;
   t.units_sent <- t.units_sent + units;
   let key = (Node_id.to_int src, Node_id.to_int dst) in

@@ -13,6 +13,11 @@ type t
 val create : unit -> t
 
 val record_send : t -> src:Node_id.t -> dst:Node_id.t -> units:int -> unit
+(** Every counter in this module is monotone non-decreasing (the stats
+    qcheck property relies on it), so a negative [units] — which would
+    let [units_sent] go backwards — is rejected.
+    @raise Invalid_argument if [units < 0]; zero is legal (ARQ acks
+    carry no payload). *)
 
 val record_delivery : t -> unit
 

@@ -1,5 +1,6 @@
 open Cliffedge_graph
 module Engine = Cliffedge_sim.Engine
+module Obs = Cliffedge_obs
 
 type policy = {
   rto : float;
@@ -58,7 +59,13 @@ type 'a t = {
   receivers : (int * int, 'a receiver) Hashtbl.t;
   mutable stalls : (int * int) list;
   mutable deliver : (src:Node_id.t -> dst:Node_id.t -> 'a -> unit) option;
+  obs : Obs.Log.t option;
 }
+
+let observe t ~node kind =
+  match t.obs with
+  | Some log -> ignore (Obs.Log.record log ~time:(Engine.now t.engine) ~node kind)
+  | None -> ()
 
 let sender t key =
   match Hashtbl.find_opt t.senders key with
@@ -109,9 +116,13 @@ let rec on_timeout t ~src ~dst key s =
       else if s.retries >= t.policy.max_retries then begin
         s.stalled <- true;
         s.unacked <- [];
-        t.stalls <- key :: t.stalls
+        t.stalls <- key :: t.stalls;
+        observe t ~node:src (Obs.Event.Stall { dst })
       end
       else begin
+        observe t ~node:src
+          (Obs.Event.Retransmit
+             { dst; attempt = s.retries + 1; frames = List.length s.unacked });
         List.iter
           (fun (seq, units, payload) ->
             Stats.record_retransmit (Network.stats t.net);
@@ -178,7 +189,7 @@ let on_ack t ~src ~dst ~cum =
         | _ :: _ -> arm_timer t ~src:dst ~dst:src key s
       end
 
-let create ?(policy = default_policy) ~engine ~network () =
+let create ?(policy = default_policy) ?obs ~engine ~network () =
   let t =
     {
       engine;
@@ -188,6 +199,7 @@ let create ?(policy = default_policy) ~engine ~network () =
       receivers = Hashtbl.create 64;
       stalls = [];
       deliver = None;
+      obs;
     }
   in
   Network.on_deliver network (fun ~src ~dst frame ->

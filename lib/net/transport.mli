@@ -63,13 +63,17 @@ type 'a t
 
 val create :
   ?policy:policy ->
+  ?obs:Cliffedge_obs.Log.t ->
   engine:Cliffedge_sim.Engine.t ->
   network:'a frame Network.t ->
   unit ->
   'a t
 (** Wraps [network], installing its delivery handler (the transport
     owns the network's [on_deliver] slot).  Retransmission timers are
-    scheduled on [engine], which must be the network's engine. *)
+    scheduled on [engine], which must be the network's engine.  When
+    [obs] is given, every go-back-N window retransmission records a
+    [Retransmit] event and every channel give-up a [Stall] event
+    there. *)
 
 val on_deliver : 'a t -> (src:Node_id.t -> dst:Node_id.t -> 'a -> unit) -> unit
 (** Installs the upward delivery handler.  Per ordered pair, payloads

@@ -1,0 +1,21 @@
+(** Trace exporters.
+
+    All three formats take the (possibly filtered) event list rather
+    than the log so [cliffedge trace] can select by node, kind or
+    instance first.  Output is deterministic: same events in, same
+    bytes out. *)
+
+val pp : Format.formatter -> Event.t list -> unit
+(** Human-readable, one {!Event.pp} line per event. *)
+
+val jsonl : Event.t list -> string
+(** One JSON object per line with fixed key order and [%.6f] times;
+    the determinism suite byte-compares this output. *)
+
+val chrome : Event.t list -> Cliffedge_report.Json.t
+(** Chrome [trace_event] JSON, loadable in Perfetto / [about:tracing]:
+    one process, one thread per node (with [thread_name] metadata),
+    thread-scoped instant events, and causal parents rendered as flow
+    ("s"/"f") pairs keyed by the child's sequence id.  Flow pairs are
+    emitted only when both endpoints survived filtering.  Timestamps
+    are virtual time scaled by 1000 with [displayTimeUnit] "ms". *)

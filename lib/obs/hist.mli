@@ -1,0 +1,29 @@
+(** Log-bucketed latency histograms.
+
+    Bucket 0 holds samples in [\[0, 1)]; bucket [i >= 1] holds
+    [\[2^(i-1), 2^i)]; the last bucket is open-ended.  Powers of two
+    keep bucketing exact and deterministic without [log2]. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> float -> unit
+(** @raise Invalid_argument on a NaN or negative sample. *)
+
+val count : t -> int
+
+val is_empty : t -> bool
+
+val mean : t -> float
+(** [0.0] when empty. *)
+
+val buckets : t -> (float * float * int) list
+(** Non-empty buckets as [(lo, hi, n)] in increasing order; [hi] is
+    [infinity] for the open-ended last bucket. *)
+
+val to_json : t -> Cliffedge_report.Json.t
+(** [{"count": 0}] when empty; otherwise count, mean, min, max and the
+    non-empty buckets (open-ended [hi] rendered as [null]). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,49 @@
+type t = {
+  mutable store : Event.t array;
+  mutable size : int;
+  mutable context : int option;
+}
+
+let create () = { store = [||]; size = 0; context = None }
+
+let length t = t.size
+
+let grow t element =
+  let capacity = Array.length t.store in
+  if Int.equal t.size capacity then begin
+    let next = Int.max 64 (2 * capacity) in
+    let store = Array.make next element in
+    Array.blit t.store 0 store 0 t.size;
+    t.store <- store
+  end
+
+let record t ~time ~node ?instance ?parent kind =
+  if Float.is_nan time then invalid_arg "Obs.Log.record: NaN time";
+  (match parent with
+  | Some p when p < 0 || p >= t.size ->
+      invalid_arg "Obs.Log.record: causal parent must be an already-recorded event"
+  | Some _ | None -> ());
+  let seq = t.size in
+  let event = { Event.seq; time; node; instance; parent; kind } in
+  grow t event;
+  t.store.(seq) <- event;
+  t.size <- seq + 1;
+  seq
+
+let find t seq = if seq < 0 || seq >= t.size then None else Some t.store.(seq)
+
+let to_list t = Array.to_list (Array.sub t.store 0 t.size)
+
+let iter t f =
+  for i = 0 to t.size - 1 do
+    f t.store.(i)
+  done
+
+let context t = t.context
+
+let with_context t seq f =
+  let saved = t.context in
+  t.context <- Some seq;
+  Fun.protect ~finally:(fun () -> t.context <- saved) f
+
+let pp ppf t = iter t (fun e -> Format.fprintf ppf "%a@." Event.pp e)

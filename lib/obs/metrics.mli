@@ -1,0 +1,25 @@
+(** Latency histograms derived from a causal event log.
+
+    One pass over the log produces four {!Hist.t}s:
+    - [decide_latency]: first [Propose] of an instance to each
+      [Decide] of that instance;
+    - [round_latency]: gap between consecutive round-chain events
+      ([Propose]/[Round]) of the same node and instance;
+    - [retransmit_delay]: last substrate [Send] on a channel to an ARQ
+      [Retransmit] on that channel;
+    - [fd_lag]: [Crash] to the [Suspect] events causally derived from
+      it (false suspicions have no [Crash] parent and are excluded). *)
+
+type t = {
+  events : int;
+  decide_latency : Hist.t;
+  round_latency : Hist.t;
+  retransmit_delay : Hist.t;
+  fd_lag : Hist.t;
+}
+
+val of_log : Log.t -> t
+
+val to_json : t -> Cliffedge_report.Json.t
+
+val pp : Format.formatter -> t -> unit

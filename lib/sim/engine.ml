@@ -30,7 +30,13 @@ let create () =
 
 let now t = t.clock
 
+(* A NaN time would poison the heap: every comparison against NaN is
+   false, so the heap invariant silently breaks and events fire in
+   arbitrary order.  Validate here, the single entry point, rather than
+   defending inside the heap. *)
 let schedule_at t ~time action =
+  if not (Float.is_finite time) then
+    invalid_arg "Engine.schedule_at: time must be finite";
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
   let entry = { time; seq = t.next_seq; action; cancelled = false } in
   t.next_seq <- t.next_seq + 1;
@@ -39,7 +45,7 @@ let schedule_at t ~time action =
   entry
 
 let schedule t ~delay action =
-  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  if not (delay >= 0.0) then invalid_arg "Engine.schedule: negative or NaN delay";
   schedule_at t ~time:(t.clock +. delay) action
 
 let cancel t handle =

@@ -24,10 +24,11 @@ val now : t -> float
 
 val schedule : t -> delay:float -> (unit -> unit) -> handle
 (** [schedule t ~delay f] runs [f] at time [now t +. delay].
-    @raise Invalid_argument if [delay < 0.]. *)
+    @raise Invalid_argument if [delay] is negative or NaN. *)
 
 val schedule_at : t -> time:float -> (unit -> unit) -> handle
-(** Absolute-time variant; the time must not be in the virtual past. *)
+(** Absolute-time variant; the time must be finite (a NaN would poison
+    the event heap's ordering) and not in the virtual past. *)
 
 val cancel : t -> handle -> unit
 (** Cancels a pending event.  Cancelling an already-fired or

@@ -1,16 +1,22 @@
-type 'a entry = { time : float; event : 'a }
+type 'a entry = { time : float; seq : int; event : 'a }
 
 type 'a t = { mutable entries : 'a entry list; mutable length : int }
 
 let create () = { entries = []; length = 0 }
 
 let record t ~time event =
-  t.entries <- { time; event } :: t.entries;
+  t.entries <- { time; seq = t.length; event } :: t.entries;
   t.length <- t.length + 1
 
 let length t = t.length
 
+let compare_entry a b =
+  let by_time = Float.compare a.time b.time in
+  if by_time <> 0 then by_time else Int.compare a.seq b.seq
+
 let to_list t = List.rev t.entries
+
+let sorted t = List.sort compare_entry (to_list t)
 
 let events t = List.rev_map (fun e -> e.event) t.entries
 
@@ -18,5 +24,6 @@ let filter_map f t = List.filter_map f (to_list t)
 
 let pp pp_event ppf t =
   List.iter
-    (fun { time; event } -> Format.fprintf ppf "t=%10.3f  %a@." time pp_event event)
+    (fun { time; seq = _; event } ->
+      Format.fprintf ppf "t=%12.6f  %a@." time pp_event event)
     (to_list t)

@@ -2,11 +2,19 @@
 
     Runs record typed observations (sends, deliveries, crashes,
     decisions) into a trace; checkers and reports consume the
-    chronological list afterwards. *)
+    chronological list afterwards.
+
+    Entries recorded at equal times are common — the engine fires
+    same-instant events back to back — so each entry also carries a
+    monotone sequence id and every ordering exposed here breaks time
+    ties on it.  Sorting by [time] alone is not a total order; use
+    {!compare_entry} (or {!sorted}). *)
 
 type 'a t
 
-type 'a entry = { time : float; event : 'a }
+type 'a entry = { time : float; seq : int; event : 'a }
+(** [seq] is the recording index, dense from 0 and unique within a
+    trace. *)
 
 val create : unit -> 'a t
 
@@ -14,9 +22,17 @@ val record : 'a t -> time:float -> 'a -> unit
 
 val length : 'a t -> int
 
+val compare_entry : 'a entry -> 'a entry -> int
+(** Orders by [time], breaking ties on [seq]; a total order on the
+    entries of one trace. *)
+
 val to_list : 'a t -> 'a entry list
 (** Entries in recording order (which is chronological when times are
     recorded from a monotone clock). *)
+
+val sorted : 'a t -> 'a entry list
+(** Entries sorted by {!compare_entry}; equals {!to_list} when times
+    were recorded monotonically. *)
 
 val events : 'a t -> 'a list
 (** Just the events, in recording order. *)
@@ -25,4 +41,5 @@ val filter_map : ('a entry -> 'b option) -> 'a t -> 'b list
 
 val pp :
   (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a t -> unit
-(** One line per entry, [t=<time> <event>]. *)
+(** One line per entry, [t=<time> <event>], times at full [%.6f]
+    precision so sub-millisecond instants stay distinguishable. *)

@@ -128,7 +128,7 @@ protocol and liveness breaks:
     t=    46.6  n3 decides "plan(n3,3)" on {n0, n1, n2}
     messages: 10 sent (50 units), 1 delivered, 4 dropped, 5 node(s) involved; faults: 5 lost, 0 duplicated, 0 retransmitted, 0 deduped
     1 violation(s):
-    CD4 (border termination): correct node n15 on border of decided view {n0, n1, n2} never decided
+    CD4 (border termination): correct node n15 on border of decided view {n0, n1, n2} never decided [events #34]
   [1]
 
 A permanent partition between the two border nodes: the ARQ cannot
@@ -142,7 +142,7 @@ diagnostic instead of an infinite retransmission loop:
     messages: 66 sent (330 units), 0 delivered, 4 dropped, 4 node(s) involved; faults: 62 lost, 0 duplicated, 60 retransmitted, 0 deduped
     STALLED: ARQ gave up on n1->n6 n6->n1 (permanent partition?)
     1 violation(s):
-    CD7 (progress): no correct node decided in cluster bordered by {n1, n6}
+    CD7 (progress): no correct node decided in cluster bordered by {n1, n6} [events #0, #1, #80, #81]
   [1]
 
 Malformed fault specs are rejected with a descriptive error:

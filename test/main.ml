@@ -34,5 +34,6 @@ let () =
       Test_printers.suite;
       Test_properties.suite;
       Test_transport.suite;
+      Test_obs.suite;
       Test_lint_fixpoint.suite;
     ]

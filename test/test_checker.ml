@@ -16,8 +16,8 @@ let graph = Topology.ring 8
    decided correctly at t=20. *)
 let base_decisions =
   [
-    { Runner.node = n 2; view = set [ 3; 4 ]; value = "d"; time = 20.0 };
-    { Runner.node = n 5; view = set [ 3; 4 ]; value = "d"; time = 21.0 };
+    { Runner.node = n 2; view = set [ 3; 4 ]; value = "d"; time = 20.0; event = None };
+    { Runner.node = n 5; view = set [ 3; 4 ]; value = "d"; time = 21.0; event = None };
   ]
 
 let make_outcome ?(decisions = base_decisions) ?(quiescent = true)
@@ -42,6 +42,7 @@ let make_outcome ?(decisions = base_decisions) ?(quiescent = true)
     quiescent;
     stalled_channels = [];
     states = [];
+    obs = Cliffedge_obs.Log.create ();
   }
 
 let has_violation report property =
@@ -59,21 +60,21 @@ let test_cd1_double_decision () =
 let test_cd2_not_crashed () =
   (* View includes node 6 which never crashed. *)
   let decisions =
-    [ { Runner.node = n 5; view = set [ 4; 6 ]; value = "d"; time = 20.0 } ]
+    [ { Runner.node = n 5; view = set [ 4; 6 ]; value = "d"; time = 20.0; event = None } ]
   in
   let report = Checker.check (make_outcome ~decisions ()) in
   Alcotest.(check bool) "cd2 fires" true (has_violation report Checker.CD2_view_accuracy)
 
 let test_cd2_decided_before_crash () =
   let decisions =
-    [ { Runner.node = n 2; view = set [ 3; 4 ]; value = "d"; time = 1.0 } ]
+    [ { Runner.node = n 2; view = set [ 3; 4 ]; value = "d"; time = 1.0; event = None } ]
   in
   let report = Checker.check (make_outcome ~decisions ()) in
   Alcotest.(check bool) "cd2 fires" true (has_violation report Checker.CD2_view_accuracy)
 
 let test_cd2_not_border () =
   let decisions =
-    [ { Runner.node = n 7; view = set [ 3; 4 ]; value = "d"; time = 20.0 } ]
+    [ { Runner.node = n 7; view = set [ 3; 4 ]; value = "d"; time = 20.0; event = None } ]
   in
   let report = Checker.check (make_outcome ~decisions ()) in
   Alcotest.(check bool) "cd2 fires" true (has_violation report Checker.CD2_view_accuracy)
@@ -81,7 +82,7 @@ let test_cd2_not_border () =
 let test_cd2_disconnected_view () =
   (* {3,4} ∪ {6} with 6 crashed too but not adjacent: not a region. *)
   let decisions =
-    [ { Runner.node = n 2; view = set [ 3; 4; 6 ]; value = "d"; time = 20.0 } ]
+    [ { Runner.node = n 2; view = set [ 3; 4; 6 ]; value = "d"; time = 20.0; event = None } ]
   in
   let outcome =
     make_outcome ~decisions
@@ -100,7 +101,7 @@ let test_cd3_faraway_message () =
 
 let test_cd4_missing_peer_decision () =
   let decisions =
-    [ { Runner.node = n 2; view = set [ 3; 4 ]; value = "d"; time = 20.0 } ]
+    [ { Runner.node = n 2; view = set [ 3; 4 ]; value = "d"; time = 20.0; event = None } ]
   in
   let report = Checker.check (make_outcome ~decisions ()) in
   Alcotest.(check bool) "cd4 fires" true
@@ -109,8 +110,8 @@ let test_cd4_missing_peer_decision () =
 let test_cd5_value_disagreement () =
   let decisions =
     [
-      { Runner.node = n 2; view = set [ 3; 4 ]; value = "left"; time = 20.0 };
-      { Runner.node = n 5; view = set [ 3; 4 ]; value = "right"; time = 21.0 };
+      { Runner.node = n 2; view = set [ 3; 4 ]; value = "left"; time = 20.0; event = None };
+      { Runner.node = n 5; view = set [ 3; 4 ]; value = "right"; time = 21.0; event = None };
     ]
   in
   let report = Checker.check (make_outcome ~decisions ()) in
@@ -122,8 +123,8 @@ let test_cd5_view_disagreement () =
      of 2's view. *)
   let decisions =
     [
-      { Runner.node = n 2; view = set [ 3; 4 ]; value = "d"; time = 20.0 };
-      { Runner.node = n 5; view = set [ 4 ]; value = "d"; time = 21.0 };
+      { Runner.node = n 2; view = set [ 3; 4 ]; value = "d"; time = 20.0; event = None };
+      { Runner.node = n 5; view = set [ 4 ]; value = "d"; time = 21.0; event = None };
     ]
   in
   let report = Checker.check (make_outcome ~decisions ()) in
@@ -137,8 +138,8 @@ let test_cd6_overlapping_views () =
   let crashed = set [ 3; 4; 5; 6 ] in
   let decisions =
     [
-      { Runner.node = n 2; view = set [ 3; 4; 5 ]; value = "d"; time = 20.0 };
-      { Runner.node = n 7; view = set [ 4; 5; 6 ]; value = "d"; time = 21.0 };
+      { Runner.node = n 2; view = set [ 3; 4; 5 ]; value = "d"; time = 20.0; event = None };
+      { Runner.node = n 7; view = set [ 4; 5; 6 ]; value = "d"; time = 21.0; event = None };
     ]
   in
   let outcome =
@@ -175,8 +176,8 @@ let test_liveness_unverifiable_when_capped () =
 let test_custom_value_equality () =
   let decisions =
     [
-      { Runner.node = n 2; view = set [ 3; 4 ]; value = "D"; time = 20.0 };
-      { Runner.node = n 5; view = set [ 3; 4 ]; value = "d"; time = 21.0 };
+      { Runner.node = n 2; view = set [ 3; 4 ]; value = "D"; time = 20.0; event = None };
+      { Runner.node = n 5; view = set [ 3; 4 ]; value = "d"; time = 21.0; event = None };
     ]
   in
   let case_insensitive a b =

@@ -101,8 +101,30 @@ let test_schedule_in_past_rejected () =
 
 let test_negative_delay_rejected () =
   let e = Engine.create () in
-  Alcotest.check_raises "negative" (Invalid_argument "Engine.schedule: negative delay")
-    (fun () -> ignore (Engine.schedule e ~delay:(-1.0) ignore))
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Engine.schedule: negative or NaN delay") (fun () ->
+      ignore (Engine.schedule e ~delay:(-1.0) ignore))
+
+(* Regression: a NaN compares false against everything, so before the
+   scheduling-boundary validation a NaN time slipped past both guards,
+   poisoned the heap order and could fire events out of order. *)
+let test_nan_time_rejected () =
+  let e = Engine.create () in
+  Alcotest.check_raises "nan delay"
+    (Invalid_argument "Engine.schedule: negative or NaN delay") (fun () ->
+      ignore (Engine.schedule e ~delay:Float.nan ignore));
+  Alcotest.check_raises "nan time"
+    (Invalid_argument "Engine.schedule_at: time must be finite") (fun () ->
+      ignore (Engine.schedule_at e ~time:Float.nan ignore));
+  Alcotest.check_raises "infinite time"
+    (Invalid_argument "Engine.schedule_at: time must be finite") (fun () ->
+      ignore (Engine.schedule_at e ~time:Float.infinity ignore));
+  (* The queue stayed clean: ordinary scheduling still works. *)
+  let fired = ref [] in
+  ignore (Engine.schedule e ~delay:2.0 (fun () -> fired := 2 :: !fired));
+  ignore (Engine.schedule e ~delay:1.0 (fun () -> fired := 1 :: !fired));
+  Engine.run e;
+  Alcotest.(check (list int)) "order intact" [ 2; 1 ] !fired
 
 let test_self_perpetuating_chain () =
   let e = Engine.create () in
@@ -131,5 +153,6 @@ let suite =
       Alcotest.test_case "events processed" `Quick test_events_processed;
       Alcotest.test_case "past rejected" `Quick test_schedule_in_past_rejected;
       Alcotest.test_case "negative delay rejected" `Quick test_negative_delay_rejected;
+      Alcotest.test_case "nan time rejected" `Quick test_nan_time_rejected;
       Alcotest.test_case "event chain" `Quick test_self_perpetuating_chain;
     ] )

@@ -1,0 +1,100 @@
+The trace subcommand exports the causal event log of a deterministic
+run; same seed, same bytes, so everything here is testable verbatim.
+
+Human-readable trace of a small scenario — crash, causally-derived
+suspicions, the agreement rounds and the decisions they chain from:
+
+  $ cliffedge-cli trace --topology ring:8 --region-size 2 --seed 3
+  #0    t=   10.000000  n5  CRASH
+  #1    t=   10.000000  n6  CRASH
+  #2    t=   13.126156  n7  suspects n6  <- #1
+  #3    t=   13.126156  n7  proposes  [6]  <- #2
+  #4    t=   13.126156  n7  send -> n5 (5 unit(s))  <- #2
+  #5    t=   17.944330  n4  suspects n5  <- #0
+  #6    t=   17.944330  n4  proposes  [5]  <- #5
+  #7    t=   17.944330  n4  send -> n6 (5 unit(s))  <- #5
+  #8    t=   28.012582  n7  suspects n5  <- #0
+  #9    t=   28.012582  n7  abandons attempt  [6]  <- #3
+  #10   t=   28.012582  n7  proposes  [5.6]  <- #8
+  #11   t=   28.012582  n7  send -> n4 (5 unit(s))  <- #8
+  #12   t=   28.012582  n7  rejects  [6]  <- #8
+  #13   t=   28.012582  n7  send -> n5 (5 unit(s))  <- #8
+  #14   t=   28.917970  n4  suspects n6  <- #1
+  #15   t=   28.917970  n4  abandons attempt  [5]  <- #6
+  #16   t=   28.917970  n4  proposes  [5.6]  <- #14
+  #17   t=   28.917970  n4  send -> n7 (5 unit(s))  <- #14
+  #18   t=   28.917970  n4  rejects  [5]  <- #14
+  #19   t=   28.917970  n4  send -> n6 (5 unit(s))  <- #14
+  #20   t=   34.711778  n4  deliver <- n7  <- #11
+  #21   t=   34.711778  n4  DECIDES  [5.6]  <- #16
+  #22   t=   37.087448  n7  deliver <- n4  <- #17
+  #23   t=   37.087448  n7  DECIDES  [5.6]  <- #10
+
+Filtering by event kind keeps only the matching events (flow pairs
+need both endpoints, so dangling parents are shown as annotations):
+
+  $ cliffedge-cli trace --topology ring:8 --region-size 2 --seed 3 --kind decide,crash
+  #0    t=   10.000000  n5  CRASH
+  #1    t=   10.000000  n6  CRASH
+  #21   t=   34.711778  n4  DECIDES  [5.6]  <- #16
+  #23   t=   37.087448  n7  DECIDES  [5.6]  <- #10
+
+Filtering by node:
+
+  $ cliffedge-cli trace --topology ring:8 --region-size 2 --seed 3 --node 4 --kind propose,decide
+  #6    t=   17.944330  n4  proposes  [5]  <- #5
+  #16   t=   28.917970  n4  proposes  [5.6]  <- #14
+  #21   t=   34.711778  n4  DECIDES  [5.6]  <- #16
+
+JSONL: one object per line, fixed key order, 6-decimal times — the
+byte-stable format the determinism suite compares:
+
+  $ cliffedge-cli trace --topology ring:8 --region-size 2 --seed 3 --kind decide --format jsonl
+  {"seq":21,"time":34.711778,"node":4,"kind":"decide","instance":"5.6","parent":16}
+  {"seq":23,"time":37.087448,"node":7,"kind":"decide","instance":"5.6","parent":10}
+
+Chrome trace_event export is a single JSON object with thread-name
+metadata, instants, and s/f flow pairs for the causal edges:
+
+  $ cliffedge-cli trace --topology ring:8 --region-size 2 --seed 3 --format chrome | head -c 340
+  {
+    "displayTimeUnit": "ms",
+    "traceEvents": [
+      {
+        "name": "thread_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": 4,
+        "args": {
+          "name": "n4"
+        }
+      },
+      {
+        "name": "thread_name",
+        "ph": "M",
+        "pid": 1,
+        "tid": 5,
+        "args": {
+          "name": "n5"
+        }
+      },
+      {
+        "name": 
+  $ echo
+  
+
+Aggregate latency metrics derived from the full (unfiltered) log:
+
+  $ cliffedge-cli trace --topology ring:8 --region-size 2 --seed 3 --metrics --kind decide --format jsonl | tail -n +2
+  {"seq":23,"time":37.087448,"node":7,"kind":"decide","instance":"5.6","parent":10}
+  events           24
+  decide latency   n=2 mean=7.89 [6.70..9.07]  [4,8):1  [8,16):1
+  round latency    (empty)
+  retransmit delay (empty)
+  fd lag           n=4 mean=12.00 [3.13..18.92]  [2,4):1  [4,8):1  [16,32):2
+
+An unknown kind is rejected with the valid vocabulary:
+
+  $ cliffedge-cli trace --topology ring:8 --region-size 2 --seed 3 --kind decode
+  unknown event kind "decode" (expected one of: crash, suspect, send, deliver, retransmit, stall, propose, reject, round, abort, early-outcome, decide)
+  [2]
