@@ -37,6 +37,11 @@ let usage () =
   print_endline
     "  check-trace FILE  validate a Chrome trace_event file written by \
      cliffedge-cli trace --format chrome";
+  print_endline
+    "  compare OLD.json NEW.json [--threshold PCT] [--alloc-threshold PCT]";
+  print_endline
+    "         regression gate: fail if a micro benchmark present in both \
+     files got slower than OLD by more than PCT% (default 15)";
   print_endline "options:";
   print_endline "  --csv DIR    also write every table to DIR/<slug>.csv";
   print_endline "  --json FILE  merge machine-readable timings into FILE (see BENCH_PR1.json)"
@@ -168,6 +173,130 @@ let check_trace file =
         [ "M"; "i"; "s"; "f" ];
       Printf.printf "trace ok: %s (%d event(s))\n" file (List.length events)
 
+(* ------------------------------------------------------------------ *)
+(* compare: the ratcheting regression gate between two BENCH files.
+
+   Walks the [micro] sections of a baseline and a candidate file and
+   fails (exit 1) when any benchmark present in both got slower than
+   the baseline by more than the threshold.  Times and allocation
+   counters ratchet independently: wall time is noisy (the @bench-smoke
+   wiring passes a loose --threshold), while words-per-run are
+   near-deterministic and get a tight default.  A small absolute slack
+   keeps nanosecond-scale benchmarks from tripping on scheduler
+   jitter.  Benchmarks present in only one file are skipped, so a
+   one-bench smoke file can be gated against a full baseline. *)
+
+let get_number key json =
+  match Json.member key json with
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | Some (Json.Float f) -> Some f
+  | Some _ | None -> None
+
+let compare_files ~threshold ~alloc_threshold baseline candidate =
+  let load file =
+    match Json.of_file file with
+    | Error message ->
+        Printf.eprintf "bench: %s does not parse: %s\n" file message;
+        exit 1
+    | Ok root -> root
+  in
+  let micro file root =
+    match Json.member "micro" root with
+    | Some (Json.Obj fields) -> fields
+    | Some _ | None ->
+        Printf.eprintf "bench: %s has no micro section\n" file;
+        exit 1
+  in
+  let old_micro = micro baseline (load baseline) in
+  let new_micro = micro candidate (load candidate) in
+  let regressions = ref [] in
+  let compared = ref 0 and skipped = ref 0 in
+  let check ~name ~metric ~pct ~slack old_v new_v =
+    incr compared;
+    let limit = (old_v *. (1.0 +. (pct /. 100.0))) +. slack in
+    let verdict =
+      if new_v > limit then begin
+        regressions :=
+          Printf.sprintf "%s [%s]: %.1f -> %.1f (limit %.1f at +%g%%)" name
+            metric old_v new_v limit pct
+          :: !regressions;
+        "REGRESSED"
+      end
+      else "ok"
+    in
+    Printf.printf "  %-52s %-20s %12.1f -> %12.1f  %s\n" name metric old_v
+      new_v verdict
+  in
+  Printf.printf "bench compare: %s -> %s (time +%g%%, alloc +%g%%)\n" baseline
+    candidate threshold alloc_threshold;
+  List.iter
+    (fun (name, old_entry) ->
+      match List.assoc_opt name new_micro with
+      | None -> incr skipped
+      | Some new_entry ->
+          (match
+             (get_number "ns_per_run" old_entry, get_number "ns_per_run" new_entry)
+           with
+          | Some old_v, Some new_v ->
+              check ~name ~metric:"ns/run" ~pct:threshold ~slack:5.0 old_v new_v
+          | _ -> ());
+          List.iter
+            (fun metric ->
+              match
+                (get_number metric old_entry, get_number metric new_entry)
+              with
+              | Some old_v, Some new_v ->
+                  check ~name ~metric ~pct:alloc_threshold ~slack:16.0 old_v
+                    new_v
+              | _ -> ())
+            [ "minor_words_per_run"; "major_words_per_run" ])
+    old_micro;
+  if !skipped > 0 then
+    Printf.printf "  (%d baseline benchmark(s) absent from %s: skipped)\n"
+      !skipped candidate;
+  match !regressions with
+  | [] ->
+      Printf.printf "compare ok: %d metric(s) within thresholds\n" !compared
+  | regs ->
+      Printf.eprintf "bench: %d regression(s) vs %s:\n" (List.length regs)
+        baseline;
+      List.iter (fun r -> Printf.eprintf "  %s\n" r) (List.rev regs);
+      exit 1
+
+let compare_command rest =
+  let threshold = ref 15.0 and alloc_threshold = ref 15.0 in
+  let files = ref [] in
+  let pct flag v =
+    match float_of_string_opt v with
+    | Some f when f >= 0.0 -> f
+    | Some _ | None ->
+        Printf.eprintf "bench: %s expects a non-negative percentage, got %S\n"
+          flag v;
+        exit 1
+  in
+  let rec go = function
+    | "--threshold" :: v :: rest ->
+        threshold := pct "--threshold" v;
+        go rest
+    | "--alloc-threshold" :: v :: rest ->
+        alloc_threshold := pct "--alloc-threshold" v;
+        go rest
+    | file :: rest ->
+        files := file :: !files;
+        go rest
+    | [] -> ()
+  in
+  go rest;
+  match List.rev !files with
+  | [ baseline; candidate ] ->
+      compare_files ~threshold:!threshold ~alloc_threshold:!alloc_threshold
+        baseline candidate
+  | _ ->
+      prerr_endline
+        "bench: compare needs OLD.json NEW.json [--threshold PCT] \
+         [--alloc-threshold PCT]";
+      exit 1
+
 let run_experiment name =
   match List.assoc_opt name Experiments.all with
   | Some f ->
@@ -213,6 +342,7 @@ let () =
   | [ "check-trace" ] ->
       prerr_endline "bench: check-trace needs a FILE argument";
       exit 1
+  | "compare" :: rest -> compare_command rest
   | [] ->
       Experiments.run_all ();
       Micro.run ()

@@ -160,44 +160,68 @@ let run ?(quota = 0.5) ?(stabilize = true) ?only () =
     | Some fragment ->
         List.filter (fun t -> contains (Test.name t) fragment) tests
   in
-  let instance = Toolkit.Instance.monotonic_clock in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let minor = Toolkit.Instance.minor_allocated in
+  let major = Toolkit.Instance.major_allocated in
   let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize () in
-  let table = Table.create ~title:"micro-benchmarks (bechamel, OLS time/run)"
-      ~columns:[ "benchmark"; "time/run"; "r^2" ]
+  let table =
+    Table.create ~title:"micro-benchmarks (bechamel, OLS per-run estimates)"
+      ~columns:[ "benchmark"; "time/run"; "minor w/run"; "r^2" ]
+  in
+  let estimate results name =
+    match Hashtbl.find_opt results name with
+    | None -> None
+    | Some ols_result -> (
+        match Analyze.OLS.estimates ols_result with
+        | Some [ t ] -> Some t
+        | _ -> None)
   in
   List.iter
     (fun test ->
-      let raw = Benchmark.all cfg [ instance ] test in
+      (* One raw run measured under three instances at once, so the
+         time and the GC words of a benchmark come from the same
+         iterations. *)
+      let raw = Benchmark.all cfg [ clock; minor; major ] test in
       let ols =
         Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
       in
-      let results = Analyze.all ols instance raw in
+      let time_results = Analyze.all ols clock raw in
+      let minor_results = Analyze.all ols minor raw in
+      let major_results = Analyze.all ols major raw in
       Hashtbl.iter
         (fun name ols_result ->
-          let estimate = match Analyze.OLS.estimates ols_result with
-            | Some [ t ] -> Some t
-            | _ -> None
-          in
+          let time_estimate = estimate time_results name in
+          let minor_words = estimate minor_results name in
+          let major_words = estimate major_results name in
           let r_square = Analyze.OLS.r_square ols_result in
           let time =
-            match estimate with Some t -> Table.cell "%a" pp_ns t | None -> "?"
+            match time_estimate with
+            | Some t -> Table.cell "%a" pp_ns t
+            | None -> "?"
+          in
+          let mwords =
+            match minor_words with Some w -> Table.cell "%.1f" w | None -> "?"
           in
           let r2 =
             match r_square with Some r -> Table.cell "%.4f" r | None -> "-"
           in
-          Table.add_row table [ name; time; r2 ];
-          match estimate with
+          Table.add_row table [ name; time; mwords; r2 ];
+          match time_estimate with
           | Some t ->
+              let opt key v =
+                match v with
+                | Some x -> [ (key, Cliffedge_report.Json.Float x) ]
+                | None -> []
+              in
               let fields =
                 ("ns_per_run", Cliffedge_report.Json.Float t)
-                ::
-                (match r_square with
-                | Some r -> [ ("r2", Cliffedge_report.Json.Float r) ]
-                | None -> [])
+                :: (opt "minor_words_per_run" minor_words
+                   @ opt "major_words_per_run" major_words
+                   @ opt "r2" r_square)
               in
               Json_out.record ~section:"micro"
                 [ (name, Cliffedge_report.Json.Obj fields) ]
           | None -> ())
-        results)
+        time_results)
     selected;
   Table.print table

@@ -70,10 +70,13 @@ let cascade_arg =
     & info [ "cascade" ] ~docv:"DEPTH"
         ~doc:"Extend the region by DEPTH additional staggered crashes.")
 
-let early_arg =
+let no_early_arg =
   Arg.(
     value & flag
-    & info [ "early-stopping" ] ~doc:"Enable the footnote-6 early-termination mode.")
+    & info [ "no-early-termination" ]
+        ~doc:
+          "Run the base |B|-1-round protocol instead of the footnote-6 \
+           early-termination mode (the default).")
 
 let raw_fd_arg =
   Arg.(
@@ -123,11 +126,11 @@ let channel_of ~faults ~transport =
       | `Raw -> Transport.Raw_faulty plan
       | `Arq -> Transport.Arq_over_faulty (plan, Transport.default_policy))
 
-let options ~seed ~early ~raw_fd ~msg_latency ~fd_latency ~faults ~transport =
+let options ~seed ~no_early ~raw_fd ~msg_latency ~fd_latency ~faults ~transport =
   {
     Runner.default_options with
     seed;
-    early_stopping = early;
+    early_stopping = not no_early;
     channel_consistent_fd = not raw_fd;
     channel = channel_of ~faults ~transport;
     message_latency = msg_latency;
@@ -162,13 +165,14 @@ let setup_logs verbose =
   end
 
 let run_cmd =
-  let action spec seed region_size cascade early raw_fd msg_latency fd_latency
+  let action spec seed region_size cascade no_early raw_fd msg_latency fd_latency
       faults transport timeline verbose =
     setup_logs verbose;
     let graph, crashes, _ = build_workload ~spec ~seed ~region_size ~cascade in
     let scenario =
       Scenario.make
-        ~options:(options ~seed ~early ~raw_fd ~msg_latency ~fd_latency ~faults ~transport)
+        ~options:
+          (options ~seed ~no_early ~raw_fd ~msg_latency ~fd_latency ~faults ~transport)
         ~name:(Format.asprintf "%a seed=%d" Topology.pp_spec spec seed)
         ~graph ~crashes ()
     in
@@ -188,7 +192,7 @@ let run_cmd =
   let term =
     Term.(
       const action $ topology_arg $ seed_arg $ region_size_arg $ cascade_arg
-      $ early_arg $ raw_fd_arg $ msg_latency_arg $ fd_latency_arg $ faults_arg
+      $ no_early_arg $ raw_fd_arg $ msg_latency_arg $ fd_latency_arg $ faults_arg
       $ transport_arg $ timeline_arg $ verbose_arg)
   in
   Cmd.v
@@ -287,7 +291,7 @@ let dot_cmd =
 (* trace                                                               *)
 
 let trace_cmd =
-  let action spec seed region_size cascade early raw_fd msg_latency fd_latency
+  let action spec seed region_size cascade no_early raw_fd msg_latency fd_latency
       faults transport format nodes kinds instance metrics =
     List.iter
       (fun k ->
@@ -301,7 +305,7 @@ let trace_cmd =
     let outcome =
       Runner.run
         ~options:
-          (options ~seed ~early ~raw_fd ~msg_latency ~fd_latency ~faults ~transport)
+          (options ~seed ~no_early ~raw_fd ~msg_latency ~fd_latency ~faults ~transport)
         ~graph ~crashes ~propose_value:Scenario.default_propose ()
     in
     let keep e =
@@ -377,7 +381,7 @@ let trace_cmd =
   let term =
     Term.(
       const action $ topology_arg $ seed_arg $ region_size_arg $ cascade_arg
-      $ early_arg $ raw_fd_arg $ msg_latency_arg $ fd_latency_arg $ faults_arg
+      $ no_early_arg $ raw_fd_arg $ msg_latency_arg $ fd_latency_arg $ faults_arg
       $ transport_arg $ format_arg $ nodes_arg $ kinds_arg $ instance_arg
       $ metrics_arg)
   in
@@ -392,7 +396,7 @@ let trace_cmd =
 (* mcheck                                                              *)
 
 let mcheck_cmd =
-  let action spec crash_ids raw_fd early max_states max_drops max_dups =
+  let action spec crash_ids raw_fd no_early max_states max_drops max_dups =
     let rng = Prng.create 0 in
     let graph = Topology.build rng spec in
     let crashes = List.map Node_id.of_int crash_ids in
@@ -409,8 +413,8 @@ let mcheck_cmd =
       else `Lossy { Cliffedge_mcheck.Explorer.max_drops; max_dups }
     in
     let stats =
-      Cliffedge_mcheck.Explorer.explore ~fd ~channel ~max_states ~early_stopping:early
-        ~graph ~crashes ()
+      Cliffedge_mcheck.Explorer.explore ~fd ~channel ~max_states
+        ~early_stopping:(not no_early) ~graph ~crashes ()
     in
     Format.printf "%a@." Cliffedge_mcheck.Explorer.pp_stats stats;
     if Cliffedge_mcheck.Explorer.ok stats then 0 else 1
@@ -452,7 +456,7 @@ let mcheck_cmd =
          "Exhaustively model-check CD1-CD7 over every schedule of a small \
           configuration.")
     Term.(
-      const action $ topology_arg $ crashes_arg $ raw_fd_arg $ early_arg
+      const action $ topology_arg $ crashes_arg $ raw_fd_arg $ no_early_arg
       $ max_states_arg $ max_drops_arg $ max_dups_arg)
 
 (* ------------------------------------------------------------------ *)

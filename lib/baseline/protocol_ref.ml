@@ -1,0 +1,345 @@
+(* The map-based reference implementation of Algorithm 1.
+
+   This is the pre-flat-state protocol core, kept verbatim (modulo the
+   shared [Opinion.Vector] API) as the oracle for the differential
+   suite: it shares {!Cliffedge.Protocol}'s [config]/[event]/[action]
+   types, so the runner can drive the flat machine and this one through
+   the identical substrate and compare decisions, action streams and
+   exported causal logs byte for byte (test_differential.ml).
+
+   Do not optimise this module: its value is being the obviously-
+   faithful transcription of the paper, one persistent map per
+   variable. *)
+
+open Cliffedge_graph
+module View = Cliffedge.View
+module Protocol = Cliffedge.Protocol
+module Opinion = Cliffedge.Opinion
+module Message = Cliffedge.Message
+module Int_map = Map.Make (Int)
+
+type 'v instance = {
+  border : Node_set.t;
+  total_rounds : int;
+  opinions : 'v Opinion.Vector.t Int_map.t;  (* round -> vector; absent = all ⊥ *)
+  waiting : Node_set.t Int_map.t;  (* round -> participants not yet heard from *)
+}
+
+type 'v state = {
+  self : Node_id.t;
+  decided : (View.t * 'v) option;
+  proposed : 'v option;
+  locally_crashed : Node_set.t;
+  max_view : View.t;
+  candidate_view : View.t option;
+  current_view : View.t;  (* [Vp]; persists after failed attempts (line 26) *)
+  round : int;
+  instances : 'v instance View.Map.t;  (* [received] *)
+  rejected : View.Set.t;
+}
+
+let init ~self =
+  {
+    self;
+    decided = None;
+    proposed = None;
+    locally_crashed = Node_set.empty;
+    max_view = Node_set.empty;
+    candidate_view = None;
+    current_view = Node_set.empty;
+    round = 0;
+    instances = View.Map.empty;
+    rejected = View.Set.empty;
+  }
+
+let decided st = st.decided
+
+let lower (cfg : 'v Protocol.config) a b = cfg.rank a b < 0
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+
+let fresh_instance ~border =
+  let total_rounds = max 1 (Node_set.cardinal border - 1) in
+  let waiting =
+    List.fold_left
+      (fun acc r -> Int_map.add r border acc)
+      Int_map.empty
+      (List.init total_rounds (fun i -> i + 1))
+  in
+  { border; total_rounds; opinions = Int_map.empty; waiting }
+
+let round_vector inst r =
+  Option.value ~default:Opinion.Vector.empty (Int_map.find_opt r inst.opinions)
+
+let round_waiting inst r =
+  Option.value ~default:Node_set.empty (Int_map.find_opt r inst.waiting)
+
+let multicast_actions ~self ~border msg =
+  Node_set.fold
+    (fun dst acc ->
+      if Node_id.equal dst self then acc else Protocol.Send { dst; msg } :: acc)
+    border []
+  |> List.rev
+
+(* ------------------------------------------------------------------ *)
+(* Message delivery (lines 18-25, plus early-termination outcomes)     *)
+
+let deliver_round (cfg : 'v Protocol.config) st ~src ~round ~view ~opinions =
+  let inst =
+    match View.Map.find_opt view st.instances with
+    | Some inst -> inst
+    | None -> fresh_instance ~border:(Graph.border cfg.graph view)
+  in
+  if round < 1 || round > inst.total_rounds then (st, [])
+  else begin
+    let merged =
+      Opinion.Vector.merge (round_vector inst round) ~incoming:opinions
+    in
+    let excused = Node_set.add src (Opinion.Vector.rejectors opinions) in
+    let waiting = Node_set.diff (round_waiting inst round) excused in
+    let inst =
+      {
+        inst with
+        opinions = Int_map.add round merged inst.opinions;
+        waiting = Int_map.add round waiting inst.waiting;
+      }
+    in
+    ({ st with instances = View.Map.add view inst st.instances }, [])
+  end
+
+(* The reference keeps the dynamic half of CD1 (the [decided] branch);
+   the static decide-once lint shadow guards lib/core only. *)
+let decide (cfg : 'v Protocol.config) st ~view accepts =
+  match st.decided with
+  | Some _ -> (st, [])
+  | None ->
+      let value = cfg.pick accepts in
+      ( { st with decided = Some (view, value) },
+        [ Protocol.Decide { view; value } ] )
+
+let deliver_outcome cfg st ~view ~border ~opinions =
+  let st =
+    {
+      st with
+      instances = View.Map.remove view st.instances;
+      rejected = View.Set.add view st.rejected;
+    }
+  in
+  match Opinion.Vector.accepts ~border opinions with
+  | Some accepts -> decide cfg st ~view accepts
+  | None ->
+      if
+        Option.is_some st.proposed
+        && Option.is_none st.decided
+        && Node_set.equal st.current_view view
+      then
+        ({ st with proposed = None }, [ Protocol.Note (Attempt_failed view) ])
+      else (st, [])
+
+let deliver cfg st ~src msg =
+  let view = Message.view msg in
+  if View.Set.mem view st.rejected then (st, [])
+  else
+    match msg with
+    | Message.Round { round; view; border = _; opinions } ->
+        deliver_round cfg st ~src ~round ~view ~opinions
+    | Message.Outcome { view; border; opinions } ->
+        deliver_outcome cfg st ~view ~border ~opinions
+
+(* ------------------------------------------------------------------ *)
+(* Guard of lines 12-17: start a new consensus instance                *)
+
+let guard_new_instance (cfg : 'v Protocol.config) st =
+  match (st.proposed, st.candidate_view, st.decided) with
+  | None, Some view, None when View.Set.mem view st.rejected ->
+      Some
+        ( { st with candidate_view = None },
+          [ Protocol.Note (Attempt_failed view) ] )
+  | None, Some view, None when not (Node_set.is_empty view) ->
+      let border = Graph.border cfg.graph view in
+      assert (Node_set.mem st.self border);
+      let value = cfg.propose_value st.self view in
+      let msg =
+        Message.Round
+          {
+            round = 1;
+            view;
+            border;
+            opinions = Opinion.Vector.singleton st.self (Opinion.Accept value);
+          }
+      in
+      let st =
+        {
+          st with
+          current_view = view;
+          candidate_view = None;
+          proposed = Some value;
+          round = 1;
+        }
+      in
+      let sends = multicast_actions ~self:st.self ~border msg in
+      let st, more = deliver cfg st ~src:st.self msg in
+      Some (st, (Protocol.Note (Proposed view) :: sends) @ more)
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Guard of lines 26-31: reject a lower-ranked view                    *)
+
+let guard_reject cfg st =
+  if Node_set.is_empty st.current_view then None
+  else
+    let lower_views =
+      View.Map.fold
+        (fun view _ acc ->
+          if lower cfg view st.current_view then view :: acc else acc)
+        st.instances []
+    in
+    match lower_views with
+    | [] -> None
+    | _ ->
+        let view =
+          List.fold_left
+            (fun best v -> if lower cfg v best then v else best)
+            (List.hd lower_views) (List.tl lower_views)
+        in
+        let inst = View.Map.find view st.instances in
+        let msg =
+          Message.Round
+            {
+              round = 1;
+              view;
+              border = inst.border;
+              opinions = Opinion.Vector.singleton st.self Opinion.Reject;
+            }
+        in
+        let st =
+          {
+            st with
+            instances = View.Map.remove view st.instances;
+            rejected = View.Set.add view st.rejected;
+          }
+        in
+        Some
+          ( st,
+            Protocol.Note (Rejected_view view)
+            :: multicast_actions ~self:st.self ~border:inst.border msg )
+
+(* ------------------------------------------------------------------ *)
+(* Guard of lines 32-40: round completion                              *)
+
+let finish_instance cfg st ~border ~vector ~early =
+  let view = st.current_view in
+  let outcome_actions success =
+    if early then
+      let msg = Message.Outcome { view; border; opinions = vector } in
+      Protocol.Note (Early_outcome { view; success })
+      :: multicast_actions ~self:st.self ~border msg
+    else []
+  in
+  match Opinion.Vector.accepts ~border vector with
+  | Some accepts ->
+      let st, decide_acts = decide cfg st ~view accepts in
+      Some (st, outcome_actions true @ decide_acts)
+  | None ->
+      let st = { st with proposed = None } in
+      Some (st, Protocol.Note (Attempt_failed view) :: outcome_actions false)
+
+let guard_round_completion (cfg : 'v Protocol.config) st =
+  if Option.is_none st.proposed || Option.is_some st.decided then None
+  else
+    match View.Map.find_opt st.current_view st.instances with
+    | None -> None
+    | Some inst ->
+        let waiting =
+          Node_set.diff (round_waiting inst st.round) st.locally_crashed
+        in
+        if not (Node_set.is_empty waiting) then None
+        else begin
+          let vector = round_vector inst st.round in
+          let border = inst.border in
+          let full = Opinion.Vector.is_full ~border vector in
+          if Int.equal st.round inst.total_rounds then
+            finish_instance cfg st ~border ~vector ~early:false
+          else if cfg.early_stopping && full then
+            finish_instance cfg st ~border ~vector ~early:true
+          else begin
+            let round = st.round + 1 in
+            let msg =
+              Message.Round
+                { round; view = st.current_view; border; opinions = vector }
+            in
+            let st = { st with round } in
+            let sends = multicast_actions ~self:st.self ~border msg in
+            let st, more = deliver cfg st ~src:st.self msg in
+            Some
+              ( st,
+                (Protocol.Note (Advanced_round { view = st.current_view; round })
+                :: sends)
+                @ more )
+          end
+        end
+
+(* ------------------------------------------------------------------ *)
+(* Event dispatch                                                      *)
+
+let on_init (cfg : 'v Protocol.config) st =
+  (st, [ Protocol.Monitor (Graph.neighbours cfg.graph st.self) ])
+
+let on_crash (cfg : 'v Protocol.config) st q =
+  if Node_set.mem q st.locally_crashed then (st, [])
+  else begin
+    let locally_crashed = Node_set.add q st.locally_crashed in
+    let to_monitor =
+      Node_set.diff (Graph.neighbours cfg.graph q) locally_crashed
+    in
+    let components = Graph.connected_components cfg.graph locally_crashed in
+    let best =
+      match components with
+      | [] -> invalid_arg "Protocol_ref: no crashed component"
+      | first :: rest ->
+          List.fold_left
+            (fun acc c -> if lower cfg acc c then c else acc)
+            first rest
+    in
+    let st = { st with locally_crashed } in
+    let st =
+      if lower cfg st.max_view best then
+        { st with max_view = best; candidate_view = Some best }
+      else st
+    in
+    (st, [ Protocol.Monitor to_monitor ])
+  end
+
+let rec stabilize cfg st acc =
+  match guard_new_instance cfg st with
+  | Some (st, acts) -> stabilize cfg st (acc @ acts)
+  | None -> (
+      match guard_reject cfg st with
+      | Some (st, acts) -> stabilize cfg st (acc @ acts)
+      | None -> (
+          match guard_round_completion cfg st with
+          | Some (st, acts) -> stabilize cfg st (acc @ acts)
+          | None -> (st, acc)))
+
+let handle cfg st event =
+  let st, acts =
+    match event with
+    | Protocol.Init -> on_init cfg st
+    | Protocol.Crash q -> on_crash cfg st q
+    | Protocol.Deliver { src; msg } -> deliver cfg st ~src msg
+  in
+  stabilize cfg st acts
+
+let stepper cfg ~self =
+  let cell = ref (init ~self) in
+  Cliffedge.Runner.
+    {
+      step =
+        (fun event ->
+          let st, actions = handle cfg !cell event in
+          cell := st;
+          actions);
+      flat_state = (fun () -> None);
+      decision = (fun () -> decided !cell);
+    }

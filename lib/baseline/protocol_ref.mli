@@ -1,0 +1,31 @@
+(** Map-based reference implementation of Algorithm 1 (the oracle).
+
+    The pre-flat-state protocol core, kept as the obviously-faithful
+    persistent-map transcription of the paper.  It shares
+    {!Cliffedge.Protocol}'s [config], [event] and [action] types, so
+    the differential suite can drive the optimised machine and this one
+    through the identical runner/substrate and require identical
+    decisions, action streams and byte-identical exported causal logs
+    (see test/test_differential.ml). *)
+
+open Cliffedge_graph
+module View = Cliffedge.View
+
+type 'v state
+
+val init : self:Node_id.t -> 'v state
+
+val handle :
+  'v Cliffedge.Protocol.config ->
+  'v state ->
+  'v Cliffedge.Protocol.event ->
+  'v state * 'v Cliffedge.Protocol.action list
+(** Same contract as {!Cliffedge.Protocol.handle}. *)
+
+val decided : 'v state -> (View.t * 'v) option
+
+val stepper :
+  'v Cliffedge.Protocol.config -> self:Node_id.t -> 'v Cliffedge.Runner.stepper
+(** A runner-pluggable node backed by this reference machine; feed it to
+    {!Cliffedge.Runner.run_stepper} to replay a scenario against the
+    oracle. *)

@@ -24,17 +24,16 @@ let write_node_set w s = Wire.write_int_set w (Node_set.to_ints s)
 let read_node_set r = Node_set.of_ints (Wire.read_int_set r)
 
 let write_vector value w vec =
-  let bindings = Node_map.bindings vec in
-  Wire.write_varint w (List.length bindings);
-  List.iter
-    (fun (p, op) ->
+  Wire.write_varint w (Opinion.Vector.known vec);
+  Opinion.Vector.iter
+    (fun p op ->
       Wire.write_varint w (Node_id.to_int p);
       match op with
       | Opinion.Reject -> Wire.write_u8 w 0
       | Opinion.Accept v ->
           Wire.write_u8 w 1;
           value.write w v)
-    bindings
+    vec
 
 let read_vector value r =
   let entries =
@@ -45,7 +44,7 @@ let read_vector value r =
         | 1 -> (p, Opinion.Accept (value.read r))
         | other -> raise (Wire.Decode_error (Printf.sprintf "invalid opinion tag %d" other)))
   in
-  Node_map.of_list entries
+  Opinion.Vector.of_list entries
 
 let encode value msg =
   let w = Wire.writer () in

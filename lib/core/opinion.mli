@@ -18,22 +18,48 @@ val equal : ('v -> 'v -> bool) -> 'v t -> 'v t -> bool
 
 val pp : (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v t -> unit
 
-(** Sparse opinion vectors: absent = [⊥]. *)
+(** Sparse opinion vectors: absent = [⊥].
+
+    Represented as sorted parallel arrays (node ids / opinions), shared
+    immutably after construction: merges are single merge-joins over
+    contiguous memory and return the left vector {e physically
+    unchanged} when [incoming] adds no new bindings, so the steady-state
+    round exchange allocates nothing. *)
 module Vector : sig
   type 'v opinion := 'v t
 
-  type 'v t = 'v opinion Node_map.t
+  type 'v t
 
   val empty : 'v t
 
   val singleton : Node_id.t -> 'v opinion -> 'v t
 
+  val of_list : (Node_id.t * 'v opinion) list -> 'v t
+  (** Builds a vector from bindings in any order; on duplicate nodes
+      the last binding wins (as [Node_map.of_list] did). *)
+
   val get : 'v t -> Node_id.t -> 'v opinion option
   (** [None] is the paper's [⊥]. *)
+
+  val mem : 'v t -> Node_id.t -> bool
+  (** [mem t p] iff [p]'s opinion is known (not [⊥]). *)
 
   val merge : 'v t -> incoming:'v t -> 'v t
   (** Fills [⊥] slots of the first vector from [incoming]; existing
       bindings win (line 24 only updates [⊥] values). *)
+
+  val iter : (Node_id.t -> 'v opinion -> unit) -> 'v t -> unit
+  (** In increasing node order. *)
+
+  val iter_rejectors : 'v t -> (Node_id.t -> unit) -> unit
+  (** Visits nodes whose entry is [Reject], in increasing order,
+      without materialising a set. *)
+
+  val rejector_in : 'v t -> Node_set.t -> bool
+  (** [rejector_in t set] iff some [Reject] entry's node is a member of
+      [set].  Allocation-free (no predicate closure); lets the delivery
+      path skip the excusal rebuild when no rejector is still
+      awaited. *)
 
   val rejectors : 'v t -> Node_set.t
   (** Nodes whose entry is [Reject]. *)
@@ -48,6 +74,8 @@ module Vector : sig
 
   val known : 'v t -> int
   (** Number of non-[⊥] entries, the wire-size proxy for accounting. *)
+
+  val equal : ('v -> 'v -> bool) -> 'v t -> 'v t -> bool
 
   val pp :
     (Format.formatter -> 'v -> unit) -> Format.formatter -> 'v t -> unit

@@ -1,5 +1,4 @@
 open Cliffedge_graph
-module Int_map = Map.Make (Int)
 
 type 'v config = {
   graph : Graph.t;
@@ -7,6 +6,7 @@ type 'v config = {
   pick : (Node_id.t * 'v) list -> 'v;
   rank : View.t -> View.t -> int;
   early_stopping : bool;
+  arena : Arena.t;
 }
 
 let lower cfg a b = cfg.rank a b < 0
@@ -15,10 +15,10 @@ let default_pick = function
   | [] -> invalid_arg "Protocol.default_pick: empty accept list"
   | (_, v) :: _ -> v
 
-let config ?(early_stopping = false) ?(pick = default_pick) ?rank ~graph
+let config ?(early_stopping = true) ?(pick = default_pick) ?rank ~graph
     ~propose_value () =
   let rank = match rank with Some r -> r | None -> Ranking.compare graph in
-  { graph; propose_value; pick; rank; early_stopping }
+  { graph; propose_value; pick; rank; early_stopping; arena = Arena.create () }
 
 type 'v event =
   | Init
@@ -40,14 +40,25 @@ type 'v action =
 
 (* Bookkeeping of one superposed consensus instance (the [received],
    [opinions] and [waiting] variables of Algorithm 1, grouped by the view
-   that indexes them). *)
+   that indexes them).  Rounds are dense: slot [r - 1] of each array
+   belongs to round [r], so the per-round lookups of the delivery path
+   are plain array reads instead of map descents.  The arrays are
+   immutable after construction (copy-on-update, sized [total_rounds] =
+   [|B| - 1], so a copy is a few words): states stay persistent values,
+   which the exhaustive model checker branches over. *)
 type 'v instance = {
   border : Node_set.t;
   total_rounds : int;
-  opinions : 'v Opinion.Vector.t Int_map.t;  (* round -> vector; absent = all ⊥ *)
-  waiting : Node_set.t Int_map.t;  (* round -> participants not yet heard from *)
+  opinions : 'v Opinion.Vector.t array;  (* slot r-1: round r's vector *)
+  waiting : Node_set.t array;  (* slot r-1: participants not yet heard from *)
 }
 
+(* [views]/[insts] are parallel arrays sorted by [Node_set.compare] (the
+   old [View.Map]'s key order), [rejected] a sorted array likewise:
+   membership is a binary search over contiguous memory, and the whole
+   [received] table is two flat pointers instead of an AVL spine.
+   Updates copy the (small) spine arrays; instances themselves are
+   shared. *)
 type 'v state = {
   self : Node_id.t;
   decided : (View.t * 'v) option;
@@ -57,8 +68,9 @@ type 'v state = {
   candidate_view : View.t option;
   current_view : View.t;  (* [Vp]; persists after failed attempts (line 26) *)
   round : int;
-  instances : 'v instance View.Map.t;  (* [received] *)
-  rejected : View.Set.t;
+  views : View.t array;  (* sorted; keys of [received] *)
+  insts : 'v instance array;  (* parallel to [views] *)
+  rejected : View.t array;  (* sorted *)
 }
 
 let init ~self =
@@ -71,9 +83,78 @@ let init ~self =
     candidate_view = None;
     current_view = Node_set.empty;
     round = 0;
-    instances = View.Map.empty;
-    rejected = View.Set.empty;
+    views = [||];
+    insts = [||];
+    rejected = [||];
   }
+
+(* ------------------------------------------------------------------ *)
+(* Sorted-array primitives                                             *)
+
+(* Binary search by [Node_set.compare]: the index when found, otherwise
+   [lnot insertion_point] (negative).  Recursive with accumulator
+   arguments: without flambda a [ref]-based loop heap-allocates its
+   cells, and this runs on every delivery. *)
+let rec view_ix_go arr v lo hi =
+  if lo > hi then lnot lo
+  else
+    let mid = (lo + hi) / 2 in
+    let c = Node_set.compare (Array.unsafe_get arr mid) v in
+    if Int.equal c 0 then mid
+    else if c < 0 then view_ix_go arr v (mid + 1) hi
+    else view_ix_go arr v lo (mid - 1)
+
+let view_ix arr v = view_ix_go arr v 0 (Array.length arr - 1)
+
+let insert_at arr i v =
+  (* Small cases as literals for the same reason as [set_at] below: a
+     node tracks one or two live views at a time, so spine growth is
+     almost always 0->1 or 1->2. *)
+  match Array.length arr with
+  | 0 -> [| v |]
+  | 1 -> if Int.equal i 0 then [| v; arr.(0) |] else [| arr.(0); v |]
+  | 2 ->
+      if Int.equal i 0 then [| v; arr.(0); arr.(1) |]
+      else if Int.equal i 1 then [| arr.(0); v; arr.(1) |]
+      else [| arr.(0); arr.(1); v |]
+  | n ->
+      let out = Array.make (n + 1) v in
+      Array.blit arr 0 out 0 i;
+      Array.blit arr i out (i + 1) (n - i);
+      out
+
+let remove_at arr i =
+  let n = Array.length arr in
+  if Int.equal n 1 then [||]
+  else begin
+    let out = Array.make (n - 1) arr.(0) in
+    Array.blit arr 0 out 0 i;
+    Array.blit arr (i + 1) out i (n - 1 - i);
+    out
+  end
+
+(* [Array.copy]/[Array.make] are C calls (~15ns each even for two-word
+   arrays); the literal forms below compile to inline minor-heap bumps.
+   Instances have [total_rounds] = |B| - 1 slots, so the small cases are
+   the overwhelmingly common ones on the delivery path. *)
+let set_at arr i v =
+  match Array.length arr with
+  | 1 -> [| v |]
+  | 2 -> if Int.equal i 0 then [| v; arr.(1) |] else [| arr.(0); v |]
+  | 3 ->
+      if Int.equal i 0 then [| v; arr.(1); arr.(2) |]
+      else if Int.equal i 1 then [| arr.(0); v; arr.(2) |]
+      else [| arr.(0); arr.(1); v |]
+  | _ ->
+      let out = Array.copy arr in
+      out.(i) <- v;
+      out
+
+let rejected_mem st view = view_ix st.rejected view >= 0
+
+let rejected_add rejected view =
+  let i = view_ix rejected view in
+  if i >= 0 then rejected else insert_at rejected (lnot i) view
 
 (* ------------------------------------------------------------------ *)
 (* Introspection                                                       *)
@@ -95,19 +176,20 @@ let max_view st = st.max_view
 
 let candidate_view st = st.candidate_view
 
-let known_views st = List.map fst (View.Map.bindings st.instances)
+let known_views st = Array.to_list st.views
 
-let rejected_views st = View.Set.elements st.rejected
+let rejected_views st = Array.to_list st.rejected
 
 let waiting_on st =
   if Option.is_none st.proposed then None
   else
-    match View.Map.find_opt st.current_view st.instances with
-    | None -> None
-    | Some inst ->
-        Option.map
-          (fun w -> Node_set.diff w st.locally_crashed)
-          (Int_map.find_opt st.round inst.waiting)
+    let ix = view_ix st.views st.current_view in
+    if ix < 0 then None
+    else
+      let inst = st.insts.(ix) in
+      if st.round < 1 || st.round > inst.total_rounds then None
+      else
+        Some (Node_set.diff inst.waiting.(st.round - 1) st.locally_crashed)
 
 let pp_state pp_value ppf st =
   Format.fprintf ppf
@@ -119,9 +201,8 @@ let pp_state pp_value ppf st =
     | None -> "no")
     (match st.proposed with Some _ -> "yes" | None -> "no")
     st.round Node_set.pp st.locally_crashed View.pp st.max_view View.pp
-    st.current_view
-    (View.Map.cardinal st.instances)
-    (View.Set.cardinal st.rejected)
+    st.current_view (Array.length st.views)
+    (Array.length st.rejected)
 
 let fingerprint value_to_string st =
   let buffer = Buffer.create 256 in
@@ -136,8 +217,8 @@ let fingerprint value_to_string st =
     | Opinion.Reject -> add "R"
   in
   let add_vector vec =
-    (* Map bindings are emitted in key order: canonical. *)
-    Node_map.iter
+    (* Vector entries are iterated in node order: canonical. *)
+    Opinion.Vector.iter
       (fun p op ->
         add "%d=" (Node_id.to_int p);
         add_opinion op;
@@ -163,45 +244,55 @@ let fingerprint value_to_string st =
   add "|vp=";
   add_set st.current_view;
   add "|r=%d|inst=" st.round;
-  View.Map.iter
-    (fun view inst ->
+  Array.iteri
+    (fun i view ->
+      let inst = st.insts.(i) in
       add "[";
       add_set view;
       add "~%d~" inst.total_rounds;
-      Int_map.iter
+      (* An untouched round slot holds the empty vector, observationally
+         the absent binding of the old per-round map: skip it. *)
+      Array.iteri
         (fun r vec ->
-          add "o%d:" r;
-          add_vector vec)
+          if Opinion.Vector.known vec > 0 then begin
+            add "o%d:" (r + 1);
+            add_vector vec
+          end)
         inst.opinions;
-      Int_map.iter
+      Array.iteri
         (fun r waiting ->
-          add "w%d:" r;
+          add "w%d:" (r + 1);
           add_set waiting)
         inst.waiting;
       add "]")
-    st.instances;
+    st.views;
   add "|rej=";
-  View.Set.iter (fun v -> add_set v) st.rejected;
+  Array.iter (fun v -> add_set v) st.rejected;
   Buffer.contents buffer
 
 (* ------------------------------------------------------------------ *)
 (* Helpers                                                             *)
 
+(* [Array.make] is a C call; the common border sizes (spelled out up to
+   five rounds) allocate inline instead.  Slots share [d] physically,
+   exactly as [Array.make] would. *)
+let make_slots n d =
+  match n with
+  | 1 -> [| d |]
+  | 2 -> [| d; d |]
+  | 3 -> [| d; d; d |]
+  | 4 -> [| d; d; d; d |]
+  | 5 -> [| d; d; d; d; d |]
+  | _ -> Array.make n d
+
 let fresh_instance ~border =
   let total_rounds = max 1 (Node_set.cardinal border - 1) in
-  let waiting =
-    List.fold_left
-      (fun acc r -> Int_map.add r border acc)
-      Int_map.empty
-      (List.init total_rounds (fun i -> i + 1))
-  in
-  { border; total_rounds; opinions = Int_map.empty; waiting }
-
-let round_vector inst r =
-  Option.value ~default:Opinion.Vector.empty (Int_map.find_opt r inst.opinions)
-
-let round_waiting inst r =
-  Option.value ~default:Node_set.empty (Int_map.find_opt r inst.waiting)
+  {
+    border;
+    total_rounds;
+    opinions = make_slots total_rounds Opinion.Vector.empty;
+    waiting = make_slots total_rounds border;
+  }
 
 (* Sends to every border node except the sender; self-delivery is applied
    synchronously by the callers. *)
@@ -215,52 +306,88 @@ let multicast_actions ~self ~border msg =
 (* Message delivery (lines 18-25, plus early-termination outcomes)     *)
 
 let deliver_round cfg st ~src ~round ~view ~opinions =
+  let ix = view_ix st.views view in
   let inst =
-    match View.Map.find_opt view st.instances with
-    | Some inst -> inst
-    | None ->
-        (* Line 20-22: first message for this view.  The border is
-           recomputed from the shared knowledge graph (it always equals
-           the [B] field carried by well-formed messages). *)
-        fresh_instance ~border:(Graph.border cfg.graph view)
+    if ix >= 0 then st.insts.(ix)
+    else
+      (* Line 20-22: first message for this view.  The border is
+         recomputed from the shared knowledge graph (it always equals
+         the [B] field carried by well-formed messages). *)
+      fresh_instance ~border:(Graph.border cfg.graph view)
   in
   if round < 1 || round > inst.total_rounds then (st, [])
   else begin
-    let merged =
-      Opinion.Vector.merge (round_vector inst round) ~incoming:opinions
-    in
-    let excused = Node_set.add src (Opinion.Vector.rejectors opinions) in
-    let waiting = Node_set.diff (round_waiting inst round) excused in
-    let inst =
-      {
-        inst with
-        opinions = Int_map.add round merged inst.opinions;
-        waiting = Int_map.add round waiting inst.waiting;
-      }
-    in
-    ({ st with instances = View.Map.add view inst st.instances }, [])
+    let r = round - 1 in
+    let current = inst.opinions.(r) in
+    let merged = Opinion.Vector.merge current ~incoming:opinions in
+    let old_waiting = inst.waiting.(r) in
+    (* The excused set is [src] plus the rejectors piggybacked on the
+       incoming vector; prune only when one of them is actually still
+       awaited, so a stale retransmission leaves the state physically
+       unchanged. *)
+    let rejector_hit = Opinion.Vector.rejector_in opinions old_waiting in
+    let needs_prune = rejector_hit || Node_set.mem src old_waiting in
+    if ix >= 0 && (not needs_prune) && merged == current then (st, [])
+    else begin
+      let waiting =
+        if not needs_prune then old_waiting
+        else if not rejector_hit then
+          (* The overwhelmingly common delivery excuses only [src]: one
+             bitset copy, no scratch buffer needed. *)
+          Node_set.remove src old_waiting
+        else
+          (* Several removals (src plus piggybacked rejectors): one
+             frozen set for the whole prune sequence, the scratch
+             buffer coming from the config's arena pool. *)
+          Arena.build_from cfg.arena old_waiting (fun b ->
+              Arena.remove b src;
+              Opinion.Vector.iter_rejectors opinions (fun p ->
+                  Arena.remove b p))
+      in
+      let opinions_arr = set_at inst.opinions r merged in
+      let waiting_arr = set_at inst.waiting r waiting in
+      let inst = { inst with opinions = opinions_arr; waiting = waiting_arr } in
+      let st =
+        if ix >= 0 then { st with insts = set_at st.insts ix inst }
+        else
+          let at = lnot ix in
+          {
+            st with
+            views = insert_at st.views at view;
+            insts = insert_at st.insts at inst;
+          }
+      in
+      (st, [])
+    end
   end
 
 (* The single gate through which a decision is emitted.  CD1 (a node
    decides at most once) holds dynamically because of the [decided]
    branch below, and statically because the decide-once lint rule
    requires every [Decide] emission to live inside this one
-   [@lint.decide_guard] binding, dominated by that branch. *)
+   [@lint.decide_guard] binding, dominated by that branch.  Deciding
+   also garbage-collects the whole instance table: no guard can fire
+   once [decided] is set (rejections recreate their instance from the
+   graph on demand), so the bookkeeping is dead weight — see
+   DESIGN.md "Arena and flat state" for the action-safety argument. *)
 let[@lint.decide_guard] decide cfg st ~view accepts =
   match st.decided with
   | Some _ -> (st, [])
   | None ->
       let value = cfg.pick accepts in
-      ({ st with decided = Some (view, value) }, [ Decide { view; value } ])
+      ( { st with decided = Some (view, value); views = [||]; insts = [||] },
+        [ Decide { view; value } ] )
 
 let deliver_outcome cfg st ~view ~border ~opinions =
   (* Close the instance: no further message for this view matters. *)
   let st =
-    {
-      st with
-      instances = View.Map.remove view st.instances;
-      rejected = View.Set.add view st.rejected;
-    }
+    let ix = view_ix st.views view in
+    let st =
+      if ix < 0 then st
+      else
+        { st with views = remove_at st.views ix; insts = remove_at st.insts ix }
+    in
+    { st with rejected = rejected_add st.rejected view }
   in
   match Opinion.Vector.accepts ~border opinions with
   | Some accepts -> decide cfg st ~view accepts
@@ -275,7 +402,7 @@ let deliver_outcome cfg st ~view ~border ~opinions =
 
 let deliver cfg st ~src msg =
   let view = Message.view msg in
-  if View.Set.mem view st.rejected then (st, [])
+  if rejected_mem st view then (st, [])
   else
     match msg with
     | Message.Round { round; view; border = _; opinions } ->
@@ -288,7 +415,7 @@ let deliver cfg st ~src msg =
 
 let guard_new_instance cfg st =
   match (st.proposed, st.candidate_view, st.decided) with
-  | None, Some view, None when View.Set.mem view st.rejected ->
+  | None, Some view, None when rejected_mem st view ->
       (* The candidate was already closed by a failed Outcome broadcast
          (early-stopping mode) before this node got to propose it.  In
          the base protocol the same proposal would complete instantly
@@ -329,44 +456,59 @@ let guard_new_instance cfg st =
 (* ------------------------------------------------------------------ *)
 (* Guard of lines 26-31: reject a lower-ranked view                    *)
 
+(* Deterministic order: reject the lowest-ranked first.  The current
+   view itself is in the table on every delivery — skip it by (cheap
+   bitset) equality before paying for a rank computation.  Top-level
+   recursion: this scan runs after every event, and a [ref]-based loop
+   would allocate. *)
+let rec reject_scan cfg views current n best i =
+  if i >= n then best
+  else
+    let best =
+      if
+        (not (Node_set.equal views.(i) current))
+        && lower cfg views.(i) current
+        && (best < 0 || lower cfg views.(i) views.(best))
+      then i
+      else best
+    in
+    reject_scan cfg views current n best (i + 1)
+
 let guard_reject cfg st =
   if Node_set.is_empty st.current_view then None
-  else
-    let lower_views =
-      View.Map.fold
-        (fun view _ acc ->
-          if lower cfg view st.current_view then view :: acc else acc)
-        st.instances []
+  else begin
+    let best =
+      reject_scan cfg st.views st.current_view (Array.length st.views) (-1) 0
     in
-    match lower_views with
-    | [] -> None
-    | _ ->
-        (* Deterministic order: reject the lowest-ranked first. *)
-        let view =
-          List.fold_left
-            (fun best v -> if lower cfg v best then v else best)
-            (List.hd lower_views) (List.tl lower_views)
-        in
-        let inst = View.Map.find view st.instances in
-        let msg =
-          Message.Round
-            {
-              round = 1;
-              view;
-              border = inst.border;
-              opinions = Opinion.Vector.singleton st.self Opinion.Reject;
-            }
-        in
-        let st =
+    if best < 0 then None
+    else begin
+      let view = st.views.(best) in
+      let inst = st.insts.(best) in
+      let msg =
+        Message.Round
           {
-            st with
-            instances = View.Map.remove view st.instances;
-            rejected = View.Set.add view st.rejected;
+            round = 1;
+            view;
+            border = inst.border;
+            opinions = Opinion.Vector.singleton st.self Opinion.Reject;
           }
-        in
-        (* No self-delivery: the view is now in [rejected] and line 18
-           would drop the message anyway. *)
-        Some (st, Note (Rejected_view view) :: multicast_actions ~self:st.self ~border:inst.border msg)
+      in
+      let st =
+        {
+          st with
+          views = remove_at st.views best;
+          insts = remove_at st.insts best;
+          rejected = rejected_add st.rejected view;
+        }
+      in
+      (* No self-delivery: the view is now in [rejected] and line 18
+         would drop the message anyway. *)
+      Some
+        ( st,
+          Note (Rejected_view view)
+          :: multicast_actions ~self:st.self ~border:inst.border msg )
+    end
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Guard of lines 32-40: round completion                              *)
@@ -394,36 +536,37 @@ let finish_instance cfg st ~border ~vector ~early =
 let guard_round_completion cfg st =
   if Option.is_none st.proposed || Option.is_some st.decided then None
   else
-    match View.Map.find_opt st.current_view st.instances with
-    | None -> None
-    | Some inst ->
-        let waiting =
-          Node_set.diff (round_waiting inst st.round) st.locally_crashed
-        in
-        if not (Node_set.is_empty waiting) then None
+    let ix = view_ix st.views st.current_view in
+    if ix < 0 then None
+    else begin
+      let inst = st.insts.(ix) in
+      let waiting = inst.waiting.(st.round - 1) in
+      (* waiting \ locallyCrashed = ∅, without materializing the diff. *)
+      if not (Node_set.subset waiting st.locally_crashed) then None
+      else begin
+        let vector = inst.opinions.(st.round - 1) in
+        let border = inst.border in
+        let full = Opinion.Vector.is_full ~border vector in
+        if Int.equal st.round inst.total_rounds then
+          finish_instance cfg st ~border ~vector ~early:false
+        else if cfg.early_stopping && full then
+          finish_instance cfg st ~border ~vector ~early:true
         else begin
-          let vector = round_vector inst st.round in
-          let border = inst.border in
-          let full = Opinion.Vector.is_full ~border vector in
-          if Int.equal st.round inst.total_rounds then
-            finish_instance cfg st ~border ~vector ~early:false
-          else if cfg.early_stopping && full then
-            finish_instance cfg st ~border ~vector ~early:true
-          else begin
-            (* Lines 38-40: next round, relaying the merged vector. *)
-            let round = st.round + 1 in
-            let msg =
-              Message.Round { round; view = st.current_view; border; opinions = vector }
-            in
-            let st = { st with round } in
-            let sends = multicast_actions ~self:st.self ~border msg in
-            let st, more = deliver cfg st ~src:st.self msg in
-            Some
-              ( st,
-                (Note (Advanced_round { view = st.current_view; round }) :: sends)
-                @ more )
-          end
+          (* Lines 38-40: next round, relaying the merged vector. *)
+          let round = st.round + 1 in
+          let msg =
+            Message.Round { round; view = st.current_view; border; opinions = vector }
+          in
+          let st = { st with round } in
+          let sends = multicast_actions ~self:st.self ~border msg in
+          let st, more = deliver cfg st ~src:st.self msg in
+          Some
+            ( st,
+              (Note (Advanced_round { view = st.current_view; round }) :: sends)
+              @ more )
         end
+      end
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Event dispatch                                                      *)
@@ -443,11 +586,12 @@ let on_crash cfg st q =
       | first :: rest ->
           List.fold_left (fun acc c -> if lower cfg acc c then c else acc) first rest
     in
-    let st = { st with locally_crashed } in
+    (* One record build for both the crash-set and (when the ranking
+       grew) the candidate update. *)
     let st =
       if lower cfg st.max_view best then
-        { st with max_view = best; candidate_view = Some best }
-      else st
+        { st with locally_crashed; max_view = best; candidate_view = Some best }
+      else { st with locally_crashed }
     in
     (st, [ Monitor to_monitor ])
   end
@@ -467,11 +611,38 @@ let rec stabilize cfg st acc =
           | Some (st, acts) -> stabilize cfg st (acc @ acts)
           | None -> (st, acc)))
 
+(* The new-instance and reject guards read only [proposed],
+   [candidate_view], [decided], the [views] spine, [rejected],
+   [current_view] and the ranking — when an event left all of those
+   physically unchanged (a delivery that merged into an existing
+   instance, a crash that grew [locally_crashed] without raising the
+   candidate), they were stable before and still are; only round
+   completion (which also reads instance contents and
+   [locally_crashed]) needs a re-check. *)
+let scan_inputs_unchanged st0 st =
+  st0.views == st.views
+  && st0.rejected == st.rejected
+  && st0.proposed == st.proposed
+  && st0.candidate_view == st.candidate_view
+  && st0.decided == st.decided
+
 let handle cfg st event =
+  let st0 = st in
   let st, acts =
     match event with
     | Init -> on_init cfg st
     | Crash q -> on_crash cfg st q
     | Deliver { src; msg } -> deliver cfg st ~src msg
   in
-  stabilize cfg st acts
+  (* Every state [handle] returns is guard-stable (stabilize ran before
+     it was handed out), and the guards read only the state — so an
+     event that left the state physically unchanged cannot have enabled
+     one, whatever actions it emitted: skip the re-scan.  This covers
+     stale retransmissions, duplicate crash notifications and [Init]
+     (whose [Monitor] action leaves the fresh state untouched). *)
+  if st == st0 then (st, acts)
+  else if scan_inputs_unchanged st0 st then
+    match guard_round_completion cfg st with
+    | Some (st, more) -> stabilize cfg st (acts @ more)
+    | None -> (st, acts)
+  else stabilize cfg st acts

@@ -35,9 +35,12 @@
     order) until quiescence, so one delivery may trigger a rejection, a
     round advance and a decision in a single {!handle} call.
 
-    {2 Early termination (optional)}
+    {2 Early termination (default)}
 
-    With [early_stopping = true] the machine adds the footnote-6
+    With [early_stopping = true] (the default since the flat-state
+    rewrite; the base protocol stays available behind
+    [~early_stopping:false] / the CLI's [--no-early-termination]) the
+    machine adds the footnote-6
     optimization: an instance finishes as soon as a round completes with
     a {e full} vector (no [⊥]) — sound because an opinion, once recorded,
     is immutable and globally unique per (view, participant), so any two
@@ -69,6 +72,11 @@ type 'v config = {
           [graph]; the free tiebreak the paper allows is exercised by
           the property suite. *)
   early_stopping : bool;  (** footnote-6 fast path, see above *)
+  arena : Arena.t;
+      (** scratch-buffer pool for the delivery path's transient set
+          computations; created by {!config} and observationally inert
+          (it never aliases into states or messages — the
+          arena-confinement lint rule enforces the discipline) *)
 }
 
 val default_pick : (Node_id.t * 'v) list -> 'v
@@ -83,9 +91,10 @@ val config :
   propose_value:(Node_id.t -> View.t -> 'v) ->
   unit ->
   'v config
-(** Convenience constructor; [early_stopping] defaults to [false],
-    [pick] to {!default_pick}, [rank] to the paper's ranking over
-    [graph]. *)
+(** Convenience constructor; [early_stopping] defaults to [true] (the
+    footnote-6 fast path — pass [~early_stopping:false] for the base
+    protocol), [pick] to {!default_pick}, [rank] to the paper's ranking
+    over [graph].  Each call creates a private scratch {!Arena.t}. *)
 
 (** {1 Events and actions} *)
 

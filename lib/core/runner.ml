@@ -37,7 +37,7 @@ let default_options =
     seed = 0;
     message_latency = Latency.Uniform { min = 1.0; max = 10.0 };
     detection_latency = Latency.Uniform { min = 1.0; max = 20.0 };
-    early_stopping = false;
+    early_stopping = true;
     channel_consistent_fd = true;
     channel = Transport.Reliable;
     max_events = 50_000_000;
@@ -59,7 +59,34 @@ type 'v outcome = {
   obs : Obs.Log.t;
 }
 
-let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
+(* A runner-pluggable node: the runner is generic in the machine it
+   drives, so the differential suite can replay a scenario against the
+   flat protocol and the map-based oracle
+   ({!Cliffedge_baseline.Protocol_ref}) through the identical
+   substrate.  Steppers own their state internally (one mutable cell
+   per node, allocated at setup) — the hot loop makes no per-event
+   closure. *)
+type 'v stepper = {
+  step : 'v Protocol.event -> 'v Protocol.action list;
+  flat_state : unit -> 'v Protocol.state option;
+      (** [None] for machines that are not the flat core (the outcome's
+          [states] field then omits the node) *)
+  decision : unit -> (View.t * 'v) option;
+}
+
+let protocol_stepper cfg ~self =
+  let cell = ref (Protocol.init ~self) in
+  {
+    step =
+      (fun event ->
+        let st, actions = Protocol.handle cfg !cell event in
+        cell := st;
+        actions);
+    flat_state = (fun () -> Some !cell);
+    decision = (fun () -> Protocol.decided !cell);
+  }
+
+let run_stepper ?(options = default_options) ~graph ~crashes ~make () =
   List.iter
     (fun (_, p) ->
       if not (Graph.mem_node p graph) then
@@ -72,26 +99,51 @@ let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
       ~channel_consistent_fd:options.channel_consistent_fd ()
   in
   let { Substrate.engine; detector; obs; _ } = substrate in
-  let cfg =
-    Protocol.config ~early_stopping:options.early_stopping ?rank ~graph
-      ~propose_value ()
+  (* Dense node table: ids index directly, no hashing on the dispatch
+     path. *)
+  let max_id =
+    Node_set.fold (fun p m -> Int.max m (Node_id.to_int p)) (Graph.nodes graph) 0
   in
-  let states : (int, 'v Protocol.state ref) Hashtbl.t = Hashtbl.create 64 in
+  let states = Array.make (max_id + 1) None in
   let decisions = ref [] in
   let notes = ref [] in
-  let state_of p = Hashtbl.find states (Node_id.to_int p) in
   (* Seq of the last round-chain event ([Propose]/[Round]/...) each node
      recorded per consensus instance, so the chain
      propose -> round -> ... -> decide threads within an instance even
      when deliveries of other instances interleave. *)
-  let instance_last : (int * string, int) Hashtbl.t = Hashtbl.create 64 in
-  let chain_parent p key =
-    match Hashtbl.find_opt instance_last (Node_id.to_int p, key) with
+  (* Keyed by [instance id lsl 20 lor node id] — both small ints, so
+     lookups hash an immediate instead of allocating a tuple and
+     re-hashing the instance's label string on every chain event. *)
+  let instance_last : (int, int) Hashtbl.t = Hashtbl.create 64 in
+  let chain_slot p kid = (kid lsl 20) lor Node_id.to_int p in
+  let chain_parent p kid =
+    match Hashtbl.find_opt instance_last (chain_slot p kid) with
     | Some _ as parent -> parent
     | None -> Obs.Log.context obs
   in
+  (* Memoized instance labels (with a dense id per instance for
+     [chain_slot]): a run touches a handful of views but labels events
+     for them constantly. *)
+  let instance_keys = ref [] in
+  let instance_key v =
+    match List.find_opt (fun (w, _, _) -> Node_set.equal v w) !instance_keys with
+    | Some (_, key, id) -> (key, id)
+    | None ->
+        let key = Obs.Event.instance_of_view v in
+        let id = List.length !instance_keys in
+        instance_keys := (v, key, id) :: !instance_keys;
+        (key, id)
+  in
   let observe ?instance ?parent p kind =
     Obs.Log.record obs ~time:(Engine.now engine) ~node:p ?instance ?parent kind
+  in
+  (* Whether a step's actions include a [Send] at all: the batching
+     scope only affects message envelopes, so pure local steps (Init's
+     Monitor, a Decide with no cascade) skip its bookkeeping. *)
+  let rec has_send = function
+    | [] -> false
+    | Protocol.Send _ :: _ -> true
+    | _ :: tl -> has_send tl
   in
   let rec execute p action =
     match action with
@@ -102,9 +154,9 @@ let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
     | Protocol.Decide { view; value } ->
         Log.debug (fun m ->
             m "t=%.2f %a decides on %a" (Engine.now engine) Node_id.pp p View.pp view);
-        let key = Obs.Event.instance_of_view view in
+        let key, kid = instance_key view in
         let seq =
-          observe ~instance:key ?parent:(chain_parent p key) p Obs.Event.Decide
+          observe ~instance:key ?parent:(chain_parent p kid) p Obs.Event.Decide
         in
         decisions :=
           { node = p; view; value; time = Engine.now engine; event = Some seq }
@@ -125,44 +177,54 @@ let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
                     View.pp view));
         (match note with
         | Protocol.Proposed v ->
-            let key = Obs.Event.instance_of_view v in
+            let key, kid = instance_key v in
             let seq =
               observe ~instance:key ?parent:(Obs.Log.context obs) p
                 Obs.Event.Propose
             in
-            Hashtbl.replace instance_last (Node_id.to_int p, key) seq
+            Hashtbl.replace instance_last (chain_slot p kid) seq
         | Protocol.Rejected_view v ->
-            let key = Obs.Event.instance_of_view v in
+            let key, _ = instance_key v in
             ignore
               (observe ~instance:key ?parent:(Obs.Log.context obs) p
                  Obs.Event.Reject)
         | Protocol.Attempt_failed v ->
-            let key = Obs.Event.instance_of_view v in
+            let key, kid = instance_key v in
             let seq =
-              observe ~instance:key ?parent:(chain_parent p key) p Obs.Event.Abort
+              observe ~instance:key ?parent:(chain_parent p kid) p Obs.Event.Abort
             in
-            Hashtbl.replace instance_last (Node_id.to_int p, key) seq
+            Hashtbl.replace instance_last (chain_slot p kid) seq
         | Protocol.Advanced_round { view; round } ->
-            let key = Obs.Event.instance_of_view view in
+            let key, kid = instance_key view in
             let seq =
-              observe ~instance:key ?parent:(chain_parent p key) p
+              observe ~instance:key ?parent:(chain_parent p kid) p
                 (Obs.Event.Round { round })
             in
-            Hashtbl.replace instance_last (Node_id.to_int p, key) seq
+            Hashtbl.replace instance_last (chain_slot p kid) seq
         | Protocol.Early_outcome { view; success } ->
-            let key = Obs.Event.instance_of_view view in
+            let key, kid = instance_key view in
             let seq =
-              observe ~instance:key ?parent:(chain_parent p key) p
+              observe ~instance:key ?parent:(chain_parent p kid) p
                 (Obs.Event.Early_outcome { success })
             in
-            Hashtbl.replace instance_last (Node_id.to_int p, key) seq);
+            Hashtbl.replace instance_last (chain_slot p kid) seq);
         notes := (Engine.now engine, p, note) :: !notes
   and dispatch p event =
     if not (Failure_detector.is_crashed detector p) then begin
-      let cell = state_of p in
-      let st, actions = Protocol.handle cfg !cell event in
-      cell := st;
-      List.iter (execute p) actions
+      match states.(Node_id.to_int p) with
+      | None -> ()
+      | Some stepper -> (
+          match stepper.step event with
+          | [] -> ()
+          | actions ->
+              (* One batching scope per protocol step: everything this
+                 step sends to a given neighbour — a cascade of round
+                 advances, a rejection plus a proposal — rides one
+                 envelope. *)
+              if has_send actions then
+                Substrate.batched substrate (fun () ->
+                    List.iter (execute p) actions)
+              else List.iter (execute p) actions)
     end
   in
   Substrate.on_deliver substrate (fun ~src ~dst msg ->
@@ -171,8 +233,7 @@ let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
       dispatch observer (Protocol.Crash crashed));
   (* Bring every node up at time 0. *)
   Node_set.iter
-    (fun p ->
-      Hashtbl.replace states (Node_id.to_int p) (ref (Protocol.init ~self:p)))
+    (fun p -> states.(Node_id.to_int p) <- Some (make p))
     (Graph.nodes graph);
   Node_set.iter (fun p -> dispatch p Protocol.Init) (Graph.nodes graph);
   (* Inject the fault schedule and run to quiescence. *)
@@ -180,7 +241,15 @@ let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
   Substrate.run ~false_suspicions:options.false_suspicions
     ~max_events:options.max_events substrate;
   let states =
-    Hashtbl.fold (fun p cell acc -> (Node_id.of_int p, !cell) :: acc) states []
+    Node_set.fold
+      (fun p acc ->
+        match states.(Node_id.to_int p) with
+        | Some stepper -> (
+            match stepper.flat_state () with
+            | Some st -> (p, st) :: acc
+            | None -> acc)
+        | None -> acc)
+      (Graph.nodes graph) []
     |> List.sort (fun (a, _) (b, _) -> Node_id.compare a b)
   in
   {
@@ -208,6 +277,15 @@ let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
     states;
     obs;
   }
+
+let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =
+  let cfg =
+    Protocol.config ~early_stopping:options.early_stopping ?rank ~graph
+      ~propose_value ()
+  in
+  run_stepper ~options ~graph ~crashes
+    ~make:(fun p -> protocol_stepper cfg ~self:p)
+    ()
 
 let deciders outcome =
   List.fold_left

@@ -54,7 +54,8 @@ type options = {
 
 val default_options : options
 (** seed 0, uniform 1–10 message latency, uniform 1–20 detection latency,
-    no early stopping, channel-consistent FD, 50M-event cap. *)
+    early stopping ON (footnote 6; set [early_stopping = false] for the
+    base protocol), channel-consistent FD, 50M-event cap. *)
 
 type 'v outcome = {
   graph : Graph.t;
@@ -93,6 +94,38 @@ val run :
     overrides the region ranking's free tiebreak (see
     {!Protocol.config}); all nodes share it.
     @raise Invalid_argument if a crash names a node outside the graph. *)
+
+(** {1 Pluggable machines}
+
+    The runner is generic in the state machine it drives; the
+    differential suite uses this to replay one scenario against the
+    flat protocol core and the map-based reference
+    ({!Cliffedge_baseline.Protocol_ref}) through the identical
+    substrate, and require byte-identical causal logs. *)
+
+type 'v stepper = {
+  step : 'v Protocol.event -> 'v Protocol.action list;
+      (** feed one event; the stepper owns its state internally *)
+  flat_state : unit -> 'v Protocol.state option;
+      (** [None] for machines that are not the flat core; the outcome's
+          [states] field then omits the node *)
+  decision : unit -> (View.t * 'v) option;
+}
+
+val protocol_stepper : 'v Protocol.config -> self:Node_id.t -> 'v stepper
+(** A node backed by {!Protocol} (what {!run} plugs in). *)
+
+val run_stepper :
+  ?options:options ->
+  graph:Graph.t ->
+  crashes:(float * Node_id.t) list ->
+  make:(Node_id.t -> 'v stepper) ->
+  unit ->
+  'v outcome
+(** Like {!run}, with one stepper built per node by [make].
+    [options.early_stopping] is NOT applied (the caller's config
+    already decided it) — the remaining options drive the substrate
+    exactly as {!run} does. *)
 
 val deciders : 'v outcome -> Node_set.t
 

@@ -14,8 +14,17 @@ let make ?(names = Node_id.Names.empty) ?(options = Runner.default_options) ~nam
 
 let with_seed t seed = { t with options = { t.options with seed } }
 
+(* String concatenation, not [Format.asprintf]: this is called on
+   every proposal of every simulated run, and the formatting machinery
+   costs ~1us per call — an order of magnitude over the protocol
+   transition it decorates.  Output stays byte-identical to the old
+   ["plan(%a,%d)"] rendering. *)
 let default_propose p view =
-  Format.asprintf "plan(%a,%d)" Node_id.pp p (Node_set.cardinal view)
+  "plan(n"
+  ^ string_of_int (Node_id.to_int p)
+  ^ ","
+  ^ string_of_int (Node_set.cardinal view)
+  ^ ")"
 
 let execute_with ~propose_value ?value_equal t =
   let outcome =

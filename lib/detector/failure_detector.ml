@@ -3,15 +3,36 @@ module Engine = Cliffedge_sim.Engine
 module Prng = Cliffedge_prng.Prng
 module Latency = Cliffedge_net.Latency
 
+(* Dense node-id-indexed tables (grown on demand): every query on the
+   runner's dispatch path — [is_crashed], the subscription dedup — is
+   one array read instead of a generic-hash-table probe.  Node ids are
+   small and dense in every workload (the topologies number them
+   contiguously), so the arrays stay tiny.
+
+   There is deliberately no observer-indexed-by-target inverse table:
+   registration runs once per (node, neighbour) pair at start-up — the
+   bulk of a quiescent run's detector traffic — while crashes are rare,
+   so [inject_crash] recovers the observers with one bounded ascending
+   scan over the subscription rows instead (same notification order as
+   iterating an inverse set would give: ascending observer id). *)
 type t = {
   engine : Engine.t;
   rng : Prng.t;
   latency : Latency.t;
-  (* target -> observers subscribed to it *)
-  subscribers : (int, Node_set.t) Hashtbl.t;
-  (* (observer, target) pairs already subscribed, for dedup *)
-  subscriptions : (int * int, unit) Hashtbl.t;
-  crash_times : (int, float) Hashtbl.t;
+  (* observer id -> targets already subscribed (dedup; a slot keeps its
+     targets after notification so a pair fires at most once) *)
+  mutable subscriptions : Node_set.t array;
+  (* observer id -> targets whose subscription was consumed early by a
+     false suspicion (so a later genuine crash must not re-notify).
+     Rows stay empty unless suspicions are injected. *)
+  mutable consumed : Node_set.t array;
+  (* exclusive upper bound of observer ids with a subscription row,
+     bounding the [inject_crash] scan *)
+  mutable max_observer : int;
+  (* node id -> crash time; [nan] = alive.  [crashed] mirrors the
+     non-[nan] slots as a set for [crashed_nodes]. *)
+  mutable crash_times : float array;
+  mutable crashed : Node_set.t;
   channel_floor : (observer:Node_id.t -> crashed:Node_id.t -> float) option;
   mutable notify : (observer:Node_id.t -> crashed:Node_id.t -> unit) option;
 }
@@ -21,23 +42,46 @@ let create ~engine ~rng ~latency ?channel_floor () =
     engine;
     rng;
     latency;
-    subscribers = Hashtbl.create 64;
-    subscriptions = Hashtbl.create 256;
-    crash_times = Hashtbl.create 16;
+    subscriptions = Array.make 64 Node_set.empty;
+    consumed = Array.make 64 Node_set.empty;
+    max_observer = 0;
+    crash_times = Array.make 64 Float.nan;
+    crashed = Node_set.empty;
     channel_floor;
     notify = None;
   }
 
+let grow_sets arr i =
+  let n = Array.length arr in
+  if i < n then arr
+  else begin
+    let out = Array.make (Int.max (i + 1) (2 * n)) Node_set.empty in
+    Array.blit arr 0 out 0 n;
+    out
+  end
+
+let grow_times arr i =
+  let n = Array.length arr in
+  if i < n then arr
+  else begin
+    let out = Array.make (Int.max (i + 1) (2 * n)) Float.nan in
+    Array.blit arr 0 out 0 n;
+    out
+  end
+
 let on_crash_notification t handler = t.notify <- Some handler
 
-let is_crashed t p = Hashtbl.mem t.crash_times (Node_id.to_int p)
+let is_crashed t p =
+  let i = Node_id.to_int p in
+  i < Array.length t.crash_times && not (Float.is_nan t.crash_times.(i))
 
-let crash_time t p = Hashtbl.find_opt t.crash_times (Node_id.to_int p)
+let crash_time t p =
+  let i = Node_id.to_int p in
+  if i < Array.length t.crash_times && not (Float.is_nan t.crash_times.(i)) then
+    Some t.crash_times.(i)
+  else None
 
-let crashed_nodes t =
-  Hashtbl.fold
-    (fun p _ acc -> Node_set.add (Node_id.of_int p) acc)
-    t.crash_times Node_set.empty
+let crashed_nodes t = t.crashed
 
 let schedule_notification t ~observer ~target =
   let delay = Latency.sample t.latency t.rng in
@@ -59,48 +103,56 @@ let schedule_notification t ~observer ~target =
            | None -> failwith "Failure_detector: no notification handler installed"))
 
 let monitor t ~observer ~targets =
-  Node_set.iter
-    (fun target ->
-      if not (Node_id.equal observer target) then begin
-        let key = (Node_id.to_int observer, Node_id.to_int target) in
-        if not (Hashtbl.mem t.subscriptions key) then begin
-          Hashtbl.replace t.subscriptions key ();
-          if is_crashed t target then schedule_notification t ~observer ~target
-          else begin
-            let ti = Node_id.to_int target in
-            let current =
-              Option.value ~default:Node_set.empty (Hashtbl.find_opt t.subscribers ti)
-            in
-            Hashtbl.replace t.subscribers ti (Node_set.add observer current)
-          end
-        end
-      end)
-    targets
+  let oi = Node_id.to_int observer in
+  t.subscriptions <- grow_sets t.subscriptions oi;
+  if oi >= t.max_observer then t.max_observer <- oi + 1;
+  (* Word-parallel dedup: one [diff] finds the genuinely new targets
+     (minus self), one [union] registers them, and only the already
+     crashed ones are walked element-wise — in ascending order, so the
+     notification schedule matches the per-element version exactly. *)
+  let fresh =
+    Node_set.remove observer (Node_set.diff targets t.subscriptions.(oi))
+  in
+  if not (Node_set.is_empty fresh) then begin
+    t.subscriptions.(oi) <- Node_set.union t.subscriptions.(oi) fresh;
+    if not (Node_set.disjoint fresh t.crashed) then
+      Node_set.iter
+        (fun target ->
+          if is_crashed t target then schedule_notification t ~observer ~target)
+        fresh
+  end
 
 let inject_false_suspicion t ~observer ~target =
-  let key = (Node_id.to_int observer, Node_id.to_int target) in
+  let oi = Node_id.to_int observer in
   if
-    Hashtbl.mem t.subscriptions key
+    oi < Array.length t.subscriptions
+    && Node_set.mem target t.subscriptions.(oi)
+    && (oi >= Array.length t.consumed || not (Node_set.mem target t.consumed.(oi)))
     && (not (is_crashed t target))
     && not (is_crashed t observer)
   then begin
     (* Consume the subscription so the pair is notified at most once,
        like a genuine notification would. *)
-    let ti = Node_id.to_int target in
-    (match Hashtbl.find_opt t.subscribers ti with
-    | Some observers ->
-        Hashtbl.replace t.subscribers ti (Node_set.remove observer observers)
-    | None -> ());
+    t.consumed <- grow_sets t.consumed oi;
+    t.consumed.(oi) <- Node_set.add target t.consumed.(oi);
     schedule_notification t ~observer ~target
   end
 
 let inject_crash t target =
   let ti = Node_id.to_int target in
-  if not (Hashtbl.mem t.crash_times ti) then begin
-    Hashtbl.replace t.crash_times ti (Engine.now t.engine);
-    let observers =
-      Option.value ~default:Node_set.empty (Hashtbl.find_opt t.subscribers ti)
-    in
-    Hashtbl.remove t.subscribers ti;
-    Node_set.iter (fun observer -> schedule_notification t ~observer ~target) observers
+  if not (is_crashed t target) then begin
+    t.crash_times <- grow_times t.crash_times ti;
+    t.crash_times.(ti) <- Engine.now t.engine;
+    t.crashed <- Node_set.add target t.crashed;
+    (* Every currently subscribed pair registered while [target] was
+       alive (it crashes only once), so the subscription rows minus the
+       suspicion-consumed pairs are exactly the old inverse table. *)
+    for oi = 0 to t.max_observer - 1 do
+      if
+        Node_set.mem target t.subscriptions.(oi)
+        && (oi >= Array.length t.consumed
+           || not (Node_set.mem target t.consumed.(oi)))
+      then
+        schedule_notification t ~observer:(Node_id.of_int oi) ~target
+    done
   end

@@ -9,11 +9,25 @@ module Obs = Cliffedge_obs
    event, so the matching [Deliver] can name its exact causal parent —
    the network may lose, duplicate or reorder the envelope, but it
    cannot separate the payload from its provenance. *)
-type 'a envelope = { cause : int; payload : 'a }
+type 'a item = { cause : int; payload : 'a }
+
+(* One wire unit.  Inside a [batched] scope all logical sends to the
+   same destination ride one envelope (one latency draw, one ARQ
+   frame); each item keeps its own provenance, so the causal log still
+   records every logical send/delivery individually. *)
+type 'a envelope = { items : 'a item list  (* in send order *) }
 
 type 'a conduit =
   | Direct of 'a envelope Network.t
   | Arq of 'a envelope Transport.t
+
+(* Per-(src,dst) accumulator of an open [batched] scope. *)
+type 'a batch_cell = {
+  b_src : Node_id.t;
+  b_dst : Node_id.t;
+  mutable b_units : int;
+  mutable b_rev : 'a item list;
+}
 
 type 'a t = {
   engine : Engine.t;
@@ -23,6 +37,9 @@ type 'a t = {
   (* Seq of each node's [Crash] event, so [Suspect] notifications can
      parent to the fault injection they detect. *)
   crash_seq : (int, int) Hashtbl.t;
+  (* Cells of the open [batched] scope in reverse first-touch order;
+     [None] outside any scope (sends dispatch immediately). *)
+  mutable batch : 'a batch_cell list option;
 }
 
 let create ?(channel = Transport.Reliable) ~seed ~message_latency ~detection_latency
@@ -63,7 +80,21 @@ let create ?(channel = Transport.Reliable) ~seed ~message_latency ~detection_lat
     Failure_detector.create ~engine ~rng:fd_rng ~latency:detection_latency
       ?channel_floor ()
   in
-  { engine; conduit; detector; obs; crash_seq = Hashtbl.create 16 }
+  { engine; conduit; detector; obs; crash_seq = Hashtbl.create 16; batch = None }
+
+let dispatch_envelope t ~units ~src ~dst env =
+  match t.conduit with
+  | Direct network -> Network.send network ~units ~src ~dst env
+  | Arq transport -> Transport.send transport ~units ~src ~dst env
+
+(* Top-level recursion: a [List.find_opt] closure capturing [src]/[dst]
+   would allocate on every batched send. *)
+let rec find_cell cells src dst =
+  match cells with
+  | [] -> None
+  | c :: tl ->
+      if Node_id.equal c.b_src src && Node_id.equal c.b_dst dst then Some c
+      else find_cell tl src dst
 
 let send t ?(units = 1) ~src ~dst msg =
   (* The conduit drops sends from crashed sources anyway (before any
@@ -76,20 +107,52 @@ let send t ?(units = 1) ~src ~dst msg =
         ?parent:(Obs.Log.context t.obs)
         (Obs.Event.Send { dst; units })
     in
-    let env = { cause; payload = msg } in
-    match t.conduit with
-    | Direct network -> Network.send network ~units ~src ~dst env
-    | Arq transport -> Transport.send transport ~units ~src ~dst env
+    let item = { cause; payload = msg } in
+    match t.batch with
+    | None -> dispatch_envelope t ~units ~src ~dst { items = [ item ] }
+    | Some cells -> (
+        match find_cell cells src dst with
+        | Some c ->
+            c.b_units <- c.b_units + units;
+            c.b_rev <- item :: c.b_rev
+        | None ->
+            t.batch <-
+              Some ({ b_src = src; b_dst = dst; b_units = units; b_rev = [ item ] } :: cells))
   end
+
+let batched t f =
+  match t.batch with
+  | Some _ ->
+      (* Nested scope: merge into the outer batch. *)
+      f ()
+  | None ->
+      t.batch <- Some [];
+      Fun.protect f ~finally:(fun () ->
+          (* Flush in first-touch order, one envelope per (src,dst) with
+             the units of all its items — one latency draw / ARQ frame
+             per pair per scope. *)
+          let cells = match t.batch with Some c -> List.rev c | None -> [] in
+          t.batch <- None;
+          List.iter
+            (fun c ->
+              dispatch_envelope t ~units:c.b_units ~src:c.b_src ~dst:c.b_dst
+                { items = List.rev c.b_rev })
+            cells)
 
 let on_deliver t handler =
   let wrapped ~src ~dst env =
-    let seq =
-      Obs.Log.record t.obs ~time:(Engine.now t.engine) ~node:dst
-        ~parent:env.cause
-        (Obs.Event.Deliver { src })
-    in
-    Obs.Log.with_context t.obs seq (fun () -> handler ~src ~dst env.payload)
+    (* One [Deliver] event per logical send the envelope carries, each
+       parented on its own [Send]: batching is invisible to the causal
+       log's structure. *)
+    List.iter
+      (fun item ->
+        let seq =
+          Obs.Log.record t.obs ~time:(Engine.now t.engine) ~node:dst
+            ~parent:item.cause
+            (Obs.Event.Deliver { src })
+        in
+        Obs.Log.with_context t.obs seq (fun () -> handler ~src ~dst item.payload))
+      env.items
   in
   match t.conduit with
   | Direct network -> Network.on_deliver network wrapped

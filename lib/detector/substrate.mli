@@ -28,11 +28,15 @@
 open Cliffedge_graph
 
 type 'a envelope
-(** A payload wrapped with the sequence id of its [Send] event. *)
+(** One wire unit: a non-empty batch of payloads, each wrapped with the
+    sequence id of its own [Send] event. *)
 
 type 'a conduit =
   | Direct of 'a envelope Cliffedge_net.Network.t
   | Arq of 'a envelope Cliffedge_net.Transport.t
+
+type 'a batch_cell
+(** Accumulator of an open {!batched} scope (internal). *)
 
 type 'a t = {
   engine : Cliffedge_sim.Engine.t;
@@ -40,6 +44,7 @@ type 'a t = {
   detector : Failure_detector.t;
   obs : Cliffedge_obs.Log.t;
   crash_seq : (int, int) Hashtbl.t;
+  mutable batch : 'a batch_cell list option;
 }
 
 val create :
@@ -59,12 +64,26 @@ val create :
 
 val send : 'a t -> ?units:int -> src:Node_id.t -> dst:Node_id.t -> 'a -> unit
 (** Records a [Send] event and hands the wrapped payload to the
-    conduit; a no-op (and no event) when [src] has crashed. *)
+    conduit; a no-op (and no event) when [src] has crashed.  Inside a
+    {!batched} scope the payload is instead accumulated onto the
+    scope's per-[(src, dst)] envelope. *)
+
+val batched : 'a t -> (unit -> 'b) -> 'b
+(** [batched t f] runs [f] with send-batching on: every {!send} during
+    [f] still records its own [Send] event, but payloads to the same
+    [(src, dst)] pair are piggybacked onto a single envelope — one
+    latency draw and (over ARQ) one frame per pair — flushed when [f]
+    returns, in first-touch order.  Nested scopes merge into the
+    outermost one.  Runners wrap each protocol-step's action execution
+    in a scope, so a round's worth of opinions to a neighbour travels
+    as one wire message. *)
 
 val on_deliver : 'a t -> (src:Node_id.t -> dst:Node_id.t -> 'a -> unit) -> unit
-(** Installs the upward handler.  Each delivery records a [Deliver]
-    event parented on the matching [Send], and the handler runs with
-    the log's context cursor set to it. *)
+(** Installs the upward handler.  Each logical payload in a delivered
+    envelope records its own [Deliver] event parented on the matching
+    [Send], and the handler runs once per payload with the log's
+    context cursor set to that event — batching is invisible to the
+    causal log's structure. *)
 
 val on_crash_notification :
   'a t -> (observer:Node_id.t -> crashed:Node_id.t -> unit) -> unit

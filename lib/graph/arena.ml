@@ -1,0 +1,68 @@
+(* Arena of reusable bitset scratch buffers.
+
+   The protocol hot path (lib/core/protocol.ml) repeatedly needs
+   transient node-set computations of the shape "start from this set,
+   knock some members out, keep the result": building one [Node_set]
+   per intermediate step allocates an array per operation.  The arena
+   keeps a small pool of plain [int array] buffers with an explicit
+   checkout/release discipline: [build_from]/[build] check a buffer
+   out, hand the caller a builder restricted to in-place edits, freeze
+   the final contents into a fresh canonical immutable [Node_set], and
+   release the buffer back to the pool — so a full edit sequence costs
+   exactly one allocation (the frozen result), amortizing the scratch.
+
+   This is the single module allowed to touch [Node_set.Unsafe] (raw
+   un-canonical buffer mutation): the arena-confinement lint rule
+   rejects it anywhere else, which is what makes the discipline a
+   checked invariant rather than a convention.  The builder type is
+   abstract and only reachable inside the [build*] callbacks, so a
+   frozen set can never alias a live buffer. *)
+
+type t = { mutable pool : int array list }
+
+let create () = { pool = [] }
+
+(* The builder is just the checked-out buffer; abstraction (arena.mli)
+   keeps it from escaping the callback with any usable interface. *)
+type builder = int array
+
+let checkout t ~words =
+  match t.pool with
+  | buf :: rest when Array.length buf >= words ->
+      t.pool <- rest;
+      Node_set.Unsafe.clear buf;
+      buf
+  | _ ->
+      (* Pool empty or its head outgrown: allocate with headroom so one
+         cascade-sized buffer ends up serving the whole run. *)
+      Array.make (Int.max words 8) 0
+
+let release t buf = t.pool <- buf :: t.pool
+
+(* If the callback raised, the buffer is simply dropped (never
+   released mid-edit); the GC reclaims it and the pool refills on the
+   next checkout. *)
+let finish t buf =
+  let frozen = Node_set.Unsafe.freeze buf in
+  release t buf;
+  frozen
+
+let build t ~capacity f =
+  let words = (Int.max capacity 0 / Sys.int_size) + 1 in
+  let buf = checkout t ~words in
+  f buf;
+  finish t buf
+
+let build_from t set f =
+  let buf = checkout t ~words:(Node_set.Unsafe.words set) in
+  Node_set.Unsafe.load buf set;
+  f buf;
+  finish t buf
+
+let add = Node_set.Unsafe.set
+
+let remove = Node_set.Unsafe.unset
+
+let mem = Node_set.Unsafe.get
+
+let subtract = Node_set.Unsafe.subtract

@@ -1,0 +1,45 @@
+(** Arena of reusable bitset scratch buffers (checkout/release).
+
+    Transient node-set edit sequences — "start from this set, remove a
+    few members, keep the result" — cost one allocation per step when
+    written against the immutable {!Node_set} API.  The arena checks a
+    pooled scratch buffer out, exposes it through the restricted
+    {!builder} interface for in-place edits, freezes the final contents
+    into a fresh canonical {!Node_set.t}, and releases the buffer back
+    to the pool: one allocation for the whole sequence.
+
+    This module is the {e only} code allowed to use [Node_set.Unsafe]
+    (raw buffer mutation): the arena-confinement lint rule enforces
+    that everywhere else in the tree.  The builder never escapes its
+    callback with a usable interface, so frozen sets cannot alias a
+    live buffer and pooled buffers cannot leak into protocol state. *)
+
+type t
+(** A buffer pool.  Not thread-safe; one arena per protocol config. *)
+
+val create : unit -> t
+
+type builder
+(** A checked-out scratch buffer, only reachable inside {!build} /
+    {!build_from} callbacks. *)
+
+val build : t -> capacity:int -> (builder -> unit) -> Node_set.t
+(** [build t ~capacity f] checks out a cleared buffer able to hold
+    members [0..capacity], applies [f]'s edits, and returns the frozen
+    result. *)
+
+val build_from : t -> Node_set.t -> (builder -> unit) -> Node_set.t
+(** [build_from t set f] seeds the buffer with [set] before applying
+    [f]'s edits.  The buffer is sized for [set], so only member
+    removals ({!remove}, {!subtract}) and edits within its id range
+    are safe. *)
+
+val add : builder -> Node_id.t -> unit
+(** Adds a member; the id must be within the builder's capacity. *)
+
+val remove : builder -> Node_id.t -> unit
+
+val mem : builder -> Node_id.t -> bool
+
+val subtract : builder -> Node_set.t -> unit
+(** Removes every member of the given set. *)

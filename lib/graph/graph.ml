@@ -17,6 +17,11 @@ type dense = {
   adj : Node_set.t array;
   all : Node_set.t;
   border_cache : Node_set.t Set_tbl.t;
+  (* [connected_components] memo, keyed by the crashed set: every
+     border node of a dying region recomputes the same partition when
+     its detector fires, and the lists are immutable and share
+     freely. *)
+  components_cache : Node_set.t list Set_tbl.t;
 }
 
 type t = {
@@ -79,7 +84,14 @@ let dense_of t =
       let adj = Array.make width Node_set.empty in
       Node_map.iter (fun p s -> adj.(Node_id.to_int p) <- s) t.adjacency;
       let all = Node_map.keys t.adjacency in
-      let d = { adj; all; border_cache = Set_tbl.create 64 } in
+      let d =
+        {
+          adj;
+          all;
+          border_cache = Set_tbl.create 64;
+          components_cache = Set_tbl.create 16;
+        }
+      in
       t.dense <- Some d;
       d
 
@@ -158,8 +170,7 @@ let component_of d s start =
   let start_set = Node_set.singleton start in
   grow start_set start_set
 
-let connected_components t s =
-  let d = dense_of t in
+let components_uncached d s =
   let rec loop remaining acc =
     match Node_set.min_elt_opt remaining with
     | None -> List.rev acc
@@ -168,6 +179,17 @@ let connected_components t s =
         loop (Node_set.diff remaining comp) (comp :: acc)
   in
   loop (Node_set.inter s d.all) []
+
+let connected_components t s =
+  let d = dense_of t in
+  match Set_tbl.find_opt d.components_cache s with
+  | Some cs -> cs
+  | None ->
+      let cs = components_uncached d s in
+      if Set_tbl.length d.components_cache >= border_cache_cap then
+        Set_tbl.reset d.components_cache;
+      Set_tbl.add d.components_cache s cs;
+      cs
 
 let is_connected_subset t s =
   (not (Node_set.is_empty s))

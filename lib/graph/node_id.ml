@@ -14,7 +14,7 @@ let hash t = t
 
 let pp ppf t = Format.fprintf ppf "n%d" t
 
-let to_string t = Format.asprintf "%a" pp t
+let to_string t = "n" ^ string_of_int t
 
 module Names = struct
   module M = Map.Make (Int)

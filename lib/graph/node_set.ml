@@ -58,7 +58,7 @@ let trim a =
   while !n > 0 && a.(!n - 1) = 0 do decr n done;
   if Int.equal !n (Array.length a) then a else Array.sub a 0 !n
 
-let word t i = if i < Array.length t then t.(i) else 0
+let word t i = if i < Array.length t then Array.unsafe_get t i else 0
 
 (* ------------------------------------------------------------------ *)
 (* Membership and element-wise construction                            *)
@@ -66,13 +66,18 @@ let word t i = if i < Array.length t then t.(i) else 0
 let mem x t =
   let i = Node_id.to_int x in
   let w = i / word_bits in
-  w < Array.length t && (t.(w) lsr (i mod word_bits)) land 1 = 1
+  w < Array.length t && (Array.unsafe_get t w lsr (i mod word_bits)) land 1 = 1
 
+(* The one-word cases get inline literal allocations: [Array.make] is a
+   C call, and single-word sets (up to 63 nodes) cover every benchmark
+   topology's sets on the hot paths. *)
 let add x t =
   let i = Node_id.to_int x in
   let w = i / word_bits and b = i mod word_bits in
   let len = Array.length t in
   if w < len && (t.(w) lsr b) land 1 = 1 then t
+  else if Int.equal w 0 && len <= 1 then
+    [| (if Int.equal len 0 then 0 else t.(0)) lor (1 lsl b) |]
   else begin
     let r = Array.make (Int.max len (w + 1)) 0 in
     Array.blit t 0 r 0 len;
@@ -90,6 +95,10 @@ let remove x t =
   let i = Node_id.to_int x in
   let w = i / word_bits and b = i mod word_bits in
   if w >= Array.length t || (t.(w) lsr b) land 1 = 0 then t
+  else if Int.equal (Array.length t) 1 then begin
+    let v = t.(0) land lnot (1 lsl b) in
+    if Int.equal v 0 then empty else [| v |]
+  end
   else begin
     let r = Array.copy t in
     r.(w) <- r.(w) land lnot (1 lsl b);
@@ -157,21 +166,33 @@ let diff a b =
     end
   end
 
-let disjoint a b =
-  let l = Int.min (Array.length a) (Array.length b) in
-  let rec go i = Int.equal i l || (a.(i) land b.(i) = 0 && go (i + 1)) in
-  go 0
+(* Top-level recursion with explicit arguments: a nested [let rec]
+   allocates its closure on every call without flambda, and these run
+   on the protocol's delivery path. *)
+let rec disjoint_go a b l i =
+  Int.equal i l
+  || (Array.unsafe_get a i land Array.unsafe_get b i = 0 && disjoint_go a b l (i + 1))
+
+let disjoint a b = disjoint_go a b (Int.min (Array.length a) (Array.length b)) 0
+
+let rec subset_go a b i =
+  i < 0
+  || (Array.unsafe_get a i land lnot (Array.unsafe_get b i) = 0 && subset_go a b (i - 1))
 
 let subset a b =
-  Array.length a <= Array.length b
-  &&
-  let rec go i = i < 0 || (a.(i) land lnot b.(i) = 0 && go (i - 1)) in
-  go (Array.length a - 1)
+  Array.length a <= Array.length b && subset_go a b (Array.length a - 1)
 
-(* Canonical form (trimmed last word) makes structural equality on the
-   word arrays coincide with set equality, so the polymorphic primitive
-   is correct here — and it is the flat-array fast path. *)
-let equal a b = a == b || (((a : int array) = b) [@lint.allow "no-poly-compare"])
+(* Canonical form (trimmed last word) makes word-wise equality coincide
+   with set equality.  Monomorphic loop rather than polymorphic [=]:
+   the generic comparator is a C call that re-discovers the array shape
+   on every invocation, and [equal] sits on the reject-scan and
+   instance-lookup paths. *)
+let rec equal_go a b i =
+  i < 0 || (Int.equal (Array.unsafe_get a i) (Array.unsafe_get b i) && equal_go a b (i - 1))
+
+let equal a b =
+  a == b
+  || (Int.equal (Array.length a) (Array.length b) && equal_go a b (Array.length a - 1))
 
 (* Lexicographic order on the ascending element sequences, matching
    [Set.Make(Node_id).compare] bit for bit — the region ranking uses it
@@ -180,27 +201,26 @@ let equal a b = a == b || (((a : int array) = b) [@lint.allow "no-poly-compare"]
    [a < b] iff [b] still has an element above [m] (then [b]'s sequence is
    larger at that position), and [a > b] iff it does not (then [b] is a
    strict prefix of [a]). *)
+let rec compare_go a b la lb l k =
+  if Int.equal k l then 0
+  else
+    let wa = word a k and wb = word b k in
+    if Int.equal wa wb then compare_go a b la lb l (k + 1)
+    else
+      let bit = let x = wa lxor wb in x land -x in
+      let p = ntz bit in
+      let in_a = wa land bit <> 0 in
+      let other_len, other_word = if in_a then (lb, wb) else (la, wa) in
+      let has_greater = bits_above p other_word <> 0 || other_len > k + 1 in
+      if in_a then if has_greater then -1 else 1
+      else if has_greater then 1
+      else -1
+
 let compare a b =
   if a == b then 0
   else
     let la = Array.length a and lb = Array.length b in
-    let l = Int.max la lb in
-    let rec go k =
-      if Int.equal k l then 0
-      else
-        let wa = word a k and wb = word b k in
-        if Int.equal wa wb then go (k + 1)
-        else
-          let bit = let x = wa lxor wb in x land -x in
-          let p = ntz bit in
-          let in_a = wa land bit <> 0 in
-          let other_len, other_word = if in_a then (lb, wb) else (la, wa) in
-          let has_greater = bits_above p other_word <> 0 || other_len > k + 1 in
-          if in_a then if has_greater then -1 else 1
-          else if has_greater then 1
-          else -1
-    in
-    go 0
+    compare_go a b la lb (Int.max la lb) 0
 
 let cardinal t =
   let c = ref 0 in
@@ -433,6 +453,54 @@ let random_subset rng t ~keep_probability =
 (* Rank/select over the words: one bounded draw (the same stream the old
    [choose_array] consumed) then O(words) scanning, no intermediate
    array/list. *)
+(* Raw scratch-buffer bitset operations over plain [int array] buffers.
+   The buffers are NOT canonical sets (no trim invariant) and mutation
+   breaks every sharing assumption above, so use of this module is
+   confined to [Arena] (lib/graph/arena.ml) by the arena-confinement
+   lint rule: everywhere else goes through Arena's checkout/release
+   builder API, which guarantees the scratch never escapes un-frozen. *)
+module Unsafe = struct
+  let words (t : t) = Array.length t
+
+  let clear buf = Array.fill buf 0 (Array.length buf) 0
+
+  (* [buf] must be cleared and at least [words t] long. *)
+  let load buf (t : t) = Array.blit t 0 buf 0 (Array.length t)
+
+  let set buf x =
+    let i = Node_id.to_int x in
+    buf.(i / word_bits) <- buf.(i / word_bits) lor (1 lsl (i mod word_bits))
+
+  let unset buf x =
+    let i = Node_id.to_int x in
+    let w = i / word_bits in
+    if w < Array.length buf then
+      buf.(w) <- buf.(w) land lnot (1 lsl (i mod word_bits))
+
+  let get buf x =
+    let i = Node_id.to_int x in
+    let w = i / word_bits in
+    w < Array.length buf && (buf.(w) lsr (i mod word_bits)) land 1 = 1
+
+  let subtract buf (t : t) =
+    let l = Int.min (Array.length buf) (Array.length t) in
+    for i = 0 to l - 1 do
+      buf.(i) <- buf.(i) land lnot t.(i)
+    done
+
+  let union buf (t : t) =
+    for i = 0 to Array.length t - 1 do
+      buf.(i) <- buf.(i) lor t.(i)
+    done
+
+  (* Copies the buffer out into a fresh canonical (trimmed) set; the
+     buffer stays owned by the caller and may be reused. *)
+  let freeze buf : t =
+    let n = ref (Array.length buf) in
+    while !n > 0 && buf.(!n - 1) = 0 do decr n done;
+    if !n = 0 then empty else Array.sub buf 0 !n
+end
+
 let random_element rng t =
   if is_empty t then invalid_arg "Node_set.random_element: empty set";
   let k = ref (Prng.int rng (cardinal t)) in

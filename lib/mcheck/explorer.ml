@@ -114,13 +114,16 @@ let mix_set h s =
   Node_set.fold (fun p h -> mix h (Node_id.to_int p)) s (mix h (Node_set.cardinal s))
 
 let mix_opinions h vec =
-  Node_map.fold
-    (fun p op h ->
-      let h = mix h (Node_id.to_int p) in
-      match op with
-      | Opinion.Accept v -> mix_string (mix h 1) v
-      | Opinion.Reject -> mix h 2)
-    vec h
+  let h = ref h in
+  Opinion.Vector.iter
+    (fun p op ->
+      let hp = mix !h (Node_id.to_int p) in
+      h :=
+        match op with
+        | Opinion.Accept v -> mix_string (mix hp 1) v
+        | Opinion.Reject -> mix hp 2)
+    vec;
+  !h
 
 let mix_message h msg =
   match msg with
@@ -165,7 +168,7 @@ let world_fp w =
 (* Exploration                                                         *)
 
 let explore ?(fd = `Channel_consistent) ?(channel = `Reliable_fifo)
-    ?(mode = Exhaustive) ?(max_states = 1_000_000) ?(early_stopping = false) ~graph
+    ?(mode = Exhaustive) ?(max_states = 1_000_000) ?(early_stopping = true) ~graph
     ~crashes () =
   let cfg =
     Protocol.config ~early_stopping ~graph

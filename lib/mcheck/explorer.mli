@@ -83,7 +83,9 @@ val explore :
 (** [explore ~graph ~crashes ()] checks the configuration in which the
     nodes of [crashes] fail, in that injection order, starting from a
     fully initialized system.  Defaults: [`Channel_consistent],
-    [`Reliable_fifo], [Exhaustive], 1_000_000 states, no early stopping.
+    [`Reliable_fifo], [Exhaustive], 1_000_000 states, early stopping ON
+    (matching {!Cliffedge.Protocol.config}; pass
+    [~early_stopping:false] for the base |B|-1-round mode).
     In [Sample] mode, [states_explored] counts distinct configurations
     seen across walks and [leaves] counts walk endpoints.  Violations
     are collected (up to 10) rather than raised. *)

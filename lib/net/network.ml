@@ -25,12 +25,13 @@ type 'a t = {
   faults : Faults.t option;
   stats : Stats.t;
   crashed : (int, unit) Hashtbl.t;
-  (* Max scheduled delivery time per ordered pair.  On the reliable
-     path this is also the FIFO floor; on the faulty path scheduling is
-     not monotone, so it is maintained as a running max for
-     [flush_time]. *)
-  last_delivery : (int * int, float) Hashtbl.t;
-  reorder : (int * int, reorder_state) Hashtbl.t;
+  (* Max scheduled delivery time per ordered pair, keyed by
+     [src lsl 20 lor dst] (an immediate int hashes without allocating
+     a tuple on every send).  On the reliable path this is also the
+     FIFO floor; on the faulty path scheduling is not monotone, so it
+     is maintained as a running max for [flush_time]. *)
+  last_delivery : (int, float) Hashtbl.t;
+  reorder : (int, reorder_state) Hashtbl.t;
   mutable deliver : (src:Node_id.t -> dst:Node_id.t -> 'a -> unit) option;
 }
 
@@ -55,6 +56,8 @@ let create ?faults ~engine ~rng ~latency () =
   }
 
 let on_deliver t handler = t.deliver <- Some handler
+
+let pack ~src ~dst = (Node_id.to_int src lsl 20) lor Node_id.to_int dst
 
 let is_crashed t p = Hashtbl.mem t.crashed (Node_id.to_int p)
 
@@ -113,7 +116,7 @@ let schedule_faulty_copy t ~bound ~jitter ~src ~dst key payload =
 let send t ?(units = 1) ~src ~dst payload =
   if not (is_crashed t src) then begin
     Stats.record_send t.stats ~src ~dst ~units;
-    let key = (Node_id.to_int src, Node_id.to_int dst) in
+    let key = pack ~src ~dst in
     match t.faults with
     | None ->
         let earliest = Engine.now t.engine +. Latency.sample t.latency t.rng in
@@ -143,7 +146,7 @@ let send t ?(units = 1) ~src ~dst payload =
 
 let flush_time t ~src ~dst =
   Option.value ~default:neg_infinity
-    (Hashtbl.find_opt t.last_delivery (Node_id.to_int src, Node_id.to_int dst))
+    (Hashtbl.find_opt t.last_delivery (pack ~src ~dst))
 
 let multicast t ?units ~src ~dsts payload =
   Node_set.iter (fun dst -> send t ?units ~src ~dst payload) dsts

@@ -10,8 +10,13 @@ type t = {
   mutable duplicated : int;
   mutable retransmitted : int;
   mutable deduped : int;
-  per_pair : (int * int, int) Hashtbl.t;
+  (* Keyed by [src lsl 20 lor dst]: an immediate int hashes without
+     allocating the tuple the generic hash would otherwise walk on
+     every send. *)
+  per_pair : (int, int) Hashtbl.t;
 }
+
+let pack ~src ~dst = (Node_id.to_int src lsl 20) lor Node_id.to_int dst
 
 let create () =
   {
@@ -30,7 +35,7 @@ let record_send t ~src ~dst ~units =
   if units < 0 then invalid_arg "Stats.record_send: negative units";
   t.sent <- t.sent + 1;
   t.units_sent <- t.units_sent + units;
-  let key = (Node_id.to_int src, Node_id.to_int dst) in
+  let key = pack ~src ~dst in
   let current = Option.value ~default:0 (Hashtbl.find_opt t.per_pair key) in
   Hashtbl.replace t.per_pair key (current + 1)
 
@@ -64,7 +69,8 @@ let units_sent t = t.units_sent
 
 let pairs t =
   Hashtbl.fold
-    (fun (src, dst) _ acc -> (Node_id.of_int src, Node_id.of_int dst) :: acc)
+    (fun key _ acc ->
+      (Node_id.of_int (key lsr 20), Node_id.of_int (key land 0xfffff)) :: acc)
     t.per_pair []
   |> List.sort
        (fun (s1, d1) (s2, d2) ->
@@ -72,13 +78,14 @@ let pairs t =
          if c <> 0 then c else Node_id.compare d1 d2)
 
 let pair_count t ~src ~dst =
-  Option.value ~default:0
-    (Hashtbl.find_opt t.per_pair (Node_id.to_int src, Node_id.to_int dst))
+  Option.value ~default:0 (Hashtbl.find_opt t.per_pair (pack ~src ~dst))
 
 let communicating_nodes t =
   Hashtbl.fold
-    (fun (src, dst) _ acc ->
-      Node_set.add (Node_id.of_int src) (Node_set.add (Node_id.of_int dst) acc))
+    (fun key _ acc ->
+      Node_set.add
+        (Node_id.of_int (key lsr 20))
+        (Node_set.add (Node_id.of_int (key land 0xfffff)) acc))
     t.per_pair Node_set.empty
 
 let pp ppf t =

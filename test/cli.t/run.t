@@ -11,6 +11,31 @@ A small agreement with verification:
     messages: 2 sent (10 units), 2 delivered, 0 dropped, 2 node(s) involved
     all properties hold (2 decision(s), 2 pair(s) checked)
 
+Early termination (footnote 6) is the default.  On a 4-node border the
+deciders finish after one full round; --no-early-termination restores
+the base |B|-1 = 3-round protocol — same decisions, more messages and a
+later decision time:
+
+  $ cliffedge-cli run --topology complete:5 --region-size 1 --seed 0
+  scenario "complete:5 seed=0" (seed 0)
+    t=    10.0  crash n3
+    t=    27.7  n2 decides "plan(n0,1)" on {n3}
+    t=    29.6  n4 decides "plan(n0,1)" on {n3}
+    t=    31.4  n0 decides "plan(n0,1)" on {n3}
+    t=    32.3  n1 decides "plan(n0,1)" on {n3}
+    messages: 18 sent (132 units), 18 delivered, 0 dropped, 4 node(s) involved
+    all properties hold (4 decision(s), 12 pair(s) checked)
+
+  $ cliffedge-cli run --topology complete:5 --region-size 1 --seed 0 --no-early-termination
+  scenario "complete:5 seed=0" (seed 0)
+    t=    10.0  crash n3
+    t=    45.7  n4 decides "plan(n0,1)" on {n3}
+    t=    47.4  n2 decides "plan(n0,1)" on {n3}
+    t=    47.5  n1 decides "plan(n0,1)" on {n3}
+    t=    48.4  n0 decides "plan(n0,1)" on {n3}
+    messages: 33 sent (252 units), 33 delivered, 0 dropped, 4 node(s) involved
+    all properties hold (4 decision(s), 12 pair(s) checked)
+
 Graphviz export of a fault pattern:
 
   $ cliffedge-cli dot --topology path:4 --region-size 1 --seed 0
@@ -28,9 +53,9 @@ Graphviz export of a fault pattern:
 Exhaustive model checking from the command line, both detector models:
 
   $ cliffedge-cli mcheck --topology path:5 --crash 2,3,1
-  333 state(s), 596 transition(s), 11 leaf(ves), 0 violation(s)
+  341 state(s), 604 transition(s), 13 leaf(ves), 0 violation(s)
   $ cliffedge-cli mcheck --topology path:5 --crash 2,3 --raw-fd
-  90 state(s), 162 transition(s), 5 leaf(ves), 5 violation(s)
+  94 state(s), 164 transition(s), 7 leaf(ves), 5 violation(s)
     CD5 (uniform border agreement): n3 decided {n2} but border node n1 decided {n2, n3}
     after: crash(2) ; notify(1 of 2) ; deliver(1->3) ; notify(3 of 2) ; crash(3) ; notify(1 of 3) ; deliver(1->4) ; deliver(3->1) ; notify(4 of 3) ; notify(4 of 2) ; deliver(4->1)
     CD5 (uniform border agreement): n3 decided {n2} but border node n1 decided {n2, n3}
@@ -171,4 +196,4 @@ A duplication budget alone is harmless here — the protocol's delivery
 handling tolerates replayed messages on this configuration:
 
   $ cliffedge-cli mcheck --topology path:3 --crash 1 --max-dups 1
-  27 state(s), 43 transition(s), 2 leaf(ves), 0 violation(s)
+  31 state(s), 45 transition(s), 4 leaf(ves), 0 violation(s)

@@ -1,0 +1,6 @@
+(* Fixture: justified scratch use (a test harness priming a buffer). *)
+
+let scratch = Array.make 4 0
+
+let reset () =
+  Node_set.Unsafe.clear scratch [@@lint.allow "arena-confinement"]

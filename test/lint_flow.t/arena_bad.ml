@@ -1,0 +1,8 @@
+(* Fixture: raw bitset scratch mutation outside lib/graph/arena.ml. *)
+
+let scratch = Array.make 4 0
+let reset () = Node_set.Unsafe.clear scratch
+
+module U = Node_set.Unsafe
+
+let words s = U.words s

@@ -182,3 +182,32 @@ cheap (the determinism rule still reports the raw Sys.time source):
   +--------------+------------+
   cliffedge-lint: 2 violation(s) in 1 file(s)
   [1]
+
+arena-confinement: [Node_set.Unsafe] is raw in-place scratch mutation;
+the checkout/release discipline that makes it safe lives in
+lib/graph/arena.ml only (see DESIGN.md "Arena and flat state").  Both
+the direct path and the [module U = ...] laundering alias are caught:
+
+  $ cliffedge-lint --component lib/fixture --only arena-confinement arena_bad.ml
+  lib/fixture/arena_bad.ml:4:15: [arena-confinement] Node_set.Unsafe.clear: raw scratch-buffer mutation outside the arena; use the Arena.build/build_from builder API (checkout/release discipline lives in lib/graph/arena.ml only)
+  lib/fixture/arena_bad.ml:6:11: [arena-confinement] alias of Node_set.Unsafe: raw scratch-buffer mutation outside the arena; use the Arena.build/build_from builder API (checkout/release discipline lives in lib/graph/arena.ml only)
+  
+  == cliffedge-lint summary ==
+  +-------------------+------------+
+  | rule              | violations |
+  +===================+============+
+  | arena-confinement | 2          |
+  +-------------------+------------+
+  cliffedge-lint: 2 violation(s) in 1 file(s)
+  [1]
+
+A fixture may suppress the rule with a justification attribute:
+
+  $ cliffedge-lint --component lib/fixture --only arena-confinement arena_allowed.ml
+
+The exempted file itself is clean — the same source under
+lib/graph/arena.ml is the arena's own implementation:
+
+  $ mkdir -p lib/graph
+  $ cp arena_bad.ml lib/graph/arena.ml
+  $ cliffedge-lint --auto-component --only arena-confinement lib/graph/arena.ml

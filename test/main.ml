@@ -36,4 +36,5 @@ let () =
       Test_transport.suite;
       Test_obs.suite;
       Test_lint_fixpoint.suite;
+      Test_differential.suite;
     ]

@@ -118,7 +118,7 @@ let sample_round =
       view = set [ 4; 5; 6 ];
       border = set [ 3; 7 ];
       opinions =
-        Node_map.of_list
+        Opinion.Vector.of_list
           [ (n 3, Opinion.Accept "plan-a"); (n 7, Opinion.Reject) ];
     }
 
@@ -128,7 +128,7 @@ let sample_outcome =
       view = set [ 4; 5 ];
       border = set [ 3; 6 ];
       opinions =
-        Node_map.of_list
+        Opinion.Vector.of_list
           [ (n 3, Opinion.Accept "x"); (n 6, Opinion.Accept "y") ];
     }
 
@@ -137,11 +137,11 @@ let message_equal a b =
   | ( Message.Round { round = r1; view = v1; border = b1; opinions = o1 },
       Message.Round { round = r2; view = v2; border = b2; opinions = o2 } ) ->
       r1 = r2 && Node_set.equal v1 v2 && Node_set.equal b1 b2
-      && Node_map.equal (Opinion.equal String.equal) o1 o2
+      && Opinion.Vector.equal String.equal o1 o2
   | ( Message.Outcome { view = v1; border = b1; opinions = o1 },
       Message.Outcome { view = v2; border = b2; opinions = o2 } ) ->
       Node_set.equal v1 v2 && Node_set.equal b1 b2
-      && Node_map.equal (Opinion.equal String.equal) o1 o2
+      && Opinion.Vector.equal String.equal o1 o2
   | _ -> false
 
 let test_message_roundtrip () =
@@ -199,13 +199,13 @@ let test_int_value_codec () =
         round = 1;
         view = set [ 2 ];
         border = set [ 1; 3 ];
-        opinions = Node_map.of_list [ (n 1, Opinion.Accept 42) ];
+        opinions = Opinion.Vector.of_list [ (n 1, Opinion.Accept 42) ];
       }
   in
   let decoded = Codec.decode Codec.int_value (Codec.encode Codec.int_value msg) in
   match decoded with
   | Message.Round { opinions; _ } -> (
-      match Node_map.find_opt (n 1) opinions with
+      match Opinion.Vector.get opinions (n 1) with
       | Some (Opinion.Accept 42) -> ()
       | _ -> Alcotest.fail "value lost")
   | _ -> Alcotest.fail "wrong shape"
@@ -219,7 +219,7 @@ let test_golden_bytes_stable () =
         round = 1;
         view = set [ 2 ];
         border = set [ 1; 3 ];
-        opinions = Node_map.of_list [ (n 1, Opinion.Accept "d") ];
+        opinions = Opinion.Vector.of_list [ (n 1, Opinion.Accept "d") ];
       }
   in
   let encoded = Codec.encode Codec.string_value msg in
@@ -242,12 +242,14 @@ let gen_message =
         (pair (int_range 0 200) (oneof [ return None; map Option.some string_printable ]))
     in
     let opinions =
-      List.fold_left
-        (fun acc (i, v) ->
-          Node_map.add (Node_id.of_int i)
-            (match v with None -> Opinion.Reject | Some s -> Opinion.Accept s)
-            acc)
-        Node_map.empty ops
+      Opinion.Vector.of_list
+        (List.map
+           (fun (i, v) ->
+             ( Node_id.of_int i,
+               match v with
+               | None -> Opinion.Reject
+               | Some s -> Opinion.Accept s ))
+           ops)
     in
     let* round = int_range 1 50 in
     let* outcome = bool in

@@ -21,7 +21,7 @@ let test_equal () =
 let test_merge_fills_only_bottom () =
   let a = Vector.singleton (n 1) (Opinion.Accept "mine") in
   let incoming =
-    Node_map.of_list [ (n 1, Opinion.Reject); (n 2, Opinion.Accept "theirs") ]
+    Vector.of_list [ (n 1, Opinion.Reject); (n 2, Opinion.Accept "theirs") ]
   in
   let merged = Vector.merge a ~incoming in
   (* Line 24 of Algorithm 1: the existing accept is NOT overwritten. *)
@@ -34,7 +34,7 @@ let test_merge_fills_only_bottom () =
 
 let test_rejectors () =
   let v =
-    Node_map.of_list
+    Vector.of_list
       [ (n 1, Opinion.Accept "a"); (n 2, Opinion.Reject); (n 3, Opinion.Reject) ]
   in
   Alcotest.(check (list int)) "rejectors" [ 2; 3 ] (Node_set.to_ints (Vector.rejectors v))
@@ -51,14 +51,16 @@ let test_is_full () =
 let test_accepts () =
   let border = set [ 1; 2 ] in
   let all =
-    Node_map.of_list [ (n 1, Opinion.Accept "a"); (n 2, Opinion.Accept "b") ]
+    Vector.of_list [ (n 1, Opinion.Accept "a"); (n 2, Opinion.Accept "b") ]
   in
   (match Vector.accepts ~border all with
   | Some [ (p1, "a"); (p2, "b") ] ->
       Alcotest.(check int) "sorted" 1 (Node_id.to_int p1);
       Alcotest.(check int) "sorted2" 2 (Node_id.to_int p2)
   | _ -> Alcotest.fail "expected unanimous accepts");
-  let with_reject = Node_map.add (n 2) Opinion.Reject all in
+  let with_reject =
+    Vector.of_list [ (n 1, Opinion.Accept "a"); (n 2, Opinion.Reject) ]
+  in
   Alcotest.(check bool) "reject voids" true (Vector.accepts ~border with_reject = None);
   let partial = Vector.singleton (n 1) (Opinion.Accept "a") in
   Alcotest.(check bool) "bottom voids" true (Vector.accepts ~border partial = None)
@@ -69,7 +71,7 @@ let test_known () =
 
 let test_message_view_and_units () =
   let opinions =
-    Node_map.of_list [ (n 1, Opinion.Accept "a"); (n 2, Opinion.Reject) ]
+    Vector.of_list [ (n 1, Opinion.Accept "a"); (n 2, Opinion.Reject) ]
   in
   let round =
     Message.Round { round = 2; view = set [ 5 ]; border = set [ 1; 2 ]; opinions }

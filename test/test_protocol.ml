@@ -369,7 +369,7 @@ let test_outcome_message_decides () =
   let st = Protocol.init ~self:(n 1) in
   let st, _ = Protocol.handle c st Protocol.Init in
   let full =
-    Node_map.of_list
+    Opinion.Vector.of_list
       [ (n 1, Opinion.Accept "v1"); (n 3, Opinion.Accept "v3") ]
   in
   let msg = Message.Outcome { view = set [ 2 ]; border = set [ 1; 3 ]; opinions = full } in
@@ -387,7 +387,7 @@ let test_outcome_message_with_reject_fails_attempt () =
   let st, _ = Protocol.handle c st Protocol.Init in
   let st, _ = Protocol.handle c st (Protocol.Crash (n 2)) in
   Alcotest.(check bool) "proposing" true (Protocol.has_live_proposal st);
-  let vec = Node_map.of_list [ (n 1, Opinion.Accept "v1"); (n 3, Opinion.Reject) ] in
+  let vec = Opinion.Vector.of_list [ (n 1, Opinion.Accept "v1"); (n 3, Opinion.Reject) ] in
   let msg = Message.Outcome { view = set [ 2 ]; border = set [ 1; 3 ]; opinions = vec } in
   let st, _ = Protocol.handle c st (Protocol.Deliver { src = n 3; msg }) in
   Alcotest.(check bool) "not decided" true (Protocol.decided st = None);

@@ -74,11 +74,14 @@ let test_max_round_metric () =
   (* border {2,6} on ring 10: |B| = 2, one round. *)
   let outcome = run (Topology.ring 10) (crash_all 5.0 region) in
   Alcotest.(check int) "rounds" 1 (Runner.max_round outcome);
-  (* grid region with bigger border runs |B|-1 rounds *)
+  (* grid region with bigger border runs |B|-1 rounds — in the base
+     protocol; early stopping (the default) finishes after round 1, so
+     pin the base mode for the metric. *)
   let g = Topology.grid 5 5 in
   let region = set [ 12 ] in
+  let options = { Runner.default_options with early_stopping = false } in
   (* centre of the grid: border = {7, 11, 13, 17}, 3 rounds. *)
-  let outcome = run g (crash_all 5.0 region) in
+  let outcome = run ~options g (crash_all 5.0 region) in
   Alcotest.(check int) "grid rounds" 3 (Runner.max_round outcome)
 
 let test_crash_outside_graph_rejected () =

@@ -1,0 +1,77 @@
+(* arena-confinement: [Node_set.Unsafe] is raw in-place mutation of
+   bitset scratch buffers with no canonical-form invariant — exactly
+   the operations that would silently break set sharing, the border
+   cache and mcheck fingerprinting if they touched a live set.  The
+   checkout/release discipline that makes them safe lives in
+   lib/graph/arena.ml (the one exempted file, see the policy table):
+   everywhere else must go through [Arena]'s builder API, whose
+   abstract builder type cannot leak an un-frozen buffer. *)
+
+open Ppxlib
+
+let classify lid =
+  let rec unsafe_path = function
+    | "Node_set" :: "Unsafe" :: _ -> true
+    | _ :: rest -> unsafe_path rest
+    | [] -> false
+  in
+  if unsafe_path (Ast_util.unqualify lid) then Some "raw scratch mutation"
+  else None
+
+let message id =
+  Printf.sprintf
+    "%s: raw scratch-buffer mutation outside the arena; use the \
+     Arena.build/build_from builder API (checkout/release discipline lives in \
+     lib/graph/arena.ml only)"
+    id
+
+let rule =
+  Rule.impl_rule ~id:"arena-confinement"
+    ~doc:
+      "Node_set.Unsafe (in-place bitset scratch) only inside \
+       lib/graph/arena.ml; everywhere else uses Arena's builder API" (fun ~add
+                                                                      structure ->
+      let iter =
+        object
+          inherit Ast_traverse.iter as super
+
+          method! expression e =
+            (match e.pexp_desc with
+            | Pexp_ident { txt; loc } -> (
+                match classify txt with
+                | Some _ -> add ~loc (message (Ast_util.lid_to_string txt))
+                | None -> ())
+            | Pexp_open
+                ( { popen_expr = { pmod_desc = Pmod_ident { txt; loc }; _ }; _ },
+                  _ ) -> (
+                match classify txt with
+                | Some _ ->
+                    add ~loc (message ("open " ^ Ast_util.lid_to_string txt))
+                | None -> ())
+            | _ -> ());
+            super#expression e
+
+          method! structure_item item =
+            (match item.pstr_desc with
+            | Pstr_open
+                { popen_expr = { pmod_desc = Pmod_ident { txt; loc }; _ }; _ }
+              -> (
+                match classify txt with
+                | Some _ ->
+                    add ~loc (message ("open " ^ Ast_util.lid_to_string txt))
+                | None -> ())
+            | Pstr_module
+                {
+                  pmb_expr = { pmod_desc = Pmod_ident { txt; loc }; _ };
+                  _;
+                } -> (
+                (* [module U = Node_set.Unsafe] would launder the path. *)
+                match classify txt with
+                | Some _ ->
+                    add ~loc (message ("alias of " ^ Ast_util.lid_to_string txt))
+                | None -> ())
+            | _ -> ());
+            super#structure_item item
+        end
+      in
+      iter#structure structure)
