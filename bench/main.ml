@@ -38,6 +38,9 @@ let usage () =
     "  check-trace FILE  validate a Chrome trace_event file written by \
      cliffedge-cli trace --format chrome";
   print_endline
+    "  parsweep [--domains N] [--seeds N]  X7 matrix striped over domains, \
+     with a serial-vs-parallel byte diff of the per-seed causal logs";
+  print_endline
     "  compare OLD.json NEW.json [--threshold PCT] [--alloc-threshold PCT]";
   print_endline
     "         regression gate: fail if a micro benchmark present in both \
@@ -210,7 +213,7 @@ let compare_files ~threshold ~alloc_threshold baseline candidate =
   let old_micro = micro baseline (load baseline) in
   let new_micro = micro candidate (load candidate) in
   let regressions = ref [] in
-  let compared = ref 0 and skipped = ref 0 in
+  let compared = ref 0 and skipped = ref 0 and alloc_missing = ref 0 in
   let check ~name ~metric ~pct ~slack old_v new_v =
     incr compared;
     let limit = (old_v *. (1.0 +. (pct /. 100.0))) +. slack in
@@ -248,9 +251,18 @@ let compare_files ~threshold ~alloc_threshold baseline candidate =
               | Some old_v, Some new_v ->
                   check ~name ~metric ~pct:alloc_threshold ~slack:16.0 old_v
                     new_v
+              (* Pre-PR6 baselines predate the allocation counters:
+                 degrade to the time ratchet with a visible warning
+                 rather than failing or silently narrowing the gate. *)
+              | None, Some _ -> incr alloc_missing
               | _ -> ())
             [ "minor_words_per_run"; "major_words_per_run" ])
     old_micro;
+  if !alloc_missing > 0 then
+    Printf.printf
+      "  warning: %d allocation counter(s) absent from baseline %s: alloc \
+       ratchet skipped for those metrics\n"
+      !alloc_missing baseline;
   if !skipped > 0 then
     Printf.printf "  (%d baseline benchmark(s) absent from %s: skipped)\n"
       !skipped candidate;
@@ -296,6 +308,31 @@ let compare_command rest =
         "bench: compare needs OLD.json NEW.json [--threshold PCT] \
          [--alloc-threshold PCT]";
       exit 1
+
+let parsweep_command rest =
+  let domains = ref (Cliffedge_par.Par.default_domains ()) in
+  let seeds = ref 3 in
+  let positive flag v =
+    match int_of_string_opt v with
+    | Some n when n > 0 -> n
+    | Some _ | None ->
+        Printf.eprintf "bench: %s expects a positive integer, got %S\n" flag v;
+        exit 1
+  in
+  let rec go = function
+    | "--domains" :: v :: rest ->
+        domains := positive "--domains" v;
+        go rest
+    | "--seeds" :: v :: rest ->
+        seeds := positive "--seeds" v;
+        go rest
+    | arg :: _ ->
+        Printf.eprintf "bench: parsweep: unknown argument %S\n" arg;
+        exit 1
+    | [] -> ()
+  in
+  go rest;
+  Par_sweep.run ~domains:!domains ~seeds:!seeds
 
 let run_experiment name =
   match List.assoc_opt name Experiments.all with
@@ -343,6 +380,7 @@ let () =
       prerr_endline "bench: check-trace needs a FILE argument";
       exit 1
   | "compare" :: rest -> compare_command rest
+  | "parsweep" :: rest -> parsweep_command rest
   | [] ->
       Experiments.run_all ();
       Micro.run ()

@@ -1,0 +1,173 @@
+(* Parallel X7 seed sweep: the first consumer of the domain-safety
+   certificate.
+
+   The work matrix is X7's (topology x seed) grid, each item running
+   the four fault shapes at that seed.  [sweep_item] — the
+   [@lint.parallel_entry] worker — is certified by the domain-safety
+   lint rule to touch no shared mutable root: every generator, graph,
+   substrate and causal log it uses is allocated inside the call, so
+   striping items across stdlib [Domain]s cannot race.  Because each
+   item is a pure function of its (spec, seed) and [Par.map] preserves
+   input order, the parallel sweep must reproduce the serial one
+   {e byte for byte}; [run] diffs the per-seed JSONL causal logs of
+   both executions and fails loudly on the first divergence, turning
+   the static certificate into an executable oracle (the @par-smoke
+   alias runs this under `dune runtest`).
+
+   Timing uses wall-clock [Unix.gettimeofday], not [Sys.time]: CPU
+   time sums across domains, which would report a parallel "slowdown"
+   by construction.  Timings go only to the --json file (section
+   "par"), keeping stdout byte-stable for the cram suite. *)
+
+open Cliffedge_graph
+module Runner = Cliffedge.Runner
+module Checker = Cliffedge.Checker
+module Scenario = Cliffedge.Scenario
+module Fault_gen = Cliffedge_workload.Fault_gen
+module Table = Cliffedge_report.Table
+module Json = Cliffedge_report.Json
+module Prng = Cliffedge_prng.Prng
+module Obs = Cliffedge_obs
+module Par = Cliffedge_par.Par
+
+let shapes = [ `Simultaneous; `Staggered; `Cascade; `Isolated ]
+
+(* X7's topology matrix (bench/experiments.ml); kept in sync by the
+   x7-parity check in test/par_sweep.t. *)
+let topo_specs =
+  [
+    ("ring:48", Topology.Ring 48);
+    ("torus:7x7", Topology.Torus (7, 7));
+    ("grid:6x8", Topology.Grid (6, 8));
+    ("er:40:0.1", Topology.Erdos_renyi (40, 0.1));
+    ("ws:40:4:0.2", Topology.Watts_strogatz (40, 4, 0.2));
+    ("ba:40:2", Topology.Barabasi_albert (40, 2));
+  ]
+
+type item = { label : string; spec : Topology.spec; seed : int }
+
+type sweep = {
+  item : item;
+  runs : int;
+  decisions : int;
+  restarts : int;
+  violations : int;
+  jsonl : string;  (** concatenated causal logs of the item's runs *)
+}
+
+let items ~seeds =
+  List.concat_map
+    (fun (label, spec) ->
+      List.init seeds (fun seed -> { label; spec; seed }))
+    topo_specs
+
+(* One (topology, seed) work item: X7's inner loop over the four fault
+   shapes, with the causal log of every run appended to the item's
+   JSONL transcript.  Everything mutable here is allocated per call. *)
+let[@lint.parallel_entry] sweep_item item =
+  let runs = ref 0 and decisions = ref 0 and restarts = ref 0 and bad = ref 0 in
+  let buf = Buffer.create 4096 in
+  List.iteri
+    (fun si shape ->
+      let rng = Prng.create ((item.seed * 17) + si) in
+      let graph = Topology.build rng item.spec in
+      let n = Graph.node_count graph in
+      let crashes =
+        match shape with
+        | `Simultaneous ->
+            let size = 1 + Prng.int rng (n / 5) in
+            Fault_gen.crash_at 10.0 (Fault_gen.connected_region rng graph ~size)
+        | `Staggered ->
+            let size = 1 + Prng.int rng (n / 5) in
+            Fault_gen.staggered rng ~start:10.0 ~spread:80.0
+              (Fault_gen.connected_region rng graph ~size)
+        | `Cascade ->
+            let seed_region = Fault_gen.connected_region rng graph ~size:2 in
+            fst
+              (Fault_gen.cascade rng graph ~seed_region
+                 ~depth:(1 + Prng.int rng 4)
+                 ~start:10.0 ~interval:25.0)
+        | `Isolated -> (
+            match Fault_gen.isolated_regions rng graph ~count:2 ~size:2 with
+            | Some rs -> List.concat_map (Fault_gen.crash_at 10.0) rs
+            | None ->
+                Fault_gen.crash_at 10.0
+                  (Fault_gen.connected_region rng graph ~size:2))
+      in
+      let outcome =
+        Runner.run
+          ~options:{ Runner.default_options with seed = item.seed }
+          ~graph ~crashes ~propose_value:Scenario.default_propose ()
+      in
+      let report = Checker.check ~value_equal:String.equal outcome in
+      incr runs;
+      decisions := !decisions + List.length outcome.decisions;
+      restarts := !restarts + Runner.restart_count outcome;
+      bad := !bad + List.length report.Checker.violations;
+      Buffer.add_string buf (Obs.Export.jsonl (Obs.Log.to_list outcome.obs)))
+    shapes;
+  {
+    item;
+    runs = !runs;
+    decisions = !decisions;
+    restarts = !restarts;
+    violations = !bad;
+    jsonl = Buffer.contents buf;
+  }
+
+let run ~domains ~seeds =
+  let work = items ~seeds in
+  let t0 = Unix.gettimeofday () in
+  let serial = Par.map ~domains:1 sweep_item work in
+  let t1 = Unix.gettimeofday () in
+  let par = Par.map ~domains sweep_item work in
+  let t2 = Unix.gettimeofday () in
+  let serial_ms = (t1 -. t0) *. 1000.0 and parallel_ms = (t2 -. t1) *. 1000.0 in
+  let mismatches =
+    List.concat
+      (List.map2
+         (fun a b ->
+           if String.equal a.jsonl b.jsonl && a.decisions = b.decisions then []
+           else [ Printf.sprintf "%s seed %d" a.item.label a.item.seed ])
+         serial par)
+  in
+  Printf.printf "parsweep: %d item(s) x %d shape(s), domains=%d\n"
+    (List.length work) (List.length shapes) domains;
+  (match mismatches with
+  | [] ->
+      Printf.printf
+        "parsweep determinism: OK (%d/%d per-seed causal logs byte-identical)\n"
+        (List.length work) (List.length work)
+  | ms ->
+      Printf.printf "parsweep determinism: FAILED on %d item(s):\n"
+        (List.length ms);
+      List.iter (Printf.printf "  %s\n") ms);
+  let t =
+    Table.create ~title:"parsweep: X7 matrix, parallel over (topology, seed)"
+      ~columns:[ "topology"; "runs"; "decisions"; "restarts"; "violations" ]
+  in
+  List.iter
+    (fun (label, _) ->
+      let mine = List.filter (fun s -> String.equal s.item.label label) par in
+      let sum f = List.fold_left (fun acc s -> acc + f s) 0 mine in
+      Table.add_row t
+        [
+          label;
+          Table.cell "%d" (sum (fun s -> s.runs));
+          Table.cell "%d" (sum (fun s -> s.decisions));
+          Table.cell "%d" (sum (fun s -> s.restarts));
+          Table.cell "%d" (sum (fun s -> s.violations));
+        ])
+    topo_specs;
+  Table.print t;
+  Json_out.record ~section:"par"
+    [
+      ("domains", Json.Int domains);
+      ("items", Json.Int (List.length work));
+      ("serial_ms", Json.Float serial_ms);
+      ("parallel_ms", Json.Float parallel_ms);
+      ( "speedup",
+        Json.Float (if parallel_ms > 0.0 then serial_ms /. parallel_ms else 0.0)
+      );
+    ];
+  if mismatches <> [] then exit 1

@@ -15,48 +15,103 @@
    un-canonical buffer mutation): the arena-confinement lint rule
    rejects it anywhere else, which is what makes the discipline a
    checked invariant rather than a convention.  The builder type is
-   abstract and only reachable inside the [build*] callbacks, so a
-   frozen set can never alias a live buffer. *)
+   abstract and only reachable inside the [build*] callbacks (or via
+   the explicit [checkout]/[release] pair), so a frozen set can never
+   alias a live buffer.
 
-type t = { mutable pool : int array list }
+   The checkout/release pair is also the arena's ownership boundary
+   for the domain-safety analysis: the [@lint.domain_guard]
+   annotations below declare that a buffer checked out of an arena is
+   exclusively owned until released, so arena traffic inside a
+   [@lint.parallel_entry] closure is domain-local as long as the arena
+   itself is (one arena per protocol config; see DESIGN.md §12). *)
 
-let create () = { pool = [] }
+type t = {
+  mutable pool : int array list;
+  mutable live : int array list;  (** checked out, not yet released *)
+}
+
+(* Release of a buffer the arena does not consider checked out: either
+   a second release of the same buffer, or a buffer that never came
+   from this arena.  A named exception (not [Failure]) so call sites
+   and tests can match it precisely. *)
+exception Bad_release of string
+
+let create () = { pool = []; live = [] }
+
+let in_flight t = List.length t.live
 
 (* The builder is just the checked-out buffer; abstraction (arena.mli)
    keeps it from escaping the callback with any usable interface. *)
 type builder = int array
 
-let checkout t ~words =
-  match t.pool with
-  | buf :: rest when Array.length buf >= words ->
-      t.pool <- rest;
-      Node_set.Unsafe.clear buf;
-      buf
-  | _ ->
-      (* Pool empty or its head outgrown: allocate with headroom so one
-         cascade-sized buffer ends up serving the whole run. *)
-      Array.make (Int.max words 8) 0
+let rec remove_physical buf = function
+  | [] -> None
+  | b :: rest when b == buf -> Some rest
+  | b :: rest -> (
+      match remove_physical buf rest with
+      | Some pruned -> Some (b :: pruned)
+      | None -> None)
 
-let release t buf = t.pool <- buf :: t.pool
+let[@lint.domain_guard] checkout_words t ~words =
+  let buf =
+    match t.pool with
+    | buf :: rest when Array.length buf >= words ->
+        t.pool <- rest;
+        Node_set.Unsafe.clear buf;
+        buf
+    | _ ->
+        (* Pool empty or its head outgrown: allocate with headroom so one
+           cascade-sized buffer ends up serving the whole run. *)
+        Array.make (Int.max words 8) 0
+  in
+  t.live <- buf :: t.live;
+  buf
 
-(* If the callback raised, the buffer is simply dropped (never
-   released mid-edit); the GC reclaims it and the pool refills on the
-   next checkout. *)
-let finish t buf =
+let[@lint.domain_guard] checkout t ~capacity =
+  checkout_words t ~words:((Int.max capacity 0 / Sys.int_size) + 1)
+
+let[@lint.domain_guard] release t buf =
+  match remove_physical buf t.live with
+  | Some live ->
+      t.live <- live;
+      t.pool <- buf :: t.pool
+  | None ->
+      if List.exists (fun b -> b == buf) t.pool then
+        raise (Bad_release "buffer already released (double release)")
+      else
+        raise (Bad_release "buffer was never checked out of this arena")
+
+(* A callback that raised abandons its buffer: it leaves the live list
+   (so [in_flight] cannot report a phantom leak) but is NOT pooled —
+   the GC reclaims it and the pool refills on the next checkout. *)
+let abandon t buf =
+  match remove_physical buf t.live with
+  | Some live -> t.live <- live
+  | None -> ()
+
+let[@lint.domain_guard] finish t buf =
   let frozen = Node_set.Unsafe.freeze buf in
   release t buf;
   frozen
 
-let build t ~capacity f =
-  let words = (Int.max capacity 0 / Sys.int_size) + 1 in
-  let buf = checkout t ~words in
-  f buf;
+let[@lint.domain_guard] build t ~capacity f =
+  let buf = checkout t ~capacity in
+  (match f buf with
+  | () -> ()
+  | exception exn ->
+      abandon t buf;
+      raise exn);
   finish t buf
 
-let build_from t set f =
-  let buf = checkout t ~words:(Node_set.Unsafe.words set) in
+let[@lint.domain_guard] build_from t set f =
+  let buf = checkout_words t ~words:(Node_set.Unsafe.words set) in
   Node_set.Unsafe.load buf set;
-  f buf;
+  (match f buf with
+  | () -> ()
+  | exception exn ->
+      abandon t buf;
+      raise exn);
   finish t buf
 
 let add = Node_set.Unsafe.set

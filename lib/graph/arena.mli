@@ -15,13 +15,40 @@
     live buffer and pooled buffers cannot leak into protocol state. *)
 
 type t
-(** A buffer pool.  Not thread-safe; one arena per protocol config. *)
+(** A buffer pool.  Not domain-safe: one arena per protocol config,
+    never shared across domains — the checkout/release ownership
+    boundary is annotated [@lint.domain_guard] for the domain-safety
+    lint rule, which treats a checked-out buffer as exclusively owned
+    by its holder. *)
+
+exception Bad_release of string
+(** Raised by {!release} (and therefore the discipline underlying
+    {!build}/{!build_from}) when the released buffer is not currently
+    checked out: a double release, or a buffer foreign to this
+    arena. *)
 
 val create : unit -> t
 
+val in_flight : t -> int
+(** Number of buffers currently checked out and not yet released —
+    0 whenever the arena is quiescent; the leak guard the qcheck suite
+    (test_arena.ml) asserts after every edit sequence, including ones
+    whose callback raised. *)
+
 type builder
 (** A checked-out scratch buffer, only reachable inside {!build} /
-    {!build_from} callbacks. *)
+    {!build_from} callbacks or through an explicit {!checkout}. *)
+
+val checkout : t -> capacity:int -> builder
+(** [checkout t ~capacity] checks a cleared buffer able to hold members
+    [0..capacity] out of the pool.  Low-level interface: the caller
+    owns the buffer until {!release}; prefer {!build}/{!build_from},
+    which pair the two around a callback and freeze the result. *)
+
+val release : t -> builder -> unit
+(** Returns a checked-out buffer to the pool.
+    @raise Bad_release if the buffer is not currently checked out
+    (double release, or never checked out of this arena). *)
 
 val build : t -> capacity:int -> (builder -> unit) -> Node_set.t
 (** [build t ~capacity f] checks out a cleared buffer able to hold

@@ -1,0 +1,60 @@
+`bench compare` ratchets timing and allocation counts against a
+committed baseline.  Baselines recorded before the allocation counters
+existed (pre-PR6) lack the words-per-run fields: the comparison must
+degrade to the time-only ratchet with a visible warning, never fail or
+silently narrow the gate.
+
+  $ cat > old.json <<'JSON'
+  > {
+  >   "schema": "cliffedge-bench/1",
+  >   "micro": {
+  >     "deliver": { "ns_per_run": 100.0 }
+  >   }
+  > }
+  > JSON
+  $ cat > new.json <<'JSON'
+  > {
+  >   "schema": "cliffedge-bench/1",
+  >   "micro": {
+  >     "deliver": {
+  >       "ns_per_run": 90.0,
+  >       "minor_words_per_run": 12.0,
+  >       "major_words_per_run": 0.0
+  >     }
+  >   }
+  > }
+  > JSON
+  $ cliffedge-bench compare old.json new.json
+  bench compare: old.json -> new.json (time +15%, alloc +15%)
+    deliver                                              ns/run                      100.0 ->         90.0  ok
+    warning: 2 allocation counter(s) absent from baseline old.json: alloc ratchet skipped for those metrics
+  compare ok: 1 metric(s) within thresholds
+
+The warning does not blunt the time ratchet itself — a slow candidate
+still fails against the same alloc-less baseline:
+
+  $ cat > slow.json <<'JSON'
+  > {
+  >   "schema": "cliffedge-bench/1",
+  >   "micro": {
+  >     "deliver": { "ns_per_run": 500.0, "minor_words_per_run": 12.0 }
+  >   }
+  > }
+  > JSON
+  $ cliffedge-bench compare old.json slow.json
+  bench compare: old.json -> slow.json (time +15%, alloc +15%)
+    deliver                                              ns/run                      100.0 ->        500.0  REGRESSED
+    warning: 1 allocation counter(s) absent from baseline old.json: alloc ratchet skipped for those metrics
+  bench: 1 regression(s) vs old.json:
+    deliver [ns/run]: 100.0 -> 500.0 (limit 120.0 at +15%)
+  [1]
+
+A baseline that already carries the counters gets the full alloc
+ratchet — no warning:
+
+  $ cliffedge-bench compare new.json new.json
+  bench compare: new.json -> new.json (time +15%, alloc +15%)
+    deliver                                              ns/run                       90.0 ->         90.0  ok
+    deliver                                              minor_words_per_run          12.0 ->         12.0  ok
+    deliver                                              major_words_per_run           0.0 ->          0.0  ok
+  compare ok: 3 metric(s) within thresholds

@@ -13,10 +13,12 @@ The registry:
   core-purity          no Printf/print_*/exit/mutable globals in lib/core's pure machine modules (effects live in runner/report)
   no-obj-magic         no Obj.magic (or any other Obj escape hatch)
   mli-coverage         every lib/ module ships a documented .mli
+  arena-confinement    Node_set.Unsafe (in-place bitset scratch) only inside lib/graph/arena.ml; everywhere else uses Arena's builder API
   decide-once          Decide emissions live in the unique [@lint.decide_guard] binding, dominated by a decided-state check (CD1 shadow)
   send-locality        no Node_id.of_int in code reachable from protocol.ml — messages target border/view nodes only (CD3 shadow)
   exception-flow       catch-alls must face an unknowable exception set, and boundaries raise named exceptions instead of failwith (escape analysis)
   nondet-taint         no call path from lib/ code to ambient entropy except through lib/prng (taint over the call graph)
+  domain-safety        functions reachable from a [@lint.parallel_entry] touch no shared-mutable root (escape analysis over the call graph, [@lint.domain_guard] ownership cuts); Par dispatch requires the annotation
   unused-allow         every [@lint.allow] annotation must suppress something
 
 The README "Static checks" table is generated from the same registry
@@ -31,10 +33,12 @@ README copy, so the two cannot drift):
   | `core-purity` | syntactic | `lib/core` | `runner.ml(i)` | no Printf/print_*/exit/mutable globals in lib/core's pure machine modules (effects live in runner/report) |
   | `no-obj-magic` | syntactic | everywhere | — | no Obj.magic (or any other Obj escape hatch) |
   | `mli-coverage` | syntactic | `lib/**` | — | every lib/ module ships a documented .mli |
+  | `arena-confinement` | syntactic | everywhere | `lib/graph/arena.ml(i)` | Node_set.Unsafe (in-place bitset scratch) only inside lib/graph/arena.ml; everywhere else uses Arena's builder API |
   | `decide-once` | flow | `lib/core` | — | Decide emissions live in the unique [@lint.decide_guard] binding, dominated by a decided-state check (CD1 shadow) |
   | `send-locality` | flow | `lib/core` | `runner.ml(i)` | no Node_id.of_int in code reachable from protocol.ml — messages target border/view nodes only (CD3 shadow) |
   | `exception-flow` | flow | `lib/codec`, `lib/net` | — | catch-alls must face an unknowable exception set, and boundaries raise named exceptions instead of failwith (escape analysis) |
   | `nondet-taint` | flow | `lib/**` but `lib/prng` | — | no call path from lib/ code to ambient entropy except through lib/prng (taint over the call graph) |
+  | `domain-safety` | flow | everywhere (`[@lint.parallel_entry]` opt-in) | — | functions reachable from a [@lint.parallel_entry] touch no shared-mutable root (escape analysis over the call graph, [@lint.domain_guard] ownership cuts); Par dispatch requires the annotation |
   | `unused-allow` | meta | everywhere | — | every [@lint.allow] annotation must suppress something |
 
 determinism: ambient randomness and wall clocks are banned outside
@@ -179,15 +183,15 @@ they cannot check (the whole-tree flow gate will):
   [1]
 
 
-A clean file is silent by default and reported with --verbose (10
+A clean file is silent by default and reported with --verbose (11
 rules under the default both-passes analysis, 6 under the syntactic
 gate's filter — the meta pass counts as one):
 
   $ cliffedge-lint clean.ml
   $ cliffedge-lint --verbose clean.ml
-  cliffedge-lint: clean (1 file(s), 10 rule(s))
+  cliffedge-lint: clean (1 file(s), 12 rule(s))
   $ cliffedge-lint --verbose --analysis syntactic clean.ml
-  cliffedge-lint: clean (1 file(s), 6 rule(s))
+  cliffedge-lint: clean (1 file(s), 7 rule(s))
 
 --only isolates a single rule and rejects names outside the registry:
 
@@ -246,10 +250,12 @@ them so the report is byte-reproducible:
         "core-purity": 0.0,
         "no-obj-magic": 0.0,
         "mli-coverage": 0.0,
+        "arena-confinement": 0.0,
         "decide-once": 0.0,
         "send-locality": 0.0,
         "exception-flow": 0.0,
         "nondet-taint": 0.0,
+        "domain-safety": 0.0,
         "unused-allow": 0.0
       },
       "total_ms": 0.0

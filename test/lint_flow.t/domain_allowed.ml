@@ -1,0 +1,3 @@
+(* Fixture: justified ambient touch (a progress line from a sweep). *)
+
+let[@lint.parallel_entry] report n = print_int n [@@lint.allow "domain-safety"]

@@ -1,0 +1,5 @@
+(* Fixture: ambient shared state — the global Random generator and the
+   process-wide output channels are mutable roots too. *)
+
+let[@lint.parallel_entry] draw () = Random.int 3
+let[@lint.parallel_entry] report n = Printf.printf "%d\n" n

@@ -1,0 +1,11 @@
+(* Fixture: shared mutable state reachable from a parallel entry, and
+   Par dispatch sites that dodge the annotation. *)
+
+let table = Hashtbl.create 16
+let record k = Hashtbl.replace table k k
+let step k = record k
+let[@lint.parallel_entry] worker k = step k
+let run xs = Par.map ~domains:2 worker xs
+let helper x = x + 1
+let unannotated xs = Par.map ~domains:2 helper xs
+let anonymous xs = Par.map ~domains:2 (fun x -> x) xs

@@ -211,3 +211,52 @@ lib/graph/arena.ml is the arena's own implementation:
   $ mkdir -p lib/graph
   $ cp arena_bad.ml lib/graph/arena.ml
   $ cliffedge-lint --auto-component --only arena-confinement lib/graph/arena.ml
+
+domain-safety: code reachable from a [@lint.parallel_entry] must not
+touch shared mutable state (CD6's mechanical shadow — the parallel
+seed sweeps are only sound if workers share nothing).  The escape
+analysis names the offending root and a shortest call path as witness,
+and the dispatch check refuses [Par.map] on anything it cannot
+certify, so stripping the annotation cannot dodge the gate:
+
+  $ cliffedge-lint --component lib/fixture --only domain-safety domain_bad.ml
+  lib/fixture/domain_bad.ml:7:0: [domain-safety] 'worker' is a [@lint.parallel_entry] but may touch the shared mutable root 'Domain_bad.table' (lib/fixture/domain_bad.ml) (via Domain_bad.worker -> Domain_bad.step -> Domain_bad.record); make the state domain-local, or confine it behind a [@lint.domain_guard] boundary
+  lib/fixture/domain_bad.ml:10:40: [domain-safety] Par dispatch of 'helper', which is not annotated [@lint.parallel_entry]; the domain-safety analysis only certifies annotated entry points
+  lib/fixture/domain_bad.ml:11:38: [domain-safety] Par dispatch of an anonymous function; bind it at top level and annotate it [@lint.parallel_entry] so the domain-safety analysis can certify it
+  
+  == cliffedge-lint summary ==
+  +---------------+------------+
+  | rule          | violations |
+  +===============+============+
+  | domain-safety | 3          |
+  +---------------+------------+
+  cliffedge-lint: 3 violation(s) in 1 file(s)
+  [1]
+
+Ambient state counts too — the global Random generator and the
+process-wide output channels are shared mutable roots with no binding
+to point at:
+
+  $ cliffedge-lint --component lib/fixture --only domain-safety domain_ambient.ml
+  lib/fixture/domain_ambient.ml:4:0: [domain-safety] 'draw' is a [@lint.parallel_entry] but may touch the shared mutable root the global Random state (touched directly); make the state domain-local, or confine it behind a [@lint.domain_guard] boundary
+  lib/fixture/domain_ambient.ml:5:0: [domain-safety] 'report' is a [@lint.parallel_entry] but may touch the shared mutable root the process stdout/stderr (touched directly); make the state domain-local, or confine it behind a [@lint.domain_guard] boundary
+  
+  == cliffedge-lint summary ==
+  +---------------+------------+
+  | rule          | violations |
+  +===============+============+
+  | domain-safety | 2          |
+  +---------------+------------+
+  cliffedge-lint: 2 violation(s) in 1 file(s)
+  [1]
+
+The sanctioned shapes are silent: a [@lint.domain_guard] ownership
+boundary cuts propagation, [@lint.domain_safe] vouches for
+immutable-after-init state, and allocations local to the entry stay
+domain-local:
+
+  $ cliffedge-lint --component lib/fixture --only domain-safety domain_ok.ml
+
+A justified touch can be suppressed, as everywhere:
+
+  $ cliffedge-lint --component lib/fixture --only domain-safety domain_allowed.ml

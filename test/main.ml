@@ -37,4 +37,5 @@ let () =
       Test_obs.suite;
       Test_lint_fixpoint.suite;
       Test_differential.suite;
+      Test_arena.suite;
     ]

@@ -1,0 +1,28 @@
+The parallel X7 sweep stripes the (topology, seed) matrix over
+domains, re-runs it serially, and refuses to report if any per-seed
+causal log differs by a byte.  Its stdout is a pure function of the
+seeds — domains only change wall-clock, never the table (the x7-parity
+anchor: these are the same per-topology aggregates the serial X7
+experiment computes for seed 0):
+
+  $ cliffedge-bench parsweep --domains 2 --seeds 1
+  parsweep: 6 item(s) x 4 shape(s), domains=2
+  parsweep determinism: OK (6/6 per-seed causal logs byte-identical)
+  == parsweep: X7 matrix, parallel over (topology, seed) ==
+  +-------------+------+-----------+----------+------------+
+  | topology    | runs | decisions | restarts | violations |
+  +=============+======+===========+==========+============+
+  | ring:48     | 4    | 11        | 33       | 0          |
+  | torus:7x7   | 4    | 37        | 66       | 0          |
+  | grid:6x8    | 4    | 33        | 54       | 0          |
+  | er:40:0.1   | 4    | 57        | 92       | 0          |
+  | ws:40:4:0.2 | 4    | 38        | 42       | 0          |
+  | ba:40:2     | 4    | 56        | 65       | 0          |
+  +-------------+------+-----------+----------+------------+
+  
+
+Bad domain counts are rejected up front:
+
+  $ cliffedge-bench parsweep --domains 0
+  bench: --domains expects a positive integer, got "0"
+  [1]

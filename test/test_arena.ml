@@ -1,0 +1,139 @@
+(* Checkout/release discipline of the scratch-buffer arena.
+
+   The arena is the one module allowed raw bitset mutation
+   (arena-confinement rule) and the ownership boundary the
+   domain-safety rule trusts ([@lint.domain_guard]); this suite pins
+   the discipline itself: [in_flight] counts exactly the outstanding
+   checkouts, a double release (or a foreign buffer) raises
+   {!Arena.Bad_release} rather than silently corrupting the pool, a
+   raising callback abandons its buffer instead of leaking it, and
+   random edit sequences through [build]/[build_from] agree with the
+   reference set model while always returning the arena to
+   quiescence. *)
+
+open Cliffedge_graph
+module R = Set.Make (Int)
+
+let n = Node_id.of_int
+
+let fail fmt = QCheck2.Test.fail_reportf fmt
+
+let test_double_release () =
+  let arena = Arena.create () in
+  let buf = Arena.checkout arena ~capacity:64 in
+  Arena.release arena buf;
+  Alcotest.check_raises "double release"
+    (Arena.Bad_release "buffer already released (double release)") (fun () ->
+      Arena.release arena buf)
+
+let test_foreign_release () =
+  let arena = Arena.create () and other = Arena.create () in
+  let buf = Arena.checkout other ~capacity:64 in
+  Alcotest.check_raises "foreign buffer"
+    (Arena.Bad_release "buffer was never checked out of this arena") (fun () ->
+      Arena.release arena buf)
+
+let test_in_flight_tracks () =
+  let arena = Arena.create () in
+  Alcotest.(check int) "quiescent" 0 (Arena.in_flight arena);
+  let a = Arena.checkout arena ~capacity:10 in
+  let b = Arena.checkout arena ~capacity:10 in
+  Alcotest.(check int) "two out" 2 (Arena.in_flight arena);
+  Arena.release arena a;
+  Alcotest.(check int) "one out" 1 (Arena.in_flight arena);
+  Arena.release arena b;
+  Alcotest.(check int) "quiescent again" 0 (Arena.in_flight arena)
+
+let test_raising_callback_abandons () =
+  let arena = Arena.create () in
+  (try
+     ignore
+       (Arena.build arena ~capacity:32 (fun b ->
+            Arena.add b (n 3);
+            failwith "boom"))
+   with Failure _ -> ());
+  Alcotest.(check int) "no leak after raise" 0 (Arena.in_flight arena);
+  (* The arena stays usable: the abandoned buffer was dropped, not
+     pooled in a corrupt state. *)
+  let s = Arena.build arena ~capacity:32 (fun b -> Arena.add b (n 5)) in
+  Alcotest.(check bool) "usable after abandon" true
+    (Node_set.equal s (Node_set.of_ints [ 5 ]))
+
+(* Random interleavings of checkout/release: [in_flight] must equal the
+   number of outstanding buffers at every step, and releasing in any
+   order must succeed exactly once per buffer. *)
+let prop_checkout_release =
+  QCheck2.Test.make ~name:"in_flight counts outstanding checkouts" ~count:200
+    QCheck2.Gen.(list_size (int_range 0 40) (int_range 0 2))
+    (fun moves ->
+      let arena = Arena.create () in
+      let outstanding = ref [] in
+      List.iter
+        (fun move ->
+          (match (move, !outstanding) with
+          | 0, _ | _, [] ->
+              outstanding := Arena.checkout arena ~capacity:100 :: !outstanding
+          | 1, b :: rest ->
+              Arena.release arena b;
+              outstanding := rest
+          | _, all ->
+              (* release the oldest instead of the newest *)
+              let b = List.nth all (List.length all - 1) in
+              Arena.release arena b;
+              outstanding :=
+                List.filter (fun x -> not (x == b)) all);
+          if Arena.in_flight arena <> List.length !outstanding then
+            fail "in_flight %d but %d outstanding" (Arena.in_flight arena)
+              (List.length !outstanding))
+        moves;
+      List.iter (fun b -> Arena.release arena b) !outstanding;
+      Arena.in_flight arena = 0)
+
+(* Model-based: a random edit sequence through [build_from] agrees with
+   the reference set, and the arena is quiescent after every frozen
+   result — including sequences that reuse the pooled buffer. *)
+let gen_edits =
+  QCheck2.Gen.(
+    pair
+      (list_size (int_range 0 15) (int_range 0 120))
+      (list_size (int_range 0 25) (pair bool (int_range 0 120))))
+
+let prop_build_matches_model =
+  QCheck2.Test.make ~name:"build_from edits match the set model" ~count:300
+    gen_edits
+    (fun (seed_ids, edits) ->
+      let arena = Arena.create () in
+      let seed_set = Node_set.of_ints (121 :: seed_ids) in
+      let expected =
+        List.fold_left
+          (fun acc (add, id) -> if add then R.add id acc else R.remove id acc)
+          (R.of_list (121 :: seed_ids))
+          edits
+      in
+      let got =
+        Arena.build_from arena seed_set (fun b ->
+            List.iter
+              (fun (add, id) ->
+                if add then Arena.add b (n id) else Arena.remove b (n id))
+              edits)
+      in
+      if Arena.in_flight arena <> 0 then
+        fail "arena not quiescent after build_from";
+      (* Second pass through the same (now pooled) buffer: reuse must
+         not leak previous contents. *)
+      let again = Arena.build arena ~capacity:121 (fun _ -> ()) in
+      if not (Node_set.equal again Node_set.empty) then
+        fail "pooled buffer leaked previous contents";
+      Node_set.to_ints got = R.elements expected)
+
+let suite =
+  ( "arena",
+    [
+      Alcotest.test_case "double release raises" `Quick test_double_release;
+      Alcotest.test_case "foreign release raises" `Quick test_foreign_release;
+      Alcotest.test_case "in_flight tracks" `Quick test_in_flight_tracks;
+      Alcotest.test_case "raising callback abandons" `Quick
+        test_raising_callback_abandons;
+      QCheck_alcotest.to_alcotest prop_checkout_release;
+      QCheck_alcotest.to_alcotest prop_build_matches_model;
+    ] )

@@ -21,6 +21,8 @@ type fn = {
   file : Rule.source_file;
   loc : Ppxlib.Location.t;  (** whole-binding span *)
   body : Ppxlib.expression;
+  attrs : Ppxlib.attributes;
+      (** the binding's attributes, e.g. [[@lint.parallel_entry]] *)
   mutable calls : call list;  (** identifier occurrences, source order *)
 }
 

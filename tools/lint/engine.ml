@@ -20,6 +20,7 @@ let registry : Rule.t list =
     Rules_send_locality.rule;
     Rules_exn_flow.rule;
     Rules_taint.rule;
+    Rules_domain_safety.rule;
   ]
 
 (* The meta rule is not in the registry (it runs inside the allow pass)
