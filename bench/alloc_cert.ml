@@ -1,0 +1,227 @@
+(* Dynamic half of the zero-alloc certificate.
+
+   cliffedge-lint's hot-path-alloc rule proves, interprocedurally, that
+   the [@lint.hot_path] entries cannot reach an allocation site outside
+   their measured exemptions.  This module is the runtime witness for
+   those exemptions: each entry drives the exempted code path for real
+   and pins its Gc.minor_words delta per operation against the budget
+   quoted in the source comment next to the [@lint.allow].  A static
+   certificate with an unmeasured exemption is a hole; `bench alloc`
+   closes it, and the per-entry numbers flow into the BENCH_PR*.json
+   `alloc_cert` section where `bench compare` ratchets them PR-on-PR.
+
+   Budgets are exact small-word counts (a result tuple is 3 words, a
+   warm pool cycle is its list cells), with 1/16 word of slack for the
+   counter reads themselves; they are NOT noise-scaled thresholds —
+   an extra allocation on any of these paths is a bug, not a drift. *)
+
+open Cliffedge_graph
+module Protocol = Cliffedge.Protocol
+module Message = Cliffedge.Message
+module Opinion = Cliffedge.Opinion
+module Engine = Cliffedge_sim.Engine
+module Prng = Cliffedge_prng.Prng
+module Failure_detector = Cliffedge_detector.Failure_detector
+module Latency = Cliffedge_net.Latency
+module Table = Cliffedge_report.Table
+module Json = Cliffedge_report.Json
+
+let iters = 100_000
+let warmup = 1_000
+
+(* Per-op minor words of [f], measured over [iters] calls after a
+   warmup (so pool priming and lazy growth are paid before the clock
+   starts).  The measurement loop itself is allocation-free: a [for]
+   loop over an immediate counter calling a known closure. *)
+let measure (f : unit -> unit) =
+  for _ = 1 to warmup do
+    f ()
+  done;
+  Gc.minor ();
+  let before = Gc.minor_words () in
+  for _ = 1 to iters do
+    f ()
+  done;
+  let after = Gc.minor_words () in
+  (after -. before) /. float_of_int iters
+
+type entry = { name : string; budget : float; thunk : unit -> unit }
+
+(* lib/graph/node_set.ml: the word-parallel query loops annotated
+   [@lint.hot_path] directly.  Sets span three 63-bit chunks so every
+   loop actually iterates. *)
+let node_set_entry () =
+  let a = Node_set.of_ints [ 1; 2; 3; 64; 65; 130 ] in
+  let b = Node_set.of_ints [ 2; 3; 64 ] in
+  let c = Node_set.of_ints [ 200; 201 ] in
+  let probe = Node_id.of_int 65 in
+  {
+    name = "node_set queries (mem/subset/disjoint/equal/compare)";
+    budget = 0.0;
+    thunk =
+      (fun () ->
+        ignore (Sys.opaque_identity (Node_set.mem probe a));
+        ignore (Sys.opaque_identity (Node_set.subset b a));
+        ignore (Sys.opaque_identity (Node_set.disjoint a c));
+        ignore (Sys.opaque_identity (Node_set.equal a b));
+        ignore (Sys.opaque_identity (Node_set.compare a c)));
+  }
+
+(* lib/core/opinion.ml merge: the no-change paths (already-known
+   singleton, fresh = 0) return [t] physically — the exemption comment
+   pins them at 0 minor words/op. *)
+let opinion_merge_entry () =
+  let base =
+    Opinion.Vector.of_list
+      [
+        (Node_id.of_int 3, Opinion.Accept "d"); (Node_id.of_int 11, Opinion.Reject);
+      ]
+  in
+  let singleton = Opinion.Vector.singleton (Node_id.of_int 3) (Opinion.Accept "d") in
+  let both =
+    Opinion.Vector.of_list
+      [
+        (Node_id.of_int 3, Opinion.Accept "d"); (Node_id.of_int 11, Opinion.Reject);
+      ]
+  in
+  {
+    name = "opinion vector merge (no-change)";
+    budget = 0.0;
+    thunk =
+      (fun () ->
+        (* Retransmitted single vote: binary-search fast path. *)
+        ignore (Sys.opaque_identity (Opinion.Vector.merge base ~incoming:singleton));
+        (* Full vector already known: fresh = 0 join pass. *)
+        ignore (Sys.opaque_identity (Opinion.Vector.merge base ~incoming:both)));
+  }
+
+(* lib/core/protocol.ml deliver: a stale retransmission (same Round
+   message delivered twice) leaves the state physically unchanged, so
+   [handle]'s flat-state fast path returns the callee's result pair —
+   exactly one 3-word tuple per call, the bound quoted in the
+   exemption comment. *)
+let protocol_stale_entry () =
+  let graph = Topology.grid 5 5 in
+  let cfg = Protocol.config ~graph ~propose_value:(fun _ _ -> "d") () in
+  let st = Protocol.init ~self:(Node_id.of_int 7) in
+  let st, _ = Protocol.handle cfg st Protocol.Init in
+  let st, _ = Protocol.handle cfg st (Protocol.Crash (Node_id.of_int 12)) in
+  let msg =
+    Message.Round
+      {
+        round = 1;
+        view = Node_set.of_ints [ 12 ];
+        border = Node_set.of_ints [ 7; 11; 13; 17 ];
+        opinions =
+          Opinion.Vector.singleton (Node_id.of_int 11) (Opinion.Accept "d");
+      }
+  in
+  let ev = Protocol.Deliver { src = Node_id.of_int 11; msg } in
+  (* First delivery applies the transition; every later one is stale. *)
+  let st, _ = Protocol.handle cfg st ev in
+  {
+    name = "protocol deliver (stale retransmission)";
+    budget = 3.0;
+    thunk = (fun () -> ignore (Sys.opaque_identity (Protocol.handle cfg st ev)));
+  }
+
+(* lib/detector/failure_detector.ml monitor: steady-state
+   re-registration (every target already subscribed) — the word-parallel
+   dedup finds nothing fresh and the call returns without allocating. *)
+let detector_monitor_entry () =
+  let engine = Engine.create () in
+  let rng = Prng.create 7 in
+  let fd =
+    Failure_detector.create ~engine ~rng
+      ~latency:(Latency.Uniform { min = 1.0; max = 10.0 })
+      ()
+  in
+  let observer = Node_id.of_int 9 in
+  let targets = Node_set.of_ints [ 1; 2; 3; 4 ] in
+  Failure_detector.monitor fd ~observer ~targets;
+  {
+    name = "failure detector monitor (steady-state)";
+    budget = 0.0;
+    thunk = (fun () -> Failure_detector.monitor fd ~observer ~targets);
+  }
+
+(* lib/graph/arena.ml checkout/release: the warm-pool cycle reuses the
+   pooled buffer; what remains is the pool's list cells and the builder
+   handle, bounded by the exemption comment at 8 words per cycle. *)
+let arena_cycle_entry () =
+  let arena = Arena.create () in
+  (* Prime the pool so the measured cycles never grow a fresh buffer. *)
+  let b = Arena.checkout arena ~capacity:64 in
+  Arena.release arena b;
+  let probe = Node_id.of_int 3 in
+  {
+    name = "arena checkout/release (warm pool)";
+    budget = 8.0;
+    thunk =
+      (fun () ->
+        let b = Arena.checkout arena ~capacity:64 in
+        Arena.add b probe;
+        Arena.release arena b);
+  }
+
+let entries () =
+  [
+    node_set_entry ();
+    opinion_merge_entry ();
+    protocol_stale_entry ();
+    detector_monitor_entry ();
+    arena_cycle_entry ();
+  ]
+
+(* Slack for the boxed floats of the two counter reads, amortised over
+   [iters] ops — far below the smallest real allocation (2 words). *)
+let slack = 0.0625
+
+let run () =
+  let table =
+    Table.create ~title:"zero-alloc certificate (Gc.minor_words per op)"
+      ~columns:[ "hot-path entry"; "minor w/op"; "budget"; "status" ]
+  in
+  let failures = ref 0 in
+  List.iter
+    (fun e ->
+      let per_op = measure e.thunk in
+      let pass = per_op <= e.budget +. slack in
+      if not pass then incr failures;
+      Table.add_row table
+        [
+          e.name;
+          Table.cell "%.4f" per_op;
+          Table.cell "%.0f" e.budget;
+          (if pass then "ok" else "OVER BUDGET");
+        ];
+      Json_out.record ~section:"alloc_cert"
+        [
+          ( e.name,
+            Json.Obj
+              [
+                ("minor_words_per_op", Json.Float per_op);
+                ("budget", Json.Float e.budget);
+                ("pass", Json.Bool pass);
+              ] );
+        ])
+    (entries ());
+  Table.print table;
+  if !failures > 0 then begin
+    Printf.printf
+      "bench alloc: %d entr%s over budget — the static certificate's \
+       measured exemptions no longer hold\n"
+      !failures
+      (if !failures = 1 then "y is" else "ies are");
+    exit 1
+  end
+  else print_endline "bench alloc: all hot-path entries within budget"
+
+(* [--json FILE] is stripped by the harness's global option parser
+   before dispatch (like every other command), so only stray arguments
+   can reach us here. *)
+let command = function
+  | [] -> run ()
+  | arg :: _ ->
+      Printf.eprintf "bench: alloc: unknown argument %S\n" arg;
+      exit 2

@@ -38,13 +38,21 @@ let usage () =
     "  check-trace FILE  validate a Chrome trace_event file written by \
      cliffedge-cli trace --format chrome";
   print_endline
-    "  parsweep [--domains N] [--seeds N]  X7 matrix striped over domains, \
-     with a serial-vs-parallel byte diff of the per-seed causal logs";
+    "  check-sarif FILE  validate a SARIF 2.1.0 file written by \
+     cliffedge-lint --sarif";
+  print_endline
+    "  alloc  dynamic zero-alloc assertions: Gc.minor_words per op for \
+     every [@lint.hot_path] entry, against its measured budget";
+  print_endline
+    "  parsweep [--domains N] [--seeds N]  X7 matrix striped over domains \
+     (clamped to the recommended domain count), with a serial-vs-parallel \
+     byte diff of the per-seed causal logs";
   print_endline
     "  compare OLD.json NEW.json [--threshold PCT] [--alloc-threshold PCT]";
   print_endline
     "         regression gate: fail if a micro benchmark present in both \
-     files got slower than OLD by more than PCT% (default 15)";
+     files got slower than OLD by more than PCT% (default 15); with \
+     --json FILE, also write a machine-readable verdict";
   print_endline "options:";
   print_endline "  --csv DIR    also write every table to DIR/<slug>.csv";
   print_endline "  --json FILE  merge machine-readable timings into FILE (see BENCH_PR1.json)"
@@ -176,6 +184,103 @@ let check_trace file =
         [ "M"; "i"; "s"; "f" ];
       Printf.printf "trace ok: %s (%d event(s))\n" file (List.length events)
 
+(* Validates a SARIF 2.1.0 document as written by `cliffedge-lint
+   --sarif`: tool metadata, embedded rule registry, and well-formed
+   result locations.  Guards the lint exporter against drifting from
+   what SARIF viewers load, in the same style as [check_trace] for the
+   Chrome trace exporter. *)
+let check_sarif file =
+  let fail fmt =
+    Printf.ksprintf
+      (fun message ->
+        Printf.eprintf "bench: %s: %s\n" file message;
+        exit 1)
+      fmt
+  in
+  match Json.of_file file with
+  | Error message -> fail "does not parse: %s" message
+  | Ok root ->
+      (match Json.member "version" root with
+      | Some (Json.String "2.1.0") -> ()
+      | Some (Json.String v) -> fail "version %S, expected \"2.1.0\"" v
+      | Some _ -> fail "version is not a string"
+      | None -> fail "missing version");
+      let run =
+        match Json.member "runs" root with
+        | Some (Json.List [ run ]) -> run
+        | Some (Json.List runs) -> fail "%d run(s), expected 1" (List.length runs)
+        | Some _ -> fail "runs is not a list"
+        | None -> fail "missing runs"
+      in
+      let driver =
+        match Json.member "tool" run with
+        | Some tool -> (
+            match Json.member "driver" tool with
+            | Some driver -> driver
+            | None -> fail "runs[0].tool is missing driver")
+        | None -> fail "runs[0] is missing tool"
+      in
+      (match Json.member "name" driver with
+      | Some (Json.String _) -> ()
+      | _ -> fail "tool.driver.name is not a string");
+      let rules =
+        match Json.member "rules" driver with
+        | Some (Json.List (_ :: _ as rules)) -> rules
+        | Some (Json.List []) -> fail "tool.driver.rules is empty"
+        | Some _ -> fail "tool.driver.rules is not a list"
+        | None -> fail "tool.driver is missing rules"
+      in
+      let rule_ids =
+        List.mapi
+          (fun i rule ->
+            match Json.member "id" rule with
+            | Some (Json.String id) -> id
+            | _ -> fail "rules[%d].id is not a string" i)
+          rules
+      in
+      let results =
+        match Json.member "results" run with
+        | Some (Json.List results) -> results
+        | Some _ -> fail "runs[0].results is not a list"
+        | None -> fail "runs[0] is missing results"
+      in
+      List.iteri
+        (fun i result ->
+          (match Json.member "ruleId" result with
+          | Some (Json.String id) ->
+              if not (List.mem id rule_ids) then
+                fail "results[%d].ruleId %S is not a registered rule" i id
+          | _ -> fail "results[%d].ruleId is not a string" i);
+          (match Json.member "message" result with
+          | Some m -> (
+              match Json.member "text" m with
+              | Some (Json.String _) -> ()
+              | _ -> fail "results[%d].message.text is not a string" i)
+          | None -> fail "results[%d] is missing message" i);
+          match Json.member "locations" result with
+          | Some (Json.List (loc :: _)) -> (
+              match Json.member "physicalLocation" loc with
+              | Some phys -> (
+                  (match Json.member "artifactLocation" phys with
+                  | Some a -> (
+                      match Json.member "uri" a with
+                      | Some (Json.String _) -> ()
+                      | _ -> fail "results[%d] artifact uri is not a string" i)
+                  | None -> fail "results[%d] is missing artifactLocation" i);
+                  match Json.member "region" phys with
+                  | Some region -> (
+                      match Json.member "startLine" region with
+                      | Some (Json.Int _) -> ()
+                      | _ -> fail "results[%d].region.startLine is not an int" i)
+                  | None -> fail "results[%d] is missing region" i)
+              | None -> fail "results[%d] is missing physicalLocation" i)
+          | Some (Json.List []) -> fail "results[%d].locations is empty" i
+          | Some _ -> fail "results[%d].locations is not a list" i
+          | None -> fail "results[%d] is missing locations" i)
+        results;
+      Printf.printf "sarif ok: %s (%d rule(s), %d result(s))\n" file
+        (List.length rules) (List.length results)
+
 (* ------------------------------------------------------------------ *)
 (* compare: the ratcheting regression gate between two BENCH files.
 
@@ -195,7 +300,7 @@ let get_number key json =
   | Some (Json.Float f) -> Some f
   | Some _ | None -> None
 
-let compare_files ~threshold ~alloc_threshold baseline candidate =
+let compare_files ~threshold ~alloc_threshold ~json baseline candidate =
   let load file =
     match Json.of_file file with
     | Error message ->
@@ -210,15 +315,26 @@ let compare_files ~threshold ~alloc_threshold baseline candidate =
         Printf.eprintf "bench: %s has no micro section\n" file;
         exit 1
   in
-  let old_micro = micro baseline (load baseline) in
-  let new_micro = micro candidate (load candidate) in
+  (* The alloc_cert section (per-hot-path-entry Gc.minor_words deltas
+     from `bench alloc`) ratchets like the micro allocation counters
+     when both files carry it; pre-PR8 baselines simply skip it. *)
+  let alloc_cert root =
+    match Json.member "alloc_cert" root with
+    | Some (Json.Obj fields) -> fields
+    | Some _ | None -> []
+  in
+  let old_root = load baseline and new_root = load candidate in
+  let old_micro = micro baseline old_root in
+  let new_micro = micro candidate new_root in
   let regressions = ref [] in
   let compared = ref 0 and skipped = ref 0 and alloc_missing = ref 0 in
+  let entries = ref [] in
   let check ~name ~metric ~pct ~slack old_v new_v =
     incr compared;
     let limit = (old_v *. (1.0 +. (pct /. 100.0))) +. slack in
+    let regressed = new_v > limit in
     let verdict =
-      if new_v > limit then begin
+      if regressed then begin
         regressions :=
           Printf.sprintf "%s [%s]: %.1f -> %.1f (limit %.1f at +%g%%)" name
             metric old_v new_v limit pct
@@ -227,6 +343,18 @@ let compare_files ~threshold ~alloc_threshold baseline candidate =
       end
       else "ok"
     in
+    entries :=
+      Json.Obj
+        [
+          ("benchmark", Json.String name);
+          ("metric", Json.String metric);
+          ("status", Json.String (if regressed then "regressed" else "ok"));
+          ("baseline", Json.Float old_v);
+          ("candidate", Json.Float new_v);
+          ("ratio", Json.Float (if old_v > 0.0 then new_v /. old_v else 1.0));
+          ("limit", Json.Float limit);
+        ]
+      :: !entries;
     Printf.printf "  %-52s %-20s %12.1f -> %12.1f  %s\n" name metric old_v
       new_v verdict
   in
@@ -248,9 +376,19 @@ let compare_files ~threshold ~alloc_threshold baseline candidate =
               match
                 (get_number metric old_entry, get_number metric new_entry)
               with
-              | Some old_v, Some new_v ->
+              | Some old_v, Some new_v when old_v > 0.0 ->
                   check ~name ~metric ~pct:alloc_threshold ~slack:16.0 old_v
                     new_v
+              (* A zero baseline is a clamped OLS estimate, not a real
+                 measurement (benchmarks whose recorded words/run is
+                 0.0 allocate hundreds of words when probed directly —
+                 the per-run fit is ill-conditioned when allocation
+                 does not scale with the iteration count): there is no
+                 honest ratio to ratchet, so it degrades like a
+                 missing counter.  Genuinely zero-alloc paths are
+                 gated by the alloc_cert section below, whose counts
+                 come from direct Gc.minor_words deltas. *)
+              | Some _, Some _ -> incr alloc_missing
               (* Pre-PR6 baselines predate the allocation counters:
                  degrade to the time ratchet with a visible warning
                  rather than failing or silently narrowing the gate. *)
@@ -258,14 +396,48 @@ let compare_files ~threshold ~alloc_threshold baseline candidate =
               | _ -> ())
             [ "minor_words_per_run"; "major_words_per_run" ])
     old_micro;
+  List.iter
+    (fun (name, old_entry) ->
+      match List.assoc_opt name (alloc_cert new_root) with
+      | None -> ()
+      | Some new_entry -> (
+          match
+            ( get_number "minor_words_per_op" old_entry,
+              get_number "minor_words_per_op" new_entry )
+          with
+          | Some old_v, Some new_v ->
+              check ~name:("alloc: " ^ name) ~metric:"minor_words_per_op"
+                ~pct:alloc_threshold ~slack:0.5 old_v new_v
+          | _ -> ()))
+    (alloc_cert old_root);
   if !alloc_missing > 0 then
     Printf.printf
-      "  warning: %d allocation counter(s) absent from baseline %s: alloc \
-       ratchet skipped for those metrics\n"
+      "  warning: %d allocation counter(s) absent from or unmeasured (0.0) \
+       in baseline %s: alloc ratchet skipped for those metrics\n"
       !alloc_missing baseline;
   if !skipped > 0 then
     Printf.printf "  (%d baseline benchmark(s) absent from %s: skipped)\n"
       !skipped candidate;
+  let failed = !regressions <> [] in
+  Option.iter
+    (fun file ->
+      Json.to_file file
+        (Json.Obj
+           [
+             ("schema", Json.String "cliffedge-bench-compare/1");
+             ("baseline", Json.String baseline);
+             ("candidate", Json.String candidate);
+             ( "thresholds",
+               Json.Obj
+                 [
+                   ("time_pct", Json.Float threshold);
+                   ("alloc_pct", Json.Float alloc_threshold);
+                 ] );
+             ("verdict", Json.String (if failed then "fail" else "pass"));
+             ("metrics", Json.List (List.rev !entries));
+           ]);
+      Printf.printf "  verdict written to %s\n" file)
+    json;
   match !regressions with
   | [] ->
       Printf.printf "compare ok: %d metric(s) within thresholds\n" !compared
@@ -301,12 +473,15 @@ let compare_command rest =
   go rest;
   match List.rev !files with
   | [ baseline; candidate ] ->
+      (* --json FILE is stripped by the global option parser into
+         [Json_out.path]; for compare it names the verdict document,
+         not a timings merge target. *)
       compare_files ~threshold:!threshold ~alloc_threshold:!alloc_threshold
-        baseline candidate
+        ~json:!Json_out.path baseline candidate
   | _ ->
       prerr_endline
         "bench: compare needs OLD.json NEW.json [--threshold PCT] \
-         [--alloc-threshold PCT]";
+         [--alloc-threshold PCT] [--json VERDICT.json]";
       exit 1
 
 let parsweep_command rest =
@@ -332,6 +507,18 @@ let parsweep_command rest =
     | [] -> ()
   in
   go rest;
+  (* Oversubscribing domains only adds scheduler thrash (PR 7 measured
+     an honest 0.63x on a 1-core container): clamp to the runtime's
+     recommendation.  The warning names the requested count but not the
+     machine-dependent cap, keeping stderr cram-stable. *)
+  let cap = Domain.recommended_domain_count () in
+  if !domains > cap then begin
+    Printf.eprintf
+      "bench: parsweep: %d domain(s) requested, clamping to the recommended \
+       domain count for this machine\n"
+      !domains;
+    domains := cap
+  end;
   Par_sweep.run ~domains:!domains ~seeds:!seeds
 
 let run_experiment name =
@@ -379,6 +566,11 @@ let () =
   | [ "check-trace" ] ->
       prerr_endline "bench: check-trace needs a FILE argument";
       exit 1
+  | [ "check-sarif"; file ] -> check_sarif file
+  | [ "check-sarif" ] ->
+      prerr_endline "bench: check-sarif needs a FILE argument";
+      exit 1
+  | "alloc" :: rest -> Alloc_cert.command rest
   | "compare" :: rest -> compare_command rest
   | "parsweep" :: rest -> parsweep_command rest
   | [] ->

@@ -51,7 +51,7 @@ let create ~engine ~rng ~latency ?channel_floor () =
     notify = None;
   }
 
-let grow_sets arr i =
+let[@lint.cold] grow_sets arr i =
   let n = Array.length arr in
   if i < n then arr
   else begin
@@ -60,7 +60,7 @@ let grow_sets arr i =
     out
   end
 
-let grow_times arr i =
+let[@lint.cold] grow_times arr i =
   let n = Array.length arr in
   if i < n then arr
   else begin
@@ -83,7 +83,9 @@ let crash_time t p =
 
 let crashed_nodes t = t.crashed
 
-let schedule_notification t ~observer ~target =
+(* Rare by construction: latency sampling, an engine closure and float
+   arithmetic, paid once per (observer, crash) pair. *)
+let[@lint.cold] schedule_notification t ~observer ~target =
   let delay = Latency.sample t.latency t.rng in
   (* Channel consistency: never notify before the crashed node's
      in-flight messages to the observer have landed. *)
@@ -102,7 +104,22 @@ let schedule_notification t ~observer ~target =
            | Some handler -> handler ~observer ~crashed:target
            | None -> failwith "Failure_detector: no notification handler installed"))
 
-let monitor t ~observer ~targets =
+(* Element-wise walk of the freshly registered targets that were already
+   crashed — reached only through the [disjoint] guard below, i.e. when
+   a registration races a crash, so the iteration closure and the
+   notification float math stay off the re-registration fast path. *)
+let[@lint.cold] notify_crashed_fresh t ~observer fresh =
+  Node_set.iter
+    (fun target ->
+      if is_crashed t target then schedule_notification t ~observer ~target)
+    fresh
+
+(* Measured exemption: steady-state re-registration (every target
+   already subscribed) is the per-round case and allocates nothing —
+   [diff] returns the static empty set, [remove] and [is_empty] return
+   physically — pinned at 0 minor words/op by `bench alloc`; first
+   registration pays the set copies once per topology edge. *)
+let[@lint.hot_path] [@lint.allow "hot-path-alloc"] monitor t ~observer ~targets =
   let oi = Node_id.to_int observer in
   t.subscriptions <- grow_sets t.subscriptions oi;
   if oi >= t.max_observer then t.max_observer <- oi + 1;
@@ -116,10 +133,7 @@ let monitor t ~observer ~targets =
   if not (Node_set.is_empty fresh) then begin
     t.subscriptions.(oi) <- Node_set.union t.subscriptions.(oi) fresh;
     if not (Node_set.disjoint fresh t.crashed) then
-      Node_set.iter
-        (fun target ->
-          if is_crashed t target then schedule_notification t ~observer ~target)
-        fresh
+      notify_crashed_fresh t ~observer fresh
   end
 
 let inject_false_suspicion t ~observer ~target =

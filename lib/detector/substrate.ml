@@ -11,11 +11,15 @@ module Obs = Cliffedge_obs
    cannot separate the payload from its provenance. *)
 type 'a item = { cause : int; payload : 'a }
 
-(* One wire unit.  Inside a [batched] scope all logical sends to the
-   same destination ride one envelope (one latency draw, one ARQ
-   frame); each item keeps its own provenance, so the causal log still
-   records every logical send/delivery individually. *)
-type 'a envelope = { items : 'a item list  (* in send order *) }
+(* One wire unit: the items it carries, in send order.  Inside a
+   [batched] scope all logical sends to the same destination ride one
+   envelope (one latency draw, one ARQ frame); each item keeps its own
+   provenance, so the causal log still records every logical
+   send/delivery individually.  A bare list rather than a record
+   wrapper: the unbatched case builds one envelope per protocol send,
+   and the hot-path-alloc audit priced the wrapper at 2 needless minor
+   words on every delivery the simulator makes. *)
+type 'a envelope = 'a item list
 
 type 'a conduit =
   | Direct of 'a envelope Network.t
@@ -109,7 +113,7 @@ let send t ?(units = 1) ~src ~dst msg =
     in
     let item = { cause; payload = msg } in
     match t.batch with
-    | None -> dispatch_envelope t ~units ~src ~dst { items = [ item ] }
+    | None -> dispatch_envelope t ~units ~src ~dst [ item ]
     | Some cells -> (
         match find_cell cells src dst with
         | Some c ->
@@ -136,7 +140,7 @@ let batched t f =
           List.iter
             (fun c ->
               dispatch_envelope t ~units:c.b_units ~src:c.b_src ~dst:c.b_dst
-                { items = List.rev c.b_rev })
+                (List.rev c.b_rev))
             cells)
 
 let on_deliver t handler =
@@ -152,7 +156,7 @@ let on_deliver t handler =
             (Obs.Event.Deliver { src })
         in
         Obs.Log.with_context t.obs seq (fun () -> handler ~src ~dst item.payload))
-      env.items
+      env
   in
   match t.conduit with
   | Direct network -> Network.on_deliver network wrapped

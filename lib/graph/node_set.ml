@@ -63,7 +63,7 @@ let word t i = if i < Array.length t then Array.unsafe_get t i else 0
 (* ------------------------------------------------------------------ *)
 (* Membership and element-wise construction                            *)
 
-let mem x t =
+let[@lint.hot_path] mem x t =
   let i = Node_id.to_int x in
   let w = i / word_bits in
   w < Array.length t && (Array.unsafe_get t w lsr (i mod word_bits)) land 1 = 1
@@ -169,17 +169,17 @@ let diff a b =
 (* Top-level recursion with explicit arguments: a nested [let rec]
    allocates its closure on every call without flambda, and these run
    on the protocol's delivery path. *)
-let rec disjoint_go a b l i =
+let[@lint.hot_path] rec disjoint_go a b l i =
   Int.equal i l
   || (Array.unsafe_get a i land Array.unsafe_get b i = 0 && disjoint_go a b l (i + 1))
 
-let disjoint a b = disjoint_go a b (Int.min (Array.length a) (Array.length b)) 0
+let[@lint.hot_path] disjoint a b = disjoint_go a b (Int.min (Array.length a) (Array.length b)) 0
 
-let rec subset_go a b i =
+let[@lint.hot_path] rec subset_go a b i =
   i < 0
   || (Array.unsafe_get a i land lnot (Array.unsafe_get b i) = 0 && subset_go a b (i - 1))
 
-let subset a b =
+let[@lint.hot_path] subset a b =
   Array.length a <= Array.length b && subset_go a b (Array.length a - 1)
 
 (* Canonical form (trimmed last word) makes word-wise equality coincide
@@ -187,10 +187,10 @@ let subset a b =
    the generic comparator is a C call that re-discovers the array shape
    on every invocation, and [equal] sits on the reject-scan and
    instance-lookup paths. *)
-let rec equal_go a b i =
+let[@lint.hot_path] rec equal_go a b i =
   i < 0 || (Int.equal (Array.unsafe_get a i) (Array.unsafe_get b i) && equal_go a b (i - 1))
 
-let equal a b =
+let[@lint.hot_path] equal a b =
   a == b
   || (Int.equal (Array.length a) (Array.length b) && equal_go a b (Array.length a - 1))
 
@@ -201,7 +201,7 @@ let equal a b =
    [a < b] iff [b] still has an element above [m] (then [b]'s sequence is
    larger at that position), and [a > b] iff it does not (then [b] is a
    strict prefix of [a]). *)
-let rec compare_go a b la lb l k =
+let[@lint.hot_path] rec compare_go a b la lb l k =
   if Int.equal k l then 0
   else
     let wa = word a k and wb = word b k in
@@ -210,13 +210,18 @@ let rec compare_go a b la lb l k =
       let bit = let x = wa lxor wb in x land -x in
       let p = ntz bit in
       let in_a = wa land bit <> 0 in
-      let other_len, other_word = if in_a then (lb, wb) else (la, wa) in
-      let has_greater = bits_above p other_word <> 0 || other_len > k + 1 in
+      (* Branch on [in_a] twice rather than binding an (other_len,
+         other_word) pair: the conditional tuple is a per-call
+         allocation the hot-path-alloc certificate forbids. *)
+      let has_greater =
+        if in_a then bits_above p wb <> 0 || lb > k + 1
+        else bits_above p wa <> 0 || la > k + 1
+      in
       if in_a then if has_greater then -1 else 1
       else if has_greater then 1
       else -1
 
-let compare a b =
+let[@lint.hot_path] compare a b =
   if a == b then 0
   else
     let la = Array.length a and lb = Array.length b in

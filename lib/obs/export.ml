@@ -30,7 +30,9 @@ let extra_fields kind =
   | Event.Round { round } -> [ ("round", string_of_int round) ]
   | Event.Early_outcome { success } -> [ ("success", string_of_bool success) ]
 
-let jsonl events =
+(* Trace export runs once per run, after the measured region: a
+   deliberate slow path, cut from hot-path-alloc propagation. *)
+let[@lint.cold] jsonl events =
   let buffer = Buffer.create 4096 in
   List.iter
     (fun e ->
@@ -60,7 +62,7 @@ let jsonl events =
    Flow pairs use the child's sequence id as the flow id and are only
    emitted when both endpoints survived filtering. *)
 
-let chrome events =
+let[@lint.cold] chrome events =
   let tids =
     List.sort_uniq Int.compare
       (List.map (fun e -> Node_id.to_int e.Event.node) events)

@@ -19,7 +19,7 @@ silently narrow the gate.
   >     "deliver": {
   >       "ns_per_run": 90.0,
   >       "minor_words_per_run": 12.0,
-  >       "major_words_per_run": 0.0
+  >       "major_words_per_run": 0.5
   >     }
   >   }
   > }
@@ -27,7 +27,7 @@ silently narrow the gate.
   $ cliffedge-bench compare old.json new.json
   bench compare: old.json -> new.json (time +15%, alloc +15%)
     deliver                                              ns/run                      100.0 ->         90.0  ok
-    warning: 2 allocation counter(s) absent from baseline old.json: alloc ratchet skipped for those metrics
+    warning: 2 allocation counter(s) absent from or unmeasured (0.0) in baseline old.json: alloc ratchet skipped for those metrics
   compare ok: 1 metric(s) within thresholds
 
 The warning does not blunt the time ratchet itself — a slow candidate
@@ -44,7 +44,7 @@ still fails against the same alloc-less baseline:
   $ cliffedge-bench compare old.json slow.json
   bench compare: old.json -> slow.json (time +15%, alloc +15%)
     deliver                                              ns/run                      100.0 ->        500.0  REGRESSED
-    warning: 1 allocation counter(s) absent from baseline old.json: alloc ratchet skipped for those metrics
+    warning: 1 allocation counter(s) absent from or unmeasured (0.0) in baseline old.json: alloc ratchet skipped for those metrics
   bench: 1 regression(s) vs old.json:
     deliver [ns/run]: 100.0 -> 500.0 (limit 120.0 at +15%)
   [1]
@@ -56,5 +56,93 @@ ratchet — no warning:
   bench compare: new.json -> new.json (time +15%, alloc +15%)
     deliver                                              ns/run                       90.0 ->         90.0  ok
     deliver                                              minor_words_per_run          12.0 ->         12.0  ok
-    deliver                                              major_words_per_run           0.0 ->          0.0  ok
+    deliver                                              major_words_per_run           0.5 ->          0.5  ok
   compare ok: 3 metric(s) within thresholds
+
+A zero allocation baseline is a clamped OLS estimate, not a real
+measurement (benchmarks recorded at 0.0 words/run allocate hundreds of
+words when probed with Gc.minor_words directly): there is no honest
+ratio to ratchet, so it degrades exactly like a missing counter —
+genuinely zero-alloc paths are gated by the alloc_cert section
+instead, whose counts are direct GC deltas:
+
+  $ cat > zero.json <<'JSON'
+  > {
+  >   "schema": "cliffedge-bench/1",
+  >   "micro": {
+  >     "deliver": { "ns_per_run": 100.0, "minor_words_per_run": 0.0 }
+  >   }
+  > }
+  > JSON
+  $ cat > fat.json <<'JSON'
+  > {
+  >   "schema": "cliffedge-bench/1",
+  >   "micro": {
+  >     "deliver": { "ns_per_run": 100.0, "minor_words_per_run": 55.0 }
+  >   }
+  > }
+  > JSON
+  $ cliffedge-bench compare zero.json fat.json
+  bench compare: zero.json -> fat.json (time +15%, alloc +15%)
+    deliver                                              ns/run                      100.0 ->        100.0  ok
+    warning: 1 allocation counter(s) absent from or unmeasured (0.0) in baseline zero.json: alloc ratchet skipped for those metrics
+  compare ok: 1 metric(s) within thresholds
+
+The alloc_cert section (per-hot-path-entry Gc.minor_words budgets
+recorded by `bench alloc`) rides the same ratchet with a tight slack:
+the dynamic half of the zero-alloc certificate cannot regress quietly
+between PRs.
+
+  $ cat > cert_old.json <<'JSON'
+  > {
+  >   "schema": "cliffedge-bench/1",
+  >   "micro": {},
+  >   "alloc_cert": {
+  >     "deliver-stale": { "minor_words_per_op": 3.0, "budget": 3.0, "pass": true }
+  >   }
+  > }
+  > JSON
+  $ cat > cert_new.json <<'JSON'
+  > {
+  >   "schema": "cliffedge-bench/1",
+  >   "micro": {},
+  >   "alloc_cert": {
+  >     "deliver-stale": { "minor_words_per_op": 9.0, "budget": 3.0, "pass": false }
+  >   }
+  > }
+  > JSON
+  $ cliffedge-bench compare cert_old.json cert_new.json
+  bench compare: cert_old.json -> cert_new.json (time +15%, alloc +15%)
+    alloc: deliver-stale                                 minor_words_per_op            3.0 ->          9.0  REGRESSED
+  bench: 1 regression(s) vs cert_old.json:
+    alloc: deliver-stale [minor_words_per_op]: 3.0 -> 9.0 (limit 3.9 at +15%)
+  [1]
+
+`--json` records the whole comparison as a machine-readable verdict
+document (schema cliffedge-bench-compare/1), written whether the
+ratchet passes or fails, and `cliffedge-lint --check-report`
+dispatches on the schema tag to validate it:
+
+  $ cliffedge-bench compare new.json new.json --json verdict.json
+  bench compare: new.json -> new.json (time +15%, alloc +15%)
+    deliver                                              ns/run                       90.0 ->         90.0  ok
+    deliver                                              minor_words_per_run          12.0 ->         12.0  ok
+    deliver                                              major_words_per_run           0.5 ->          0.5  ok
+    verdict written to verdict.json
+  compare ok: 3 metric(s) within thresholds
+  $ grep -o '"verdict": "pass"' verdict.json
+  "verdict": "pass"
+  $ cliffedge-lint --check-report verdict.json
+  cliffedge-lint: verdict.json: valid cliffedge-bench-compare/1 report
+
+A failing comparison still writes the verdict (CI wants the document
+most when the gate trips):
+
+  $ cliffedge-bench compare cert_old.json cert_new.json --json bad.json > /dev/null
+  bench: 1 regression(s) vs cert_old.json:
+    alloc: deliver-stale [minor_words_per_op]: 3.0 -> 9.0 (limit 3.9 at +15%)
+  [1]
+  $ grep -o '"verdict": "fail"' bad.json
+  "verdict": "fail"
+  $ cliffedge-lint --check-report bad.json
+  cliffedge-lint: bad.json: valid cliffedge-bench-compare/1 report

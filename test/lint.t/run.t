@@ -19,6 +19,7 @@ The registry:
   exception-flow       catch-alls must face an unknowable exception set, and boundaries raise named exceptions instead of failwith (escape analysis)
   nondet-taint         no call path from lib/ code to ambient entropy except through lib/prng (taint over the call graph)
   domain-safety        functions reachable from a [@lint.parallel_entry] touch no shared-mutable root (escape analysis over the call graph, [@lint.domain_guard] ownership cuts); Par dispatch requires the annotation
+  hot-path-alloc       functions reachable from a [@lint.hot_path] binding allocate nothing (interprocedural may-allocate closure, [@lint.cold] cuts, unknown callees conservatively allocating)
   unused-allow         every [@lint.allow] annotation must suppress something
 
 The README "Static checks" table is generated from the same registry
@@ -39,6 +40,7 @@ README copy, so the two cannot drift):
   | `exception-flow` | flow | `lib/codec`, `lib/net` | — | catch-alls must face an unknowable exception set, and boundaries raise named exceptions instead of failwith (escape analysis) |
   | `nondet-taint` | flow | `lib/**` but `lib/prng` | — | no call path from lib/ code to ambient entropy except through lib/prng (taint over the call graph) |
   | `domain-safety` | flow | everywhere (`[@lint.parallel_entry]` opt-in) | — | functions reachable from a [@lint.parallel_entry] touch no shared-mutable root (escape analysis over the call graph, [@lint.domain_guard] ownership cuts); Par dispatch requires the annotation |
+  | `hot-path-alloc` | flow | everywhere (`[@lint.hot_path]` opt-in) | — | functions reachable from a [@lint.hot_path] binding allocate nothing (interprocedural may-allocate closure, [@lint.cold] cuts, unknown callees conservatively allocating) |
   | `unused-allow` | meta | everywhere | — | every [@lint.allow] annotation must suppress something |
 
 determinism: ambient randomness and wall clocks are banned outside
@@ -183,13 +185,13 @@ they cannot check (the whole-tree flow gate will):
   [1]
 
 
-A clean file is silent by default and reported with --verbose (11
+A clean file is silent by default and reported with --verbose (12
 rules under the default both-passes analysis, 6 under the syntactic
 gate's filter — the meta pass counts as one):
 
   $ cliffedge-lint clean.ml
   $ cliffedge-lint --verbose clean.ml
-  cliffedge-lint: clean (1 file(s), 12 rule(s))
+  cliffedge-lint: clean (1 file(s), 13 rule(s))
   $ cliffedge-lint --verbose --analysis syntactic clean.ml
   cliffedge-lint: clean (1 file(s), 7 rule(s))
 
@@ -229,7 +231,7 @@ them so the report is byte-reproducible:
 
   $ cat report.json
   {
-    "schema": "cliffedge-lint/2",
+    "schema": "cliffedge-lint/3",
     ".": {
       "files": 1,
       "violations": 1,
@@ -256,6 +258,7 @@ them so the report is byte-reproducible:
         "exception-flow": 0.0,
         "nondet-taint": 0.0,
         "domain-safety": 0.0,
+        "hot-path-alloc": 0.0,
         "unused-allow": 0.0
       },
       "total_ms": 0.0
@@ -287,11 +290,44 @@ Two runs over the same input produce byte-identical reports:
 uses this to guard the lint_timings section it merges):
 
   $ cliffedge-lint --check-report report.json
-  cliffedge-lint: report.json: valid cliffedge-lint/2 report
+  cliffedge-lint: report.json: valid cliffedge-lint/3 report
   $ echo '{"schema": "cliffedge-lint/1"}' > old.json
   $ cliffedge-lint --check-report old.json
-  cliffedge-lint: old.json: invalid report: schema "cliffedge-lint/1", expected "cliffedge-lint/2"
+  cliffedge-lint: old.json: invalid report: schema "cliffedge-lint/1", expected "cliffedge-lint/3"
   [2]
+
+--check-report dispatches on the schema tag: a cliffedge-bench-compare
+verdict (written by `bench compare --json`) validates against the
+ratchet-verdict shape instead, so one checker guards both documents CI
+consumes:
+
+  $ cat > verdict.json << 'EOF'
+  > {"schema": "cliffedge-bench-compare/1", "verdict": "pass",
+  >  "metrics": [{"benchmark": "b", "metric": "ns_per_run",
+  >               "status": "ok", "baseline": 1.0, "candidate": 1.0,
+  >               "ratio": 1.0}]}
+  > EOF
+  $ cliffedge-lint --check-report verdict.json
+  cliffedge-lint: verdict.json: valid cliffedge-bench-compare/1 report
+  $ echo '{"schema": "cliffedge-bench-compare/1", "verdict": "maybe", "metrics": []}' > bad_verdict.json
+  $ cliffedge-lint --check-report bad_verdict.json
+  cliffedge-lint: bad_verdict.json: invalid report: "verdict" is not "pass"/"fail"
+  [2]
+
+--sarif renders the same diagnostics as a SARIF 2.1.0 document, with
+the whole registry embedded as tool.driver.rules (13 entries) so
+viewers can show rule documentation next to each result:
+
+  $ cliffedge-lint --sarif report.sarif bad_magic.ml > /dev/null
+  [1]
+  $ grep -c '"id":' report.sarif
+  13
+  $ grep -o '"version": "2.1.0"' report.sarif
+  "version": "2.1.0"
+  $ grep -o '"ruleId": "no-obj-magic"' report.sarif
+  "ruleId": "no-obj-magic"
+  $ grep -o '"startLine": 3' report.sarif
+  "startLine": 3
 
 No input files is a usage error, distinct from "violations found":
 

@@ -1,0 +1,6 @@
+(* Fixture: a measured exemption.  The entry hands back a fresh result
+   pair by design; the [@lint.allow] carries the budget the dynamic
+   assertion (`bench alloc`) pins. *)
+
+(* Measured exemption: one 3-word result tuple per call. *)
+let[@lint.hot_path] [@lint.allow "hot-path-alloc"] step st x = (st + x, x)

@@ -1,0 +1,15 @@
+(* Fixture: a [@lint.hot_path] entry reaching an allocation two calls
+   away — the diagnostic names the first site in the offending callee
+   and the call path that reaches it. *)
+
+let record x = ref x
+
+let accumulate cell y = cell := !cell + y
+
+let tally_once cell x =
+  accumulate cell x;
+  !cell
+
+let[@lint.hot_path] tally x =
+  let cell = record x in
+  tally_once cell x

@@ -1,0 +1,11 @@
+(* Fixture: a certified-clean hot path — integer folds over
+   preallocated storage.  Top-level recursion on purpose: a nested
+   [let rec] would construct a closure per call (and the rule would
+   say so). *)
+
+let rec sum_from arr n i acc =
+  if i >= n then acc else sum_from arr n (i + 1) (acc + Array.unsafe_get arr i)
+
+let sum arr = sum_from arr (Array.length arr) 1 (Array.unsafe_get arr 0)
+
+let[@lint.hot_path] checksum arr = sum arr land 0xFFFF

@@ -1,0 +1,10 @@
+(* Fixture: [@lint.cold] cuts propagation — a deliberate slow path
+   (growth, error reporting) may allocate freely without tainting the
+   hot entries that call it. *)
+
+let[@lint.cold] grow buf = Array.append buf buf
+
+let[@lint.hot_path] bump buf i =
+  let buf = if i >= Array.length buf then grow buf else buf in
+  Array.unsafe_set buf 0 (Array.unsafe_get buf 0 + 1);
+  buf

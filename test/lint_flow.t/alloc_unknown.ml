@@ -1,0 +1,5 @@
+(* Fixture: an unknown edge.  [Helper.mystery] is outside the analysed
+   batch and not on the pure whitelist, so the analysis must assume it
+   allocates — soundness over precision. *)
+
+let[@lint.hot_path] probe x = Helper.mystery x + 1

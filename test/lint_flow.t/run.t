@@ -260,3 +260,50 @@ domain-local:
 A justified touch can be suppressed, as everywhere:
 
   $ cliffedge-lint --component lib/fixture --only domain-safety domain_allowed.ml
+
+hot-path-alloc: the zero-alloc certificate.  A [@lint.hot_path] entry
+must not reach an allocation site anywhere in its call closure — the
+diagnostic names the first site in the offending function and the call
+path that reaches it:
+
+  $ cliffedge-lint --component lib/fixture --only hot-path-alloc alloc_bad.ml
+  lib/fixture/alloc_bad.ml:13:0: [hot-path-alloc] 'tally' is [@lint.hot_path] but may allocate: call to allocating 'ref' at lib/fixture/alloc_bad.ml:5 (via Alloc_bad.tally -> Alloc_bad.record); remove the allocation, cut the deliberate slow path [@lint.cold], or justify a measured budget with [@lint.allow "hot-path-alloc"]
+  
+  == cliffedge-lint summary ==
+  +----------------+------------+
+  | rule           | violations |
+  +================+============+
+  | hot-path-alloc | 1          |
+  +----------------+------------+
+  cliffedge-lint: 1 violation(s) in 1 file(s)
+  [1]
+
+[@lint.cold] cuts propagation: the deliberate slow path may allocate
+without tainting its hot caller:
+
+  $ cliffedge-lint --component lib/fixture --only hot-path-alloc alloc_cold.ml
+
+A measured exemption is suppressed with [@lint.allow], its budget
+quoted in the comment and pinned by `bench alloc`:
+
+  $ cliffedge-lint --component lib/fixture --only hot-path-alloc alloc_allowed.ml
+
+A genuinely allocation-free closure is silent:
+
+  $ cliffedge-lint --component lib/fixture --only hot-path-alloc alloc_clean.ml
+
+Unknown edges are conservative: a callee outside the analysed batch
+(and off the pure whitelist) is assumed to allocate, so the certificate
+can never be won by hiding the allocation in an unanalysed module:
+
+  $ cliffedge-lint --component lib/fixture --only hot-path-alloc alloc_unknown.ml
+  lib/fixture/alloc_unknown.ml:5:0: [hot-path-alloc] 'probe' is [@lint.hot_path] but may allocate: call to unresolved 'Helper.mystery' (conservatively allocating) at lib/fixture/alloc_unknown.ml:5 (in its own body); remove the allocation, cut the deliberate slow path [@lint.cold], or justify a measured budget with [@lint.allow "hot-path-alloc"]
+  
+  == cliffedge-lint summary ==
+  +----------------+------------+
+  | rule           | violations |
+  +================+============+
+  | hot-path-alloc | 1          |
+  +----------------+------------+
+  cliffedge-lint: 1 violation(s) in 1 file(s)
+  [1]

@@ -36,6 +36,7 @@ let () =
       Test_transport.suite;
       Test_obs.suite;
       Test_lint_fixpoint.suite;
+      Test_alloc_certifier.suite;
       Test_differential.suite;
       Test_arena.suite;
     ]

@@ -3,10 +3,14 @@ domains, re-runs it serially, and refuses to report if any per-seed
 causal log differs by a byte.  Its stdout is a pure function of the
 seeds — domains only change wall-clock, never the table (the x7-parity
 anchor: these are the same per-topology aggregates the serial X7
-experiment computes for seed 0):
+experiment computes for seed 0).  The CI container is single-core, so
+the 2-domain request is clamped to one domain (the trailing warning;
+stderr is flushed after stdout at exit, hence the position) — which is
+itself part of the pin: the table must not depend on the domain count
+the sweep actually got:
 
   $ cliffedge-bench parsweep --domains 2 --seeds 1
-  parsweep: 6 item(s) x 4 shape(s), domains=2
+  parsweep: 6 item(s) x 4 shape(s), domains=1
   parsweep determinism: OK (6/6 per-seed causal logs byte-identical)
   == parsweep: X7 matrix, parallel over (topology, seed) ==
   +-------------+------+-----------+----------+------------+
@@ -20,9 +24,19 @@ experiment computes for seed 0):
   | ba:40:2     | 4    | 56        | 65       | 0          |
   +-------------+------+-----------+----------+------------+
   
+  bench: parsweep: 2 domain(s) requested, clamping to the recommended domain count for this machine
 
 Bad domain counts are rejected up front:
 
   $ cliffedge-bench parsweep --domains 0
   bench: --domains expects a positive integer, got "0"
   [1]
+
+An over-subscribed request is clamped to the machine's recommended
+domain count rather than oversubscribing the pool.  The warning names
+the requested value (the clamped count varies by host, so stdout —
+which embeds it — is discarded here; determinism of the table itself
+is pinned above):
+
+  $ cliffedge-bench parsweep --domains 100000 --seeds 1 > /dev/null
+  bench: parsweep: 100000 domain(s) requested, clamping to the recommended domain count for this machine

@@ -1,0 +1,138 @@
+(* Cross-check of the hot-path-alloc certifier against the GC itself.
+
+   Random call chains over a small grammar of body shapes are rendered
+   two ways: as OCaml source fed to the static analysis (each chain
+   ends in a [@lint.hot_path] entry), and as a dynamic interpretation
+   of the same shapes executed under [Gc.minor_words].  On this grammar
+   the analysis is exact, so the properties assert agreement in BOTH
+   directions: a flagged chain really allocates, and a certified-clean
+   chain measures zero minor words per call — the soundness contract
+   the zero-alloc certificate rests on (`bench alloc` pins the same
+   contract for the real exempted paths). *)
+
+module Engine = Cliffedge_lint.Engine
+
+type shape = Clean_add | Clean_loop | Alloc_ref | Alloc_tuple | Alloc_closure
+
+let allocates = function
+  | Clean_add | Clean_loop -> false
+  | Alloc_ref | Alloc_tuple | Alloc_closure -> true
+
+(* ------------------------------------------------------------------ *)
+(* Static side: render the chain as source.  [h0] is the deepest
+   callee; each [h{i+1}] wraps [h{i}]; the hot entry calls the top. *)
+
+let shape_src name tail = function
+  | Clean_add -> Printf.sprintf "let %s x = (%s) + 1\n" name tail
+  | Clean_loop ->
+      Printf.sprintf
+        "let rec %s_go i acc = if i <= 0 then acc else %s_go (i - 1) (acc + i)\n\
+         let %s x = %s_go 3 (%s)\n"
+        name name name name tail
+  | Alloc_ref -> Printf.sprintf "let %s x = !(ref (%s)) + 1\n" name tail
+  | Alloc_tuple -> Printf.sprintf "let %s x = fst ((%s), x)\n" name tail
+  | Alloc_closure ->
+      Printf.sprintf "let %s x = (fun y -> y + (%s)) 1\n" name tail
+
+let render shapes =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i s ->
+      let tail = if i = 0 then "x" else Printf.sprintf "h%d x" (i - 1) in
+      Buffer.add_string buf (shape_src (Printf.sprintf "h%d" i) tail s))
+    shapes;
+  Buffer.add_string buf
+    (Printf.sprintf "let[@lint.hot_path] entry x = h%d x\n"
+       (List.length shapes - 1));
+  Buffer.contents buf
+
+(* Each property case parses a fresh temp file: [Engine.load_file] is
+   the only entry point, and the temp name doubles as a unique module
+   name so batches never collide. *)
+let static_flags shapes =
+  let file = Filename.temp_file "alloc_prop" ".ml" in
+  let oc = open_out file in
+  output_string oc (render shapes);
+  close_out oc;
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      let sf = Engine.load_file ~component:"lib/fixture" file in
+      let result = Engine.run ~only:"hot-path-alloc" [ sf ] in
+      result.Engine.diagnostics <> [])
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic side: interpret the same shapes for real and count minor
+   words.  [Sys.opaque_identity] keeps the allocations honest. *)
+
+let rec loop_go i acc = if i <= 0 then acc else loop_go (i - 1) (acc + i)
+
+let interp_shape x = function
+  | Clean_add -> x + 1
+  | Clean_loop -> loop_go 3 x
+  | Alloc_ref -> !(Sys.opaque_identity (ref x)) + 1
+  | Alloc_tuple -> fst (Sys.opaque_identity (x, x))
+  | Alloc_closure -> (Sys.opaque_identity (fun y -> y + x)) 1
+
+let rec interp_chain x = function
+  | [] -> x
+  | s :: rest -> interp_chain (interp_shape x s) rest
+
+let iters = 1_000
+
+let dynamic_words shapes =
+  (* Warm once so any one-time setup is outside the measurement. *)
+  ignore (Sys.opaque_identity (interp_chain 1 shapes));
+  let before = Gc.minor_words () in
+  for i = 1 to iters do
+    ignore (Sys.opaque_identity (interp_chain i shapes))
+  done;
+  let after = Gc.minor_words () in
+  (after -. before) /. float_of_int iters
+
+(* The smallest real allocation is a 2-word ref; counter-read noise is
+   a handful of words across [iters] calls.  One word per op cleanly
+   separates the two. *)
+let dynamic_flags shapes = dynamic_words shapes > 1.0
+
+let gen_shape =
+  QCheck2.Gen.oneofl
+    [ Clean_add; Clean_loop; Alloc_ref; Alloc_tuple; Alloc_closure ]
+
+let gen_chain = QCheck2.Gen.(list_size (int_range 1 5) gen_shape)
+
+let prop_static_matches_gc =
+  QCheck2.Test.make ~name:"static verdict agrees with Gc.minor_words"
+    ~count:60 gen_chain (fun shapes ->
+      let expected = List.exists allocates shapes in
+      let static = static_flags shapes in
+      let dynamic = dynamic_flags shapes in
+      Bool.equal static expected && Bool.equal dynamic expected)
+
+(* Monotonicity of the may-allocate closure: splicing one allocating
+   shape anywhere into a certified-clean chain must flip the verdict —
+   there is no position from which an allocation can hide. *)
+let prop_alloc_never_hides =
+  QCheck2.Test.make ~name:"an inserted allocation always flips the verdict"
+    ~count:40
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 1 4) (oneofl [ Clean_add; Clean_loop ]))
+        (pair (oneofl [ Alloc_ref; Alloc_tuple; Alloc_closure ]) small_nat))
+    (fun (clean, (alloc, pos)) ->
+      (not (static_flags clean))
+      && dynamic_words clean <= 1.0
+      &&
+      let k = pos mod (List.length clean + 1) in
+      let spliced =
+        List.concat [ List.filteri (fun i _ -> i < k) clean; [ alloc ];
+                      List.filteri (fun i _ -> i >= k) clean ]
+      in
+      static_flags spliced && dynamic_flags spliced)
+
+let suite =
+  ( "hot-path-alloc certifier",
+    [
+      QCheck_alcotest.to_alcotest prop_static_matches_gc;
+      QCheck_alcotest.to_alcotest prop_alloc_never_hides;
+    ] )

@@ -21,6 +21,7 @@ let registry : Rule.t list =
     Rules_exn_flow.rule;
     Rules_taint.rule;
     Rules_domain_safety.rule;
+    Rules_alloc.rule;
   ]
 
 (* The meta rule is not in the registry (it runs inside the allow pass)

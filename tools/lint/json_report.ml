@@ -10,11 +10,17 @@
    Schema 2 adds a top-level "timings" section with per-rule
    wall-times; successive invocations into the same file accumulate
    their times (and the engine's --fixed-timings flag zeroes them, so
-   reproducibility checks can byte-compare two runs). *)
+   reproducibility checks can byte-compare two runs).
+
+   Schema 3 marks the hot-path-alloc registry addition (rules_ms gains
+   its key) and the point where this layer grew a second serialisation:
+   --sarif renders the same diagnostics as a SARIF 2.1.0 document, so
+   consumers pinned to the native schema re-validate rather than
+   guessing which rules a report covers. *)
 
 module Json = Cliffedge_report.Json
 
-let schema = "cliffedge-lint/2"
+let schema = "cliffedge-lint/3"
 
 let load file =
   if Sys.file_exists file then
@@ -138,3 +144,125 @@ let validate (root : Json.t) : (unit, string) result =
   List.fold_left
     (fun acc field -> Result.bind acc (fun () -> check_section field))
     (Ok ()) fields
+
+(* ------------------------------------------------------------------ *)
+(* SARIF 2.1.0 export: the same diagnostics as one run of one tool,
+   with the registry embedded as tool.driver.rules so viewers can show
+   rule documentation next to each result.  SARIF regions are 1-based
+   in both coordinates where our diagnostics use compiler-style 0-based
+   columns, hence the +1. *)
+
+let sarif ~rules (diags : Diagnostic.t list) : Json.t =
+  let rule_json (id, doc) =
+    Json.Obj
+      [
+        ("id", Json.String id);
+        ("shortDescription", Json.Obj [ ("text", Json.String doc) ]);
+      ]
+  in
+  let result (d : Diagnostic.t) =
+    Json.Obj
+      [
+        ("ruleId", Json.String d.rule);
+        ("level", Json.String "error");
+        ("message", Json.Obj [ ("text", Json.String d.message) ]);
+        ( "locations",
+          Json.List
+            [
+              Json.Obj
+                [
+                  ( "physicalLocation",
+                    Json.Obj
+                      [
+                        ( "artifactLocation",
+                          Json.Obj [ ("uri", Json.String d.file) ] );
+                        ( "region",
+                          Json.Obj
+                            [
+                              ("startLine", Json.Int d.line);
+                              ("startColumn", Json.Int (d.col + 1));
+                            ] );
+                      ] );
+                ];
+            ] );
+      ]
+  in
+  Json.Obj
+    [
+      ( "$schema",
+        Json.String "https://json.schemastore.org/sarif-2.1.0.json" );
+      ("version", Json.String "2.1.0");
+      ( "runs",
+        Json.List
+          [
+            Json.Obj
+              [
+                ( "tool",
+                  Json.Obj
+                    [
+                      ( "driver",
+                        Json.Obj
+                          [
+                            ("name", Json.String "cliffedge-lint");
+                            ( "informationUri",
+                              Json.String
+                                "https://github.com/example/cliffedge" );
+                            ("rules", Json.List (List.map rule_json rules));
+                          ] );
+                    ] );
+                ("results", Json.List (List.map result diags));
+              ];
+          ] );
+    ]
+
+let write_sarif ~file ~rules diags = Json.to_file file (sarif ~rules diags)
+
+(* ------------------------------------------------------------------ *)
+(* Validation for `bench compare --json` verdicts: --check-report
+   dispatches on the schema tag, so one checker guards both documents
+   CI consumes (the lint report and the ratchet verdict). *)
+
+let compare_schema = "cliffedge-bench-compare/1"
+
+let validate_compare (root : Json.t) : (unit, string) result =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Json.member "verdict" root with
+    | Some (Json.String ("pass" | "fail")) -> Ok ()
+    | Some _ -> Error "\"verdict\" is not \"pass\"/\"fail\""
+    | None -> Error "missing \"verdict\" field"
+  in
+  let* metrics =
+    match Json.member "metrics" root with
+    | Some (Json.List ms) -> Ok ms
+    | Some _ -> Error "\"metrics\" is not a list"
+    | None -> Error "missing \"metrics\" section"
+  in
+  let check_metric m =
+    let str k =
+      match Json.member k m with
+      | Some (Json.String _) -> Ok ()
+      | _ -> Error (Printf.sprintf "metric entry lacks string %S" k)
+    in
+    let num k =
+      match Json.member k m with
+      | Some (Json.Float _ | Json.Int _) -> Ok ()
+      | _ -> Error (Printf.sprintf "metric entry lacks number %S" k)
+    in
+    let* () = str "benchmark" in
+    let* () = str "metric" in
+    let* () = str "status" in
+    let* () = num "baseline" in
+    let* () = num "candidate" in
+    num "ratio"
+  in
+  List.fold_left
+    (fun acc m -> Result.bind acc (fun () -> check_metric m))
+    (Ok ()) metrics
+
+(* Dispatch for --check-report: the schema tag names the validator. *)
+let validate_any (root : Json.t) : (string, string) result =
+  match Json.member "schema" root with
+  | Some (Json.String s) when String.equal s compare_schema ->
+      Result.map (fun () -> s) (validate_compare root)
+  | _ -> Result.map (fun () -> schema) (validate root)

@@ -1,6 +1,7 @@
 (** [--json FILE] output: one section per component plus a timings
     section, merged into an existing document bench-harness style
-    (schema [cliffedge-lint/2]). *)
+    (schema [cliffedge-lint/3]); [--sarif FILE] renders the same
+    diagnostics as a SARIF 2.1.0 document. *)
 
 val schema : string
 
@@ -29,3 +30,23 @@ val bench_record :
 val validate : Cliffedge_report.Json.t -> (unit, string) result
 (** Structural check for [--check-report]: schema tag, component
     sections, timings. *)
+
+val sarif : rules:(string * string) list -> Diagnostic.t list -> Cliffedge_report.Json.t
+(** SARIF 2.1.0 rendering of a diagnostic batch, with the registry
+    ((id, doc) pairs) embedded as [tool.driver.rules]. *)
+
+val write_sarif :
+  file:string -> rules:(string * string) list -> Diagnostic.t list -> unit
+
+val compare_schema : string
+(** Schema tag of `bench compare --json` verdict documents
+    ([cliffedge-bench-compare/1]). *)
+
+val validate_compare : Cliffedge_report.Json.t -> (unit, string) result
+(** Structural check for a ratchet-verdict document: pass/fail verdict
+    plus per-metric entries with baseline/candidate/ratio numbers. *)
+
+val validate_any : Cliffedge_report.Json.t -> (string, string) result
+(** [--check-report] dispatch: validates against the verdict shape when
+    the schema tag names [compare_schema], the native report shape
+    otherwise; returns the schema the document satisfied. *)

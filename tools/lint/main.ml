@@ -2,7 +2,7 @@
 
    Usage: cliffedge-lint [--component DIR | --auto-component]
                          [--analysis syntactic|flow|all] [--only RULE]
-                         [--json FILE] [--bench-json FILE]
+                         [--json FILE] [--sarif FILE] [--bench-json FILE]
                          [--fixed-timings] [--budget-ms N]
                          [--check-report FILE] [--verbose]
                          [--list-rules [--markdown]] FILE...
@@ -50,16 +50,18 @@ let print_rules ~markdown =
       (fun (id, _, doc) -> Printf.printf "%-20s %s\n" id doc)
       (registry_rows ())
 
+(* Dispatches on the document's schema tag: a cliffedge-bench-compare
+   verdict validates against the ratchet-verdict shape, anything else
+   against the native lint-report schema. *)
 let check_report file =
   match Cliffedge_report.Json.of_file file with
   | Error e ->
       Printf.eprintf "cliffedge-lint: %s: %s\n" file e;
       exit 2
   | Ok root -> (
-      match Json_report.validate root with
-      | Ok () ->
-          Printf.printf "cliffedge-lint: %s: valid %s report\n" file
-            Json_report.schema;
+      match Json_report.validate_any root with
+      | Ok schema ->
+          Printf.printf "cliffedge-lint: %s: valid %s report\n" file schema;
           exit 0
       | Error e ->
           Printf.eprintf "cliffedge-lint: %s: invalid report: %s\n" file e;
@@ -71,6 +73,7 @@ let () =
   let analysis = ref Engine.All in
   let only = ref None in
   let json_file = ref None in
+  let sarif_file = ref None in
   let bench_json = ref None in
   let fixed_timings = ref false in
   let budget_ms = ref 0 in
@@ -102,6 +105,9 @@ let () =
       ( "--json",
         Arg.String (fun f -> json_file := Some f),
         "FILE merge a machine-readable report into FILE" );
+      ( "--sarif",
+        Arg.String (fun f -> sarif_file := Some f),
+        "FILE write the diagnostics as a SARIF 2.1.0 document to FILE" );
       ( "--bench-json",
         Arg.String (fun f -> bench_json := Some f),
         "FILE merge a lint_timings section into a bench JSON FILE" );
@@ -185,6 +191,13 @@ let () =
         components;
       Json_report.record_timings ~file ~timings ~total_ms)
     !json_file;
+  Option.iter
+    (fun file ->
+      let rules =
+        List.map (fun (id, _, doc) -> (id, doc)) (registry_rows ())
+      in
+      Json_report.write_sarif ~file ~rules diags)
+    !sarif_file;
   Option.iter
     (fun file ->
       Json_report.bench_record ~file ~files:(List.length loaded) ~timings

@@ -61,6 +61,10 @@ let applies ~rule ~component ~basename =
        entry points may not share mutable roots.  Opt-in at the
        [@lint.parallel_entry] annotation, enforced tree-wide. *)
     | "domain-safety" -> true
+    (* The hot-path budget's shadow: the Deliver fast path only stays
+       cheap if its certified loops allocate nothing.  Opt-in at the
+       [@lint.hot_path] annotation, enforced tree-wide. *)
+    | "hot-path-alloc" -> true
     | _ -> true
 
 (* ------------------------------------------------------------------ *)
@@ -77,6 +81,7 @@ let scope_doc = function
   | "exception-flow" -> "`lib/codec`, `lib/net`"
   | "nondet-taint" -> "`lib/**` but `lib/prng`"
   | "domain-safety" -> "everywhere (`[@lint.parallel_entry]` opt-in)"
+  | "hot-path-alloc" -> "everywhere (`[@lint.hot_path]` opt-in)"
   | _ -> "everywhere"
 
 let exempt_doc = function
