@@ -179,12 +179,42 @@ let ring_region n =
   (* Eight consecutive nodes in the middle of the ring. *)
   Node_set.of_ints (List.init 8 (fun i -> (n / 2) + i))
 
+(* Per-crash maintenance cost of the incremental geometry: a fresh
+   tracker absorbs a [crashes]-node cascade marching along the ring
+   from id 8 (low ids keep the dense-from-zero bitsets the accessors
+   hand back small — the cost being measured is the tracker's, not the
+   bitset encoding's).  Returns (µs per crash, resident words after). *)
+let geometry_cascade graph ~crashes =
+  let incr = Incr_geometry.create graph in
+  let (), ms =
+    Json_out.time_ms (fun () ->
+        for i = 8 to 8 + crashes - 1 do
+          Incr_geometry.crash incr (Node_id.of_int i)
+        done)
+  in
+  (ms *. 1000.0 /. float_of_int crashes, Incr_geometry.resident_words incr)
+
+(* One confined large-N run on an implicit ring: an 8-node region
+   crashed at low ids, steppers only for the closed neighbourhood.  CD3
+   is why the roster is sound — no message can leave
+   [region ∪ border(region)] — and the checker verifies exactly that on
+   the outcome. *)
+let implicit_ring_run n =
+  let graph = Topology.implicit_ring n in
+  let region = Fault_gen.compact_region graph ~seed_node:(Node_id.of_int 8) ~size:8 in
+  let active = Graph.closed_neighbourhood graph region in
+  let crashes = Fault_gen.crash_at 10.0 region in
+  let options = { Runner.default_options with active_nodes = Some active } in
+  Json_out.time_ms (fun () ->
+      Runner.run ~options ~graph ~crashes ~propose_value:Scenario.default_propose ())
+
 let x4 () =
   let t =
     Table.create
       ~title:
         "X4 (locality claim): fixed 8-node crashed region, growing ring; cliff-edge \
-         vs whole-system flooding baseline"
+         vs whole-system flooding baseline; implicit rows add the per-crash cost of \
+         incremental geometry over a 512-crash cascade"
       ~columns:
         [
           "N";
@@ -193,6 +223,7 @@ let x4 () =
           "CE nodes involved";
           "CE t";
           "CE wall ms";
+          "per-crash us";
           "BL msgs";
           "BL units";
           "BL nodes involved";
@@ -216,6 +247,7 @@ let x4 () =
           cell "%d" (Node_set.cardinal (Stats.communicating_nodes ce.stats));
           cell "%.0f" ce.duration;
           cell "%.1f" ce_ms;
+          "-";
         ]
       in
       let json_fields =
@@ -251,6 +283,46 @@ let x4 () =
         [ (Printf.sprintf "N=%d" n, Cliffedge_report.Json.Obj !json_fields) ];
       Table.add_row t ((cell "%d" n :: ce_row) @ bl_row))
     [ 64; 128; 256; 512; 1024; 2048 ];
+  (* Implicit rows: same 8-node region, topologies that are never
+     materialized.  The flooding baseline is structurally O(N · Δ) and
+     already dominated at 512; these rows instead report the per-crash
+     cost of the incremental geometry, whose flatness across two orders
+     of magnitude of N is the CD3 scaling claim. *)
+  List.iter
+    (fun n ->
+      let ce, ce_ms = implicit_ring_run n in
+      assert (Checker.ok (Checker.check ce));
+      let per_crash_us, resident = geometry_cascade (Topology.implicit_ring n) ~crashes:512 in
+      Json_out.record ~section:"x4"
+        [
+          ( Printf.sprintf "N=%d-implicit" n,
+            Cliffedge_report.Json.Obj
+              [
+                ("ce_wall_ms", Cliffedge_report.Json.Float ce_ms);
+                ("ce_msgs", Cliffedge_report.Json.Int (Stats.sent ce.stats));
+                ( "ce_nodes",
+                  Cliffedge_report.Json.Int
+                    (Node_set.cardinal (Stats.communicating_nodes ce.stats)) );
+                ("per_crash_us", Cliffedge_report.Json.Float per_crash_us);
+                ("geom_resident_words", Cliffedge_report.Json.Int resident);
+              ] );
+        ];
+      Table.add_row t
+        [
+          cell "%d" n;
+          cell "%d" (Stats.sent ce.stats);
+          cell "%d" (Stats.units_sent ce.stats);
+          cell "%d" (Node_set.cardinal (Stats.communicating_nodes ce.stats));
+          cell "%.0f" ce.duration;
+          cell "%.1f" ce_ms;
+          cell "%.2f" per_crash_us;
+          "-";
+          "-";
+          "-";
+          "-";
+          "-";
+        ])
+    [ 10_000; 100_000; 1_000_000 ];
   Table.print t
 
 (* ------------------------------------------------------------------ *)
@@ -1070,6 +1142,39 @@ let trace_smoke () =
   Json_out.record ~section:"trace"
     [ ("x16_drop20_arq", Obs.Metrics.to_json metrics) ]
 
+(* Large-N smoke for the @bench-smoke gate: one confined cliff-edge run
+   on a never-materialized 100k-node ring, then a 512-crash cascade
+   through the incremental geometry with hard ceilings on per-crash
+   wall time and tracker residency.  The ceilings are deliberately
+   generous (CI machines vary); the ratchet on the recorded numbers is
+   the [compare] gate, this assert only catches an O(N)-per-crash or
+   O(N)-resident regression outright. *)
+let largen_smoke () =
+  let n = 100_000 in
+  let ce, ce_ms = implicit_ring_run n in
+  let report = Checker.check ~value_equal:String.equal ce in
+  assert (Checker.ok report);
+  let per_crash_us, resident = geometry_cascade (Topology.implicit_ring n) ~crashes:512 in
+  Format.printf
+    "@.large-N smoke (implicit ring, N=%d): run %.1f ms, %d msgs, %d node(s) \
+     involved; 512-crash cascade %.2f us/crash, %d resident words@."
+    n ce_ms (Stats.sent ce.stats)
+    (Node_set.cardinal (Stats.communicating_nodes ce.stats))
+    per_crash_us resident;
+  assert (per_crash_us <= 500.0);
+  assert (resident <= 65_536);
+  Json_out.record ~section:"largen"
+    [
+      ( "implicit_ring_100k",
+        Cliffedge_report.Json.Obj
+          [
+            ("ce_wall_ms", Cliffedge_report.Json.Float ce_ms);
+            ("ce_msgs", Cliffedge_report.Json.Int (Stats.sent ce.stats));
+            ("per_crash_us", Cliffedge_report.Json.Float per_crash_us);
+            ("geom_resident_words", Cliffedge_report.Json.Int resident);
+          ] );
+    ]
+
 let all =
   [
     ("x1", x1);
@@ -1089,6 +1194,7 @@ let all =
     ("x15", x15);
     ("x16", fun () -> x16 ());
     ("trace", trace_smoke);
+    ("largen", largen_smoke);
   ]
 
 let run_all () =

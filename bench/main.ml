@@ -532,8 +532,9 @@ let run_experiment name =
       Micro.run ~quota:0.05 ~stabilize:false ~only:"graph: border" ();
       Experiments.x16_smoke ();
       Experiments.trace_smoke ();
+      Experiments.largen_smoke ();
       Option.iter
-        (fun file -> validate_json file [ "micro"; "x16"; "trace" ])
+        (fun file -> validate_json file [ "micro"; "x16"; "trace"; "largen" ])
         !Json_out.path
   | None when String.equal name "all" ->
       Experiments.run_all ();

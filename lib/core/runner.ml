@@ -30,6 +30,7 @@ type options = {
   channel : Transport.channel;
   max_events : int;
   false_suspicions : (float * Node_id.t * Node_id.t) list;
+  active_nodes : Node_set.t option;
 }
 
 let default_options =
@@ -42,6 +43,7 @@ let default_options =
     channel = Transport.Reliable;
     max_events = 50_000_000;
     false_suspicions = [];
+    active_nodes = None;
   }
 
 type 'v outcome = {
@@ -57,6 +59,7 @@ type 'v outcome = {
   stalled_channels : (Node_id.t * Node_id.t) list;
   states : (Node_id.t * 'v Protocol.state) list;
   obs : Obs.Log.t;
+  geometry : Fault_geometry.t option;
 }
 
 (* A runner-pluggable node: the runner is generic in the machine it
@@ -87,14 +90,32 @@ let protocol_stepper cfg ~self =
   }
 
 let run_stepper ?(options = default_options) ~graph ~crashes ~make () =
+  (* The roster of simulated nodes: every node of the graph, or — for
+     large-N confined runs — an explicit subset.  Confinement is sound
+     exactly when the roster is closed under the protocol's locality:
+     CD3 keeps every exchange inside [view ∪ border(view)], so a roster
+     of [closed_neighbourhood graph region] already contains every node
+     a run crashing inside [region] can ever involve, and a million
+     bystander nodes need no steppers. *)
+  let active =
+    match options.active_nodes with
+    | Some s -> s
+    | None -> Graph.nodes graph
+  in
   List.iter
     (fun (_, p) ->
       if not (Graph.mem_node p graph) then
-        invalid_arg "Runner.run: crash schedule names a node outside the graph")
+        invalid_arg "Runner.run: crash schedule names a node outside the graph";
+      if not (Node_set.mem p active) then
+        invalid_arg "Runner.run: crash schedule names a node outside active_nodes")
     crashes;
+  (* Geometry deltas ride the crash-injection thunks, so the tracker is
+     exact at every simulated instant and the final snapshot costs the
+     checker nothing to consume. *)
+  let geom_tracker = Incr_geometry.create graph in
   let substrate =
-    Substrate.create ~channel:options.channel ~seed:options.seed
-      ~message_latency:options.message_latency
+    Substrate.create ~channel:options.channel ~geometry:geom_tracker
+      ~seed:options.seed ~message_latency:options.message_latency
       ~detection_latency:options.detection_latency
       ~channel_consistent_fd:options.channel_consistent_fd ()
   in
@@ -102,7 +123,7 @@ let run_stepper ?(options = default_options) ~graph ~crashes ~make () =
   (* Dense node table: ids index directly, no hashing on the dispatch
      path. *)
   let max_id =
-    Node_set.fold (fun p m -> Int.max m (Node_id.to_int p)) (Graph.nodes graph) 0
+    Node_set.fold (fun p m -> Int.max m (Node_id.to_int p)) active 0
   in
   let states = Array.make (max_id + 1) None in
   let decisions = ref [] in
@@ -111,11 +132,12 @@ let run_stepper ?(options = default_options) ~graph ~crashes ~make () =
      recorded per consensus instance, so the chain
      propose -> round -> ... -> decide threads within an instance even
      when deliveries of other instances interleave. *)
-  (* Keyed by [instance id lsl 20 lor node id] — both small ints, so
-     lookups hash an immediate instead of allocating a tuple and
-     re-hashing the instance's label string on every chain event. *)
+  (* Keyed by [Node_id.pair_key instance-id node-id] — one immediate
+     int, so lookups hash a word instead of allocating a tuple and
+     re-hashing the instance's label string on every chain event, and
+     node ids past 2^20 cannot alias another instance's slot. *)
   let instance_last : (int, int) Hashtbl.t = Hashtbl.create 64 in
-  let chain_slot p kid = (kid lsl 20) lor Node_id.to_int p in
+  let chain_slot p kid = Node_id.pair_key (Node_id.of_int kid) p in
   let chain_parent p kid =
     match Hashtbl.find_opt instance_last (chain_slot p kid) with
     | Some _ as parent -> parent
@@ -210,7 +232,13 @@ let run_stepper ?(options = default_options) ~graph ~crashes ~make () =
             Hashtbl.replace instance_last (chain_slot p kid) seq);
         notes := (Engine.now engine, p, note) :: !notes
   and dispatch p event =
-    if not (Failure_detector.is_crashed detector p) then begin
+    (* Nodes outside the roster (possible only under [active_nodes]
+       confinement) have no slot and swallow events, as a crashed node
+       would. *)
+    if
+      Node_id.to_int p < Array.length states
+      && not (Failure_detector.is_crashed detector p)
+    then begin
       match states.(Node_id.to_int p) with
       | None -> ()
       | Some stepper -> (
@@ -231,11 +259,9 @@ let run_stepper ?(options = default_options) ~graph ~crashes ~make () =
       dispatch dst (Protocol.Deliver { src; msg }));
   Substrate.on_crash_notification substrate (fun ~observer ~crashed ->
       dispatch observer (Protocol.Crash crashed));
-  (* Bring every node up at time 0. *)
-  Node_set.iter
-    (fun p -> states.(Node_id.to_int p) <- Some (make p))
-    (Graph.nodes graph);
-  Node_set.iter (fun p -> dispatch p Protocol.Init) (Graph.nodes graph);
+  (* Bring every roster node up at time 0. *)
+  Node_set.iter (fun p -> states.(Node_id.to_int p) <- Some (make p)) active;
+  Node_set.iter (fun p -> dispatch p Protocol.Init) active;
   (* Inject the fault schedule and run to quiescence. *)
   Substrate.schedule_crashes substrate crashes;
   Substrate.run ~false_suspicions:options.false_suspicions
@@ -249,7 +275,7 @@ let run_stepper ?(options = default_options) ~graph ~crashes ~make () =
             | Some st -> (p, st) :: acc
             | None -> acc)
         | None -> acc)
-      (Graph.nodes graph) []
+      active []
     |> List.sort (fun (a, _) (b, _) -> Node_id.compare a b)
   in
   {
@@ -276,6 +302,7 @@ let run_stepper ?(options = default_options) ~graph ~crashes ~make () =
     stalled_channels = Substrate.stalled_channels substrate;
     states;
     obs;
+    geometry = Some (Incr_geometry.snapshot geom_tracker);
   }
 
 let run ?(options = default_options) ?rank ~graph ~crashes ~propose_value () =

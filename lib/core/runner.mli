@@ -50,6 +50,16 @@ type options = {
           deliver a false crash suspicion, breaking the detector's
           strong accuracy.  Empty (the default) keeps the detector
           perfect, as the paper requires. *)
+  active_nodes : Node_set.t option;
+      (** [None] (default): every graph node gets a stepper.  [Some s]:
+          only the nodes of [s] are simulated — the large-N confinement
+          mode.  Sound when [s] is closed under the protocol's locality,
+          i.e. contains [closed_neighbourhood graph region] for every
+          region the schedule crashes into: CD3 confines all traffic to
+          [view ∪ border(view)], so bystanders outside [s] can never be
+          addressed.  Events to nodes outside [s] (none, when [s] is
+          chosen as above) are swallowed.  Crashes must name nodes
+          inside [s]. *)
 }
 
 val default_options : options
@@ -79,6 +89,12 @@ type 'v outcome = {
           causally linked (see {!Cliffedge_obs.Event}); feed it to
           {!Cliffedge_obs.Metrics.of_log} or the
           {!Cliffedge_obs.Export} family *)
+  geometry : Fault_geometry.t option;
+      (** final fault geometry, maintained incrementally during the run
+          ({!Cliffedge_graph.Incr_geometry}) and snapshotted at
+          quiescence; [None] only for outcomes fabricated outside the
+          runner.  The checker consumes this instead of recomputing
+          connected components over the whole faulty set. *)
 }
 
 val run :

@@ -24,6 +24,8 @@ let compute graph ~faulty =
   let domains = Graph.connected_components graph faulty in
   { graph; domains; clusters = group_clusters graph domains }
 
+let of_parts graph ~domains ~clusters = { graph; domains; clusters }
+
 let domains t = t.domains
 
 let domain_of t p = List.find_opt (Node_set.mem p) t.domains

@@ -16,6 +16,14 @@ type t
 val compute : Graph.t -> faulty:Node_set.t -> t
 (** Analyses a fault pattern.  [faulty] may be empty. *)
 
+val of_parts :
+  Graph.t -> domains:Node_set.t list -> clusters:Node_set.t list list -> t
+(** Wraps an already-computed geometry — the bridge from
+    {!Incr_geometry}, whose accessors produce the exact lists {!compute}
+    would.  The caller vouches for the invariants (domains are the
+    components of the faulty set in {!compute}'s order; clusters group
+    them under transitive adjacency). *)
+
 val domains : t -> Node_set.t list
 (** The faulty domains, in increasing order of minimum element. *)
 

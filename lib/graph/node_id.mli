@@ -22,6 +22,20 @@ val equal : t -> t -> bool
 
 val hash : t -> int
 
+val pair_key : t -> t -> int
+(** [pair_key a b] packs the ordered pair into one immediate integer
+    ([a] in the high 31 bits, [b] in the low 31), collision-free for
+    all identifiers below [2^31].  Used to key per-channel hashtables
+    without allocating a tuple per lookup.
+    @raise Invalid_argument when either identifier needs more than 31
+    bits. *)
+
+val pair_fst : int -> t
+(** First component of a {!pair_key}. *)
+
+val pair_snd : int -> t
+(** Second component of a {!pair_key}. *)
+
 val pp : Format.formatter -> t -> unit
 (** Prints as [n<i>], e.g. [n42]. *)
 

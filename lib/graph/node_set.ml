@@ -427,6 +427,25 @@ let of_seq s = add_seq s empty
 
 let of_ints is = of_list (List.map Node_id.of_int is)
 
+(* Number of machine words backing the set.  The graph layer's memo
+   caches budget their residency in these units, so eviction tracks
+   real memory rather than entry counts (a single set holding node
+   10^6 weighs ~16k words). *)
+let words (t : t) = Array.length t
+
+(* The interval [0, n): words of all-ones plus one partial top word.
+   O(n / 63) — the cheap way to build an implicit graph's vertex set
+   without n round-trips through [add]. *)
+let full n =
+  if n < 0 then invalid_arg "Node_set.full: negative count";
+  if Int.equal n 0 then empty
+  else begin
+    let whole = n / word_bits and rem = n mod word_bits in
+    let r = Array.make (whole + if rem > 0 then 1 else 0) (-1) in
+    if rem > 0 then r.(whole) <- (1 lsl rem) - 1;
+    r
+  end
+
 let to_ints t = List.map Node_id.to_int (elements t)
 
 (* FNV-1a over the words; canonical form makes this a set fingerprint

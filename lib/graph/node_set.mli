@@ -26,6 +26,16 @@ val hash : t -> int
 val of_ints : int list -> t
 (** [of_ints is] builds a set from raw integer identifiers. *)
 
+val words : t -> int
+(** Number of machine words backing the set — its resident size, the
+    unit the graph layer's memo caches budget their eviction in.  Sets
+    are dense from zero, so a set containing node [i] weighs at least
+    [i / 63 + 1] words regardless of its cardinality. *)
+
+val full : int -> t
+(** [full n] is the interval [{0, ..., n - 1}], built word-wise in
+    [O(n / 63)].  The vertex set of an implicit topology. *)
+
 val to_ints : t -> int list
 (** Sorted raw integer identifiers of the members. *)
 

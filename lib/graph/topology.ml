@@ -12,6 +12,10 @@ type spec =
   | Watts_strogatz of int * int * float
   | Barabasi_albert of int * int
   | Random_geometric of int * float
+  | Implicit_ring of int
+  | Implicit_torus of int * int
+  | Implicit_geometric of int * float
+  | Implicit_power_law of int
 
 let require condition message = if not condition then invalid_arg message
 
@@ -180,6 +184,224 @@ let random_geometric rng n ~radius =
       g extra
   end
 
+(* ------------------------------------------------------------------ *)
+(* Implicit (generator-backed) topologies.
+
+   Each returns a {!Graph.implicit} kernel: a pure function from a node
+   id to its neighbour ids, never materializing the adjacency.  The
+   ring and torus kernels produce edge-for-edge the same graphs as the
+   stored builders above; the random families are seed-deterministic
+   but use hash-based placement instead of sequential PRNG draws, since
+   an on-demand kernel cannot replay a draw sequence. *)
+
+let implicit_ring n =
+  require (n >= 3) "Topology.implicit_ring: need n >= 3";
+  Graph.implicit ~n
+    ~degree:(fun _ -> 2)
+    ~iter_neighbours:(fun i f ->
+      f ((i + 1) mod n);
+      f ((i + n - 1) mod n))
+    ~max_degree:2 ~edge_count:n
+    ~label:(Printf.sprintf "ring:%d" n)
+    ()
+
+let implicit_torus w h =
+  require (w >= 3 && h >= 3) "Topology.implicit_torus: need w, h >= 3";
+  Graph.implicit ~n:(w * h)
+    ~degree:(fun _ -> 4)
+    ~iter_neighbours:(fun i f ->
+      let x = i mod w and y = i / w in
+      f ((y * w) + ((x + 1) mod w));
+      f ((y * w) + ((x + w - 1) mod w));
+      f ((((y + 1) mod h) * w) + x);
+      f ((((y + h - 1) mod h) * w) + x))
+    ~max_degree:4
+    ~edge_count:(2 * w * h)
+    ~label:(Printf.sprintf "torus:%dx%d" w h)
+    ()
+
+(* splitmix-style avalanche over the native 62/63-bit int; constants fit
+   comfortably below [max_int] on 64-bit platforms.  Purely arithmetic —
+   the nondet-taint rule (no [Hashtbl.hash]) keeps kernels replayable. *)
+let mix seed x =
+  let z = (x + 1) * 0x9e3779b1 in
+  let z = z lxor (seed * 0x85ebca77) in
+  let z = z lxor (z lsr 31) in
+  let z = z * 0xc2b2ae35 in
+  let z = z lxor (z lsr 29) in
+  let z = z * 0x27d4eb2f in
+  (z lxor (z lsr 32)) land max_int
+
+(* Hash jitter in [0, 1): 40 bits of entropy is plenty for placement. *)
+let unit_float seed x =
+  float_of_int (mix seed x land 0xff_ffff_ffff) /. 1099511627776.0
+
+(* Cellular random-geometric kernel.  The unit square is cut into a
+   [g × g] grid with cell side [1/g >= radius]; node [i] lives in cell
+   [i mod g²] at a hash-jittered position inside it, so any neighbour
+   within [radius] sits in the 3×3 cell block around [i] and a query
+   scans only the ~[9 n / g²] ids hashed into that block.  The spatial
+   law matches [random_geometric] (uniform points, radius threshold) but
+   the point set differs — differential tests compare the kernel against
+   its own materialization, not against the PRNG-driven builder. *)
+let implicit_geometric ~seed n ~radius =
+  require (n >= 2) "Topology.implicit_geometric: need n >= 2";
+  require (radius > 0.0 && radius <= 1.0)
+    "Topology.implicit_geometric: radius out of (0,1]";
+  let g = Int.max 1 (int_of_float (1.0 /. radius)) in
+  let cells = g * g in
+  let position i =
+    let c = i mod cells in
+    let cx = c mod g and cy = c / g in
+    let side = 1.0 /. float_of_int g in
+    ( (float_of_int cx +. unit_float seed (2 * i)) *. side,
+      (float_of_int cy +. unit_float seed ((2 * i) + 1)) *. side )
+  in
+  let close i j =
+    let xi, yi = position i and xj, yj = position j in
+    let dx = xi -. xj and dy = yi -. yj in
+    (dx *. dx) +. (dy *. dy) <= radius *. radius
+  in
+  let iter_block i f =
+    let c = i mod cells in
+    let cx = c mod g and cy = c / g in
+    for dy = -1 to 1 do
+      for dx = -1 to 1 do
+        let x = cx + dx and y = cy + dy in
+        if x >= 0 && x < g && y >= 0 && y < g then begin
+          (* Ids hashed into cell (x, y) are exactly c' + k·g². *)
+          let c' = (y * g) + x in
+          let j = ref c' in
+          while !j < n do
+            if not (Int.equal !j i) then f !j;
+            j := !j + cells
+          done
+        end
+      done
+    done
+  in
+  let per_cell = ((n - 1) / cells) + 1 in
+  Graph.implicit ~n
+    ~degree:(fun i ->
+      let d = ref 0 in
+      iter_block i (fun j -> if close i j then incr d);
+      !d)
+    ~iter_neighbours:(fun i f -> iter_block i (fun j -> if close i j then f j))
+    ~max_degree:(9 * per_cell)
+    ~label:(Printf.sprintf "geo:%d:%g" n radius)
+    ()
+
+(* --- Seeded Feistel permutations (for the power-law kernel) --------- *)
+
+(* 4-round balanced Feistel network on [2 * half] bits; a bijection of
+   [0, 2^(2 half)) for any seed, with [feistel_bwd] its exact inverse. *)
+let feistel_fwd ~seed ~half x =
+  let mask = (1 lsl half) - 1 in
+  let l = ref (x lsr half) and r = ref (x land mask) in
+  for round = 0 to 3 do
+    let f = mix (seed + round) !r land mask in
+    let l' = !r and r' = !l lxor f in
+    l := l';
+    r := r'
+  done;
+  (!l lsl half) lor !r
+
+let feistel_bwd ~seed ~half y =
+  let mask = (1 lsl half) - 1 in
+  let l = ref (y lsr half) and r = ref (y land mask) in
+  for round = 3 downto 0 do
+    let f = mix (seed + round) !l land mask in
+    let l' = !r lxor f and r' = !l in
+    l := l';
+    r := r'
+  done;
+  (!l lsl half) lor !r
+
+(* Cycle-walking restricts the Feistel bijection to [0, m): repeatedly
+   re-encrypt until the value lands below [m].  Walk length is
+   geometric with mean < 4 (the power-of-two domain is < 4m). *)
+let half_for m =
+  let rec bits b = if 1 lsl (2 * b) >= m then b else bits (b + 1) in
+  bits 1
+
+let perm ~seed m x =
+  let half = half_for m in
+  let rec walk x =
+    let y = feistel_fwd ~seed ~half x in
+    if y < m then y else walk y
+  in
+  walk x
+
+let perm_inv ~seed m y =
+  let half = half_for m in
+  let rec walk y =
+    let x = feistel_bwd ~seed ~half y in
+    if x < m then x else walk x
+  in
+  walk y
+
+(* Power-law kernel: a deterministic configuration model with a γ≈2
+   tail plus a ring backbone for connectivity.
+
+   Ranks: a seeded permutation π of [0, n) assigns node [i] the rank
+   [π(i)], decoupling degree from id.  Blocks [l = 0..K] cover ranks
+   [2^l - 1, 2^(l+1) - 1): block [l] holds [2^l] ranks of stub degree
+   [2^(K-l)], so [P(deg >= d) ∝ 1/d] — the tail of a γ≈2 power law —
+   and every block contributes exactly [2^K] stubs, [S = (K+1)·2^K] in
+   total (always even).  [K] is the largest value with [2^(K+1) - 1 <=
+   n]; ranks beyond the blocks keep only their backbone edges.
+
+   Matching: a second seeded permutation ψ of [0, S) lays the stubs out
+   in a random order, and position-neighbours pair up:
+   [σ(s) = ψ(ψ⁻¹(s) lxor 1)] — an involution with no fixed points, so
+   stub pairing is symmetric by construction.  Self-loops (partner stub
+   on the same node) are skipped; candidates are deduped so multi-edges
+   collapse and [degree] agrees with the neighbour-set cardinality. *)
+let implicit_power_law ~seed n =
+  require (n >= 8) "Topology.implicit_power_law: need n >= 8";
+  let rec largest_k k = if (1 lsl (k + 2)) - 1 <= n then largest_k (k + 1) else k in
+  let k_top = largest_k 0 in
+  let block_stubs = 1 lsl k_top in
+  let stubs = (k_top + 1) * block_stubs in
+  let rank_seed = mix seed 0x5eed and stub_seed = mix seed 0x51ab in
+  let rank_of i = perm ~seed:rank_seed n i in
+  let node_of r = perm_inv ~seed:rank_seed n r in
+  let rank_of_stub s =
+    let l = s / block_stubs in
+    let idx = s mod block_stubs / (1 lsl (k_top - l)) in
+    (1 lsl l) - 1 + idx
+  in
+  (* First stub of rank r in block l: blocks are laid out consecutively,
+     each rank owning a contiguous run of 2^(K-l) stubs. *)
+  let stub_range r =
+    let l =
+      let rec block l = if r + 1 < 1 lsl (l + 1) then l else block (l + 1) in
+      block 0
+    in
+    let idx = r - ((1 lsl l) - 1) in
+    let width = 1 lsl (k_top - l) in
+    ((l * block_stubs) + (idx * width), width)
+  in
+  let partner s = perm ~seed:stub_seed stubs (perm_inv ~seed:stub_seed stubs s lxor 1) in
+  let candidates i =
+    let acc = ref [ (i + 1) mod n; (i + n - 1) mod n ] in
+    let r = rank_of i in
+    if r < (1 lsl (k_top + 1)) - 1 then begin
+      let first, width = stub_range r in
+      for s = first to first + width - 1 do
+        let j = node_of (rank_of_stub (partner s)) in
+        if not (Int.equal j i) then acc := j :: !acc
+      done
+    end;
+    List.sort_uniq Int.compare !acc
+  in
+  Graph.implicit ~n
+    ~degree:(fun i -> List.length (candidates i))
+    ~iter_neighbours:(fun i f -> List.iter f (candidates i))
+    ~max_degree:(block_stubs + 2)
+    ~label:(Printf.sprintf "plaw:%d" n)
+    ()
+
 let build rng = function
   | Ring n -> ring n
   | Path n -> path n
@@ -192,6 +414,14 @@ let build rng = function
   | Watts_strogatz (n, k, beta) -> watts_strogatz rng n ~k ~beta
   | Barabasi_albert (n, m) -> barabasi_albert rng n ~m
   | Random_geometric (n, radius) -> random_geometric rng n ~radius
+  | Implicit_ring n -> implicit_ring n
+  | Implicit_torus (w, h) -> implicit_torus w h
+  (* One draw turns the stream-based PRNG into the fixed seed the
+     on-demand kernel closes over; a topology stays a pure function of
+     the seed handed to [build]. *)
+  | Implicit_geometric (n, radius) ->
+      implicit_geometric ~seed:(Prng.int rng 0x3fff_ffff) n ~radius
+  | Implicit_power_law n -> implicit_power_law ~seed:(Prng.int rng 0x3fff_ffff) n
 
 let spec_of_string s =
   let fail () = Error (Printf.sprintf "unrecognized topology spec %S" s) in
@@ -232,6 +462,21 @@ let spec_of_string s =
       match (int_of n, float_of r) with
       | Some n, Some r -> Ok (Random_geometric (n, r))
       | _ -> fail ())
+  | [ "iring"; n ] -> (
+      match int_of n with Some n -> Ok (Implicit_ring n) | None -> fail ())
+  | [ "itorus"; wh ] -> (
+      match String.split_on_char 'x' wh with
+      | [ w; h ] -> (
+          match (int_of w, int_of h) with
+          | Some w, Some h -> Ok (Implicit_torus (w, h))
+          | _ -> fail ())
+      | _ -> fail ())
+  | [ "igeo"; n; r ] -> (
+      match (int_of n, float_of r) with
+      | Some n, Some r -> Ok (Implicit_geometric (n, r))
+      | _ -> fail ())
+  | [ "iplaw"; n ] -> (
+      match int_of n with Some n -> Ok (Implicit_power_law n) | None -> fail ())
   | _ -> fail ()
 
 let pp_spec ppf = function
@@ -246,3 +491,7 @@ let pp_spec ppf = function
   | Watts_strogatz (n, k, beta) -> Format.fprintf ppf "ws:%d:%d:%g" n k beta
   | Barabasi_albert (n, m) -> Format.fprintf ppf "ba:%d:%d" n m
   | Random_geometric (n, r) -> Format.fprintf ppf "geo:%d:%g" n r
+  | Implicit_ring n -> Format.fprintf ppf "iring:%d" n
+  | Implicit_torus (w, h) -> Format.fprintf ppf "itorus:%dx%d" w h
+  | Implicit_geometric (n, r) -> Format.fprintf ppf "igeo:%d:%g" n r
+  | Implicit_power_law n -> Format.fprintf ppf "iplaw:%d" n

@@ -5,7 +5,15 @@
     references (complete, star), and seeded random families
     (Erdős–Rényi, Watts–Strogatz, Barabási–Albert, random geometric).
     Random families take a {!Cliffedge_prng.Prng.t} so that a topology is
-    a pure function of its seed. *)
+    a pure function of its seed.
+
+    The [implicit_*] builders return generator-backed {!Graph.implicit}
+    values instead of stored adjacency: neighbourhoods are pure functions
+    of the node id (and a seed), so a million-node topology costs nothing
+    until queried.  [implicit_ring]/[implicit_torus] produce edge-for-edge
+    the same graphs as their stored counterparts; the implicit random
+    families follow the same distributions but hash-based placement, so
+    they differ sample-wise from the PRNG-driven builders. *)
 
 type spec =
   | Ring of int
@@ -19,6 +27,10 @@ type spec =
   | Watts_strogatz of int * int * float
   | Barabasi_albert of int * int
   | Random_geometric of int * float
+  | Implicit_ring of int
+  | Implicit_torus of int * int
+  | Implicit_geometric of int * float
+  | Implicit_power_law of int
       (** Symbolic description of a topology, convenient for sweeps and
           command lines. *)
 
@@ -64,13 +76,40 @@ val random_geometric : Cliffedge_prng.Prng.t -> int -> radius:float -> Graph.t
     [radius]; a backbone path over the node ordering by x-coordinate is
     added when needed to guarantee connectivity. *)
 
+val implicit_ring : int -> Graph.t
+(** Generator-backed cycle on [n >= 3] nodes; same edge set as
+    {!ring}. *)
+
+val implicit_torus : int -> int -> Graph.t
+(** Generator-backed wrap-around mesh, [w, h >= 3]; same edge set as
+    {!torus}. *)
+
+val implicit_geometric : seed:int -> int -> radius:float -> Graph.t
+(** Cellular random-geometric kernel: node [i] sits at a hash-jittered
+    position inside cell [i mod g²] of a [g × g] grid with cell side
+    [1/g >= radius], nodes are linked when within [radius], and a
+    neighbour query scans only the 3×3 cell block around [i] —
+    [O(9 n / g²)] per query, independent of total [n] for fixed
+    density.  Connectivity is not guaranteed (as with any geometric
+    sample); confined experiments work inside a chosen component. *)
+
+val implicit_power_law : seed:int -> int -> Graph.t
+(** Deterministic configuration-model kernel with a [γ ≈ 2] tail
+    ([P(deg >= d) ∝ 1/d], one hub of stub degree [Θ(n)]) plus a ring backbone
+    for connectivity, [n >= 8].  Ranks and stub matching come from two
+    seeded Feistel permutations, so a neighbour query touches only the
+    queried node's own stubs. *)
+
 val build : Cliffedge_prng.Prng.t -> spec -> Graph.t
-(** Materializes a symbolic description. *)
+(** Materializes a symbolic description.  For the seeded implicit
+    families, one integer is drawn from the PRNG to fix the kernel
+    seed. *)
 
 val spec_of_string : string -> (spec, string) result
 (** Parses descriptions such as ["ring:100"], ["grid:10x10"],
     ["torus:8x8"], ["er:200:0.05"], ["ws:100:6:0.1"], ["ba:150:3"],
     ["geo:100:0.15"], ["complete:30"], ["star:20"], ["path:50"],
-    ["tree:63"]. *)
+    ["tree:63"] — and the implicit families ["iring:1000000"],
+    ["itorus:1000x1000"], ["igeo:100000:0.01"], ["iplaw:100000"]. *)
 
 val pp_spec : Format.formatter -> spec -> unit

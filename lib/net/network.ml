@@ -26,10 +26,11 @@ type 'a t = {
   stats : Stats.t;
   crashed : (int, unit) Hashtbl.t;
   (* Max scheduled delivery time per ordered pair, keyed by
-     [src lsl 20 lor dst] (an immediate int hashes without allocating
-     a tuple on every send).  On the reliable path this is also the
-     FIFO floor; on the faulty path scheduling is not monotone, so it
-     is maintained as a running max for [flush_time]. *)
+     [Node_id.pair_key] (an immediate int hashes without allocating a
+     tuple on every send, collision-free below 2^31).  On the reliable
+     path this is also the FIFO floor; on the faulty path scheduling is
+     not monotone, so it is maintained as a running max for
+     [flush_time]. *)
   last_delivery : (int, float) Hashtbl.t;
   reorder : (int, reorder_state) Hashtbl.t;
   mutable deliver : (src:Node_id.t -> dst:Node_id.t -> 'a -> unit) option;
@@ -57,7 +58,7 @@ let create ?faults ~engine ~rng ~latency () =
 
 let on_deliver t handler = t.deliver <- Some handler
 
-let pack ~src ~dst = (Node_id.to_int src lsl 20) lor Node_id.to_int dst
+let pack ~src ~dst = Node_id.pair_key src dst
 
 let is_crashed t p = Hashtbl.mem t.crashed (Node_id.to_int p)
 

@@ -10,13 +10,13 @@ type t = {
   mutable duplicated : int;
   mutable retransmitted : int;
   mutable deduped : int;
-  (* Keyed by [src lsl 20 lor dst]: an immediate int hashes without
+  (* Keyed by [Node_id.pair_key]: an immediate int hashes without
      allocating the tuple the generic hash would otherwise walk on
-     every send. *)
+     every send, and stays collision-free below 2^31 ids. *)
   per_pair : (int, int) Hashtbl.t;
 }
 
-let pack ~src ~dst = (Node_id.to_int src lsl 20) lor Node_id.to_int dst
+let pack ~src ~dst = Node_id.pair_key src dst
 
 let create () =
   {
@@ -69,8 +69,7 @@ let units_sent t = t.units_sent
 
 let pairs t =
   Hashtbl.fold
-    (fun key _ acc ->
-      (Node_id.of_int (key lsr 20), Node_id.of_int (key land 0xfffff)) :: acc)
+    (fun key _ acc -> (Node_id.pair_fst key, Node_id.pair_snd key) :: acc)
     t.per_pair []
   |> List.sort
        (fun (s1, d1) (s2, d2) ->
@@ -83,9 +82,8 @@ let pair_count t ~src ~dst =
 let communicating_nodes t =
   Hashtbl.fold
     (fun key _ acc ->
-      Node_set.add
-        (Node_id.of_int (key lsr 20))
-        (Node_set.add (Node_id.of_int (key land 0xfffff)) acc))
+      Node_set.add (Node_id.pair_fst key)
+        (Node_set.add (Node_id.pair_snd key) acc))
     t.per_pair Node_set.empty
 
 let pp ppf t =

@@ -25,6 +25,23 @@ let connected_region rng graph ~size =
   let seed_node = Node_set.random_element rng (Graph.nodes graph) in
   grow rng graph ~seed_node ~size
 
+(* Deterministic sibling of [grow]: always absorbs the minimum-id border
+   node.  No PRNG, no [Graph.node_count] (which an implicit graph can
+   answer, but [validate]'s bound is pointless at N = 10⁶), so large-N
+   experiments get a reproducible region without touching state
+   proportional to the graph. *)
+let compact_region graph ~seed_node ~size =
+  if size < 1 then invalid_arg "Fault_gen.compact_region: size must be >= 1";
+  let rec loop region =
+    if Node_set.cardinal region >= size then region
+    else
+      let border = Graph.border graph region in
+      match Node_set.min_elt_opt border with
+      | None -> region
+      | Some p -> loop (Node_set.add p region)
+  in
+  loop (Node_set.singleton seed_node)
+
 let attempts = 64
 
 (* Generic rejection sampler: draws regions from allowed seeds until the

@@ -19,6 +19,16 @@ val connected_region_from :
 (** As {!connected_region} but grown from a fixed node (the region is
     still random beyond the seed). *)
 
+val compact_region : Graph.t -> seed_node:Node_id.t -> size:int -> Node_set.t
+(** Fully deterministic connected region: grown from [seed_node] by
+    always absorbing the minimum-id border node.  Touches only the
+    region and its border — no PRNG, no whole-graph scan — so it is the
+    region builder for million-node implicit topologies (where random
+    growth from a high-id seed would also drag huge bitsets around; pick
+    a low-id seed there).  Returns fewer than [size] nodes only when the
+    component is exhausted.
+    @raise Invalid_argument when [size < 1]. *)
+
 val isolated_regions :
   Cliffedge_prng.Prng.t -> Graph.t -> count:int -> size:int -> Node_set.t list option
 (** [count] regions of [size] nodes whose closed neighbourhoods are

@@ -13,6 +13,7 @@ let () =
       Test_ranking.suite;
       Test_topology.suite;
       Test_fault_geometry.suite;
+      Test_implicit.suite;
       Test_latency_stats.suite;
       Test_network.suite;
       Test_opinion.suite;

@@ -43,6 +43,8 @@ let make_outcome ?(decisions = base_decisions) ?(quiescent = true)
     stalled_channels = [];
     states = [];
     obs = Cliffedge_obs.Log.create ();
+    (* Fabricated outcome: the checker falls back to batch recompute. *)
+    geometry = None;
   }
 
 let has_violation report property =

@@ -1,0 +1,244 @@
+(* Differential validation of the implicit-topology kernels and the
+   incremental fault-geometry tracker, plus the pair-key packing
+   regression: every generator-backed graph must agree query-for-query
+   with its materialized counterpart, and [Incr_geometry] must agree
+   with [Fault_geometry.compute] after every crash of a random
+   sequence. *)
+
+open Cliffedge_graph
+module Prng = Cliffedge_prng.Prng
+module Stats = Cliffedge_net.Stats
+
+let set = Node_set.of_ints
+
+let edge_list g =
+  List.map
+    (fun (p, q) -> (Node_id.to_int p, Node_id.to_int q))
+    (Graph.edges g)
+
+(* --- exact kernels: ring and torus match the stored builders -------- *)
+
+let test_ring_kernel () =
+  List.iter
+    (fun n ->
+      let stored = Topology.ring n and impl = Topology.implicit_ring n in
+      Alcotest.(check bool) "implicit flag" true (Graph.is_implicit impl);
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "ring %d edges" n)
+        (edge_list stored) (edge_list impl);
+      Alcotest.(check int) "node count" n (Graph.node_count impl);
+      Alcotest.(check int) "edge count" n (Graph.edge_count impl))
+    [ 3; 4; 10; 64; 257 ]
+
+let test_torus_kernel () =
+  List.iter
+    (fun (w, h) ->
+      let stored = Topology.torus w h and impl = Topology.implicit_torus w h in
+      Alcotest.(check (list (pair int int)))
+        (Printf.sprintf "torus %dx%d edges" w h)
+        (edge_list stored) (edge_list impl))
+    [ (3, 3); (4, 5); (8, 8) ]
+
+let test_materialize_identity () =
+  let impl = Topology.implicit_ring 12 in
+  let mat = Graph.materialize impl in
+  Alcotest.(check bool) "materialized is stored" false (Graph.is_implicit mat);
+  Alcotest.(check (list (pair int int))) "same edges" (edge_list impl) (edge_list mat);
+  Alcotest.check_raises "add_edge on implicit raises"
+    (Invalid_argument "Graph.add_edge: graph is implicit (Graph.materialize it first)")
+    (fun () -> ignore (Graph.add_edge (Node_id.of_int 0) (Node_id.of_int 5) impl))
+
+(* --- kernel well-formedness: symmetry, degree, materialization ------ *)
+
+let implicit_pool seed =
+  [
+    Topology.implicit_ring 37;
+    Topology.implicit_torus 5 7;
+    Topology.implicit_geometric ~seed 80 ~radius:0.2;
+    Topology.implicit_power_law ~seed 96;
+  ]
+
+let prop_kernel_consistent =
+  QCheck2.Test.make ~name:"implicit kernels: symmetric, degree-consistent, = own materialization"
+    ~count:40
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      List.for_all
+        (fun impl ->
+          let mat = Graph.materialize impl in
+          let n = Graph.node_count impl in
+          List.for_all
+            (fun i ->
+              let p = Node_id.of_int i in
+              let ni = Graph.neighbours impl p in
+              Node_set.equal ni (Graph.neighbours mat p)
+              && Int.equal (Graph.degree impl p) (Node_set.cardinal ni)
+              && Node_set.for_all
+                   (fun q -> Node_set.mem p (Graph.neighbours impl q))
+                   ni)
+            (List.init n (fun i -> i)))
+        (implicit_pool seed))
+
+let prop_geometry_queries_agree =
+  QCheck2.Test.make ~name:"implicit border/components = materialized" ~count:60
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let impl = Prng.choose rng (implicit_pool (Prng.int rng 0x3fffffff)) in
+      let mat = Graph.materialize impl in
+      let s =
+        Node_set.random_subset rng (Graph.nodes impl) ~keep_probability:0.3
+      in
+      Node_set.equal (Graph.border impl s) (Graph.border mat s)
+      && Node_set.equal
+           (Graph.closed_neighbourhood impl s)
+           (Graph.closed_neighbourhood mat s)
+      && List.equal Node_set.equal
+           (Graph.connected_components impl s)
+           (Graph.connected_components mat s))
+
+(* --- incremental geometry = batch recompute ------------------------- *)
+
+let geometry_pool rng =
+  [
+    Topology.ring 24;
+    Topology.path 17;
+    Topology.torus 5 5;
+    Topology.implicit_ring 30;
+    Topology.implicit_torus 4 6;
+    Topology.implicit_geometric ~seed:(Prng.int rng 0x3fffffff) 48 ~radius:0.25;
+    Topology.implicit_power_law ~seed:(Prng.int rng 0x3fffffff) 40;
+  ]
+
+let same_geometry incr batch =
+  List.equal Node_set.equal (Incr_geometry.domains incr)
+    (Fault_geometry.domains batch)
+  && List.equal (List.equal Node_set.equal) (Incr_geometry.clusters incr)
+       (Fault_geometry.clusters batch)
+
+let prop_incremental_matches_recompute =
+  QCheck2.Test.make ~name:"incremental geometry = recompute after every crash"
+    ~count:80
+    QCheck2.Gen.(int_range 0 1_000_000)
+    (fun seed ->
+      let rng = Prng.create seed in
+      let graph = Prng.choose rng (geometry_pool rng) in
+      let n = Graph.node_count graph in
+      let incr = Incr_geometry.create graph in
+      let crashes = 1 + Prng.int rng (n / 2) in
+      let faulty = ref Node_set.empty in
+      let ok = ref true in
+      for _ = 1 to crashes do
+        let p = Node_id.of_int (Prng.int rng n) in
+        Incr_geometry.crash incr p;
+        faulty := Node_set.add p !faulty;
+        let batch = Fault_geometry.compute graph ~faulty:!faulty in
+        if not (same_geometry incr batch) then ok := false;
+        (* The frozen snapshot must be indistinguishable from compute. *)
+        let snap = Incr_geometry.snapshot incr in
+        if
+          not
+            (List.equal Node_set.equal
+               (Fault_geometry.domains snap)
+               (Fault_geometry.domains batch))
+        then ok := false;
+        (* Borders read from the tracker = borders derived from the graph. *)
+        match Incr_geometry.domain_of incr p with
+        | None -> ok := false
+        | Some d -> (
+            match Incr_geometry.border_of incr p with
+            | None -> ok := false
+            | Some b -> if not (Node_set.equal b (Graph.border graph d)) then ok := false)
+      done;
+      (* Re-crashing an already-faulty node must change nothing. *)
+      (match Node_set.min_elt_opt !faulty with
+      | Some p ->
+          let before = Incr_geometry.domains incr in
+          Incr_geometry.crash incr p;
+          if not (List.equal Node_set.equal before (Incr_geometry.domains incr)) then
+            ok := false
+      | None -> ());
+      !ok)
+
+(* --- memo caches: bounded residency, single-entry eviction ---------- *)
+
+let test_memo_cap () =
+  (* Border queries against sets at high ids are heavy (a bitset holding
+     id ~1e5 weighs ~1600 words), so a few dozen distinct queries push
+     the memo far past its budget — the clock must evict entry by entry
+     and keep residency near the cap instead of resetting to zero. *)
+  let g = Topology.implicit_ring 100_000 in
+  let cap = 1 lsl 15 in
+  let max_seen = ref 0 in
+  for i = 0 to 49 do
+    let s = set [ 90_000 + (i * 10) ] in
+    let b = Graph.border g s in
+    Alcotest.(check int) "ring border of singleton" 2 (Node_set.cardinal b);
+    max_seen := Int.max !max_seen (Graph.memo_resident_words g)
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "residency %d stays under cap + one entry" !max_seen)
+    true
+    (!max_seen > 0 && !max_seen <= (3 * cap) + 8192);
+  (* A repeated query after heavy eviction still answers correctly. *)
+  let s = set [ 90_000 ] in
+  Alcotest.(check bool) "repeat query correct" true
+    (Node_set.equal (set [ 89_999; 90_001 ]) (Graph.border g s))
+
+(* --- pair-key packing regression ------------------------------------ *)
+
+(* The old scheme packed [(src lsl 20) lor dst]: ids at or above 2^20
+   overflow into the src bits, so the pairs (1, 1) and (0, 2^20 + 1)
+   collided on the key 2^20 + 1 and per-pair statistics merged two
+   distinct channels.  The 31-bit split keeps them apart; this test
+   fails against the old packing. *)
+let test_pair_key_no_collision () =
+  let one = Node_id.of_int 1 in
+  let big = Node_id.of_int ((1 lsl 20) + 1) in
+  let zero = Node_id.of_int 0 in
+  let s = Stats.create () in
+  Stats.record_send s ~src:one ~dst:one ~units:1;
+  Stats.record_send s ~src:zero ~dst:big ~units:1;
+  Alcotest.(check int) "two distinct pairs" 2 (List.length (Stats.pairs s));
+  Alcotest.(check int) "count of (1,1)" 1 (Stats.pair_count s ~src:one ~dst:one);
+  Alcotest.(check int) "count of (0,2^20+1)" 1 (Stats.pair_count s ~src:zero ~dst:big);
+  Alcotest.(check int) "nodes involved" 3
+    (Node_set.cardinal (Stats.communicating_nodes s))
+
+let test_pair_key_roundtrip () =
+  List.iter
+    (fun (a, b) ->
+      let k = Node_id.pair_key (Node_id.of_int a) (Node_id.of_int b) in
+      Alcotest.(check int) "fst" a (Node_id.to_int (Node_id.pair_fst k));
+      Alcotest.(check int) "snd" b (Node_id.to_int (Node_id.pair_snd k)))
+    [ (0, 0); (1, 1); (0, (1 lsl 20) + 1); ((1 lsl 20) + 1, 0);
+      ((1 lsl 31) - 1, (1 lsl 31) - 1); (999_983, 1_000_003) ];
+  Alcotest.check_raises "31-bit limit enforced"
+    (Invalid_argument "Node_id.pair_key: identifier does not fit in 31 bits")
+    (fun () ->
+      ignore (Node_id.pair_key (Node_id.of_int (1 lsl 31)) (Node_id.of_int 0)))
+
+let test_node_set_full () =
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "full %d" n)
+        true
+        (Node_set.equal (set (List.init n (fun i -> i))) (Node_set.full n)))
+    [ 0; 1; 62; 63; 64; 100; 200 ];
+  Alcotest.(check int) "words of full 630" 10 (Node_set.words (Node_set.full 630))
+
+let suite =
+  ( "implicit topologies",
+    [
+      Alcotest.test_case "ring kernel = stored ring" `Quick test_ring_kernel;
+      Alcotest.test_case "torus kernel = stored torus" `Quick test_torus_kernel;
+      Alcotest.test_case "materialize" `Quick test_materialize_identity;
+      Alcotest.test_case "memo residency capped" `Quick test_memo_cap;
+      Alcotest.test_case "pair key: no 2^20 collision" `Quick test_pair_key_no_collision;
+      Alcotest.test_case "pair key roundtrip" `Quick test_pair_key_roundtrip;
+      Alcotest.test_case "Node_set.full" `Quick test_node_set_full;
+      QCheck_alcotest.to_alcotest prop_kernel_consistent;
+      QCheck_alcotest.to_alcotest prop_geometry_queries_agree;
+      QCheck_alcotest.to_alcotest prop_incremental_matches_recompute;
+    ] )
